@@ -1,0 +1,41 @@
+// Shared helpers for the paper-reproduction bench binaries.
+#pragma once
+
+#include <cstdio>
+#include <cstdlib>
+#include <iostream>
+#include <string>
+#include <vector>
+
+#include "net/runner.hpp"
+#include "util/strings.hpp"
+#include "util/table.hpp"
+
+namespace e2efa::benchutil {
+
+/// Parses "--seconds N" and "--seed N" style overrides; benches default to
+/// the paper's T = 1000 s, which takes a few seconds per protocol — pass a
+/// smaller value for quick runs.
+struct BenchArgs {
+  double seconds = 1000.0;
+  std::uint64_t seed = 1;
+  double alpha = 1e-4;
+};
+
+inline BenchArgs parse_args(int argc, char** argv) {
+  BenchArgs a;
+  for (int i = 1; i + 1 < argc; i += 2) {
+    const std::string key = argv[i];
+    const double val = std::atof(argv[i + 1]);
+    if (key == "--seconds") a.seconds = val;
+    if (key == "--seed") a.seed = static_cast<std::uint64_t>(val);
+    if (key == "--alpha") a.alpha = val;
+  }
+  return a;
+}
+
+inline std::string fmt_count(std::int64_t v) { return strformat("%lld", static_cast<long long>(v)); }
+
+inline std::string fmt_ratio(double v) { return strformat("%.3f", v); }
+
+}  // namespace e2efa::benchutil

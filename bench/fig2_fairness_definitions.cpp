@@ -1,0 +1,66 @@
+// Reproduces the Fig.-2 fairness-definition examples (Sec. II-C).
+//
+// (a) Two single-hop flows, weights (2, 1): weighted fair allocation is
+//     (2B/3, B/3).
+// (b) F2 becomes a 3-hop flow. Naively applying the same per-flow channel
+//     split gives F2 r=B/3 shared across 3 subflows: u2 = B/9, so
+//     u2/u1 = 1/6 — inconsistent with w2/w1 = 1/2 (long flows penalized).
+// (c) End-to-end fair allocation: channel split (2B/5, 3B/5) so that
+//     (u1, u2) = (2B/5, B/5), restoring u2/u1 = 1/2.
+#include <iostream>
+
+#include "alloc/allocation.hpp"
+#include "net/scenarios.hpp"
+#include "util/strings.hpp"
+#include "util/table.hpp"
+
+using namespace e2efa;
+
+int main() {
+  std::cout << "Fig. 2 — fairness: the single-hop and multi-hop case\n\n";
+
+  // (a) Single-hop, weights (2, 1).
+  {
+    const double w1 = 2, w2 = 1;
+    const double r1 = w1 / (w1 + w2), r2 = w2 / (w1 + w2);
+    std::cout << "(a) single-hop flows, w = (2, 1): (r1, r2) = ("
+              << format_share_of_b(r1) << ", " << format_share_of_b(r2)
+              << ")   [paper: (2B/3, B/3)]\n";
+  }
+
+  // (b)+(c) on an actual flow set: F1 = 1 hop (w=2), F2 = 3 hops (w=1).
+  Scenario sc = make_abstract_scenario({1, 3}, {2.0, 1.0}, "fig2");
+  FlowSet flows(sc.topo, sc.flow_specs);
+  // All subflows mutually contend (single local channel).
+  std::vector<std::pair<int, int>> edges;
+  for (int a = 0; a < flows.subflow_count(); ++a)
+    for (int b = a + 1; b < flows.subflow_count(); ++b) edges.emplace_back(a, b);
+  ContentionGraph graph(flows, edges);
+
+  TextTable t({"Strategy", "channel r1", "channel r2", "u1", "u2", "u2/u1",
+               "fair? (w2/w1 = 1/2)"});
+  {
+    // (b) naive per-flow equal-weighted split of the channel.
+    const double r1 = 2.0 / 3.0, r2 = 1.0 / 3.0;
+    const double u1 = r1, u2 = r2 / 3.0;  // r2 shared by 3 subflows
+    t.add_row({"(b) naive multi-hop split", format_share_of_b(r1), format_share_of_b(r2),
+               format_share_of_b(u1), format_share_of_b(u2),
+               strformat("%.3f", u2 / u1), u2 / u1 == 0.5 ? "yes" : "no"});
+  }
+  {
+    // (c) end-to-end fair: the basic-share formula w_i B / Σ w_j v_j.
+    const auto u = basic_shares(flows);
+    const double r1 = u[0] * 1, r2 = u[1] * 3;  // channel time per flow
+    t.add_row({"(c) end-to-end fair", format_share_of_b(r1), format_share_of_b(r2),
+               format_share_of_b(u[0]), format_share_of_b(u[1]),
+               strformat("%.3f", u[1] / u[0]),
+               std::abs(u[1] / u[0] - 0.5) < 1e-9 ? "yes" : "no"});
+  }
+  t.print(std::cout);
+
+  std::cout << "\nFairness residuals |u_i/w_i - u_j/w_j|:\n";
+  std::cout << "  naive: " << strformat("%.4f", std::abs(2.0 / 3.0 / 2 - 1.0 / 9.0 / 1)) << "B\n";
+  const auto u = basic_shares(flows);
+  std::cout << "  end-to-end fair: " << strformat("%.4f", fairness_residual(flows, u)) << "B\n";
+  return 0;
+}

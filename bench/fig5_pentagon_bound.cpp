@@ -1,0 +1,55 @@
+// Reproduces the Fig.-5 pentagon example (Sec. III): the Prop.-1 upper
+// bound can be unachievable. For C5, ω_Ω = 2 gives the bound B/2 per flow
+// (total 5B/2), but no feasible schedule attains it — the fractional limit
+// is 2B/5 per flow. The paper's remedy: keep the LP shares as
+// allocated-share *weights* for phase 2.
+#include <iostream>
+
+#include "alloc/centralized.hpp"
+#include "alloc/schedulability.hpp"
+#include "contention/cliques.hpp"
+#include "net/scenarios.hpp"
+#include "util/strings.hpp"
+#include "util/table.hpp"
+
+using namespace e2efa;
+
+int main() {
+  const AbstractExample ex = pentagon_example();
+  FlowSet flows(ex.scenario.topo, ex.scenario.flow_specs);
+  ContentionGraph graph(flows, ex.edges);
+
+  std::cout << "Fig. 5 — pentagon contention graph: unachievable upper bound\n\n";
+  std::cout << "Maximal cliques: " << maximal_cliques(graph).size()
+            << " (the five ring edges); weighted clique number omega = "
+            << weighted_clique_number(graph) << "\n";
+  std::cout << "Prop. 1 upper bound: total " << format_share_of_b(fairness_upper_bound(graph))
+            << ", per-flow " << format_share_of_b(fairness_bound_shares(graph)[0]) << "\n\n";
+
+  TextTable t({"Per-flow demand", "schedule time needed", "schedulable?"});
+  for (double d : {0.5, 0.45, 0.4, 0.35, 0.25}) {
+    const auto r = check_schedulable(graph, std::vector<double>(5, d));
+    t.add_row({format_share_of_b(d), strformat("%.3f", r.time_needed),
+               r.schedulable ? "yes" : "NO"});
+  }
+  t.print(std::cout);
+
+  const auto sched = check_schedulable(graph, std::vector<double>(5, 0.4));
+  std::cout << "\nWitness schedule at the fractional limit (2B/5 per flow):\n";
+  for (const auto& e : sched.schedule) {
+    std::vector<std::string> names;
+    for (int v : e.independent_set) names.push_back(flows.subflow(v).name());
+    std::cout << "  {" << join(names, ", ") << "} active "
+              << strformat("%.3f", e.fraction) << " of the period\n";
+  }
+
+  const auto lp = centralized_allocate(graph);
+  std::cout << "\nLP optimum (used as allocated-share weights when unschedulable): ";
+  std::vector<std::string> shares;
+  for (double s : lp.allocation.flow_share) shares.push_back(format_share_of_b(s));
+  std::cout << join(shares, ", ") << "\n";
+  const auto at_lp = check_schedulable(graph, lp.allocation.subflow_share);
+  std::cout << "Schedulable at the LP optimum: " << (at_lp.schedulable ? "yes" : "NO (paper's point)")
+            << " — needs " << strformat("%.3f", at_lp.time_needed) << " of the period\n";
+  return 0;
+}

@@ -1,0 +1,61 @@
+// Microbenchmarks: discrete-event engine throughput and packet-level
+// simulation speed (simulated seconds per wall second).
+#include <benchmark/benchmark.h>
+
+#include "net/runner.hpp"
+#include "net/scenarios.hpp"
+#include "sim/simulator.hpp"
+
+namespace e2efa {
+namespace {
+
+void BM_EventEngineSchedule(benchmark::State& state) {
+  for (auto _ : state) {
+    Simulator sim;
+    for (int i = 0; i < 10'000; ++i) sim.schedule_at(i, [] {});
+    sim.run();
+    benchmark::DoNotOptimize(sim.events_processed());
+  }
+  state.SetItemsProcessed(state.iterations() * 10'000);
+}
+BENCHMARK(BM_EventEngineSchedule);
+
+void BM_EventEngineCascade(benchmark::State& state) {
+  for (auto _ : state) {
+    Simulator sim;
+    int count = 0;
+    std::function<void()> chain = [&] {
+      if (++count < 10'000) sim.schedule_in(1, chain);
+    };
+    sim.schedule_in(1, chain);
+    sim.run();
+    benchmark::DoNotOptimize(count);
+  }
+  state.SetItemsProcessed(state.iterations() * 10'000);
+}
+BENCHMARK(BM_EventEngineCascade);
+
+void BM_Scenario1SimulatedSecond(benchmark::State& state) {
+  const Scenario sc = scenario1();
+  SimConfig cfg;
+  cfg.sim_seconds = 1.0;
+  for (auto _ : state) {
+    cfg.seed++;
+    benchmark::DoNotOptimize(run_scenario(sc, Protocol::k2paCentralized, cfg));
+  }
+}
+BENCHMARK(BM_Scenario1SimulatedSecond);
+
+void BM_Scenario2SimulatedSecond(benchmark::State& state) {
+  const Scenario sc = scenario2();
+  SimConfig cfg;
+  cfg.sim_seconds = 1.0;
+  for (auto _ : state) {
+    cfg.seed++;
+    benchmark::DoNotOptimize(run_scenario(sc, Protocol::k2paDistributed, cfg));
+  }
+}
+BENCHMARK(BM_Scenario2SimulatedSecond);
+
+}  // namespace
+}  // namespace e2efa

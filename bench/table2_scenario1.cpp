@@ -1,0 +1,69 @@
+// Reproduces Table II: simulation results on the Fig.-1 topology for
+// IEEE 802.11, two-tier fair scheduling, and 2PA.
+//
+// Paper reference values (ns-2, T = 1000 s):
+//   parameter        802.11   two-tier   2PA
+//   r1.1 T           16079    66658      111773
+//   r1.2 T (r̂1 T)     952     60992      111084
+//   r2.1 T           156517   65507      56404
+//   r2.2 T (r̂2 T)    151533   65507      56404
+//   Σ r̂i T           152485   126499     167488
+//   lost packets     20111    5666       689
+//   loss ratio       0.132    0.045      0.004
+//
+// Absolute counts depend on the substrate; the shapes to check are:
+// 802.11 starves F1.2 and loses the most; two-tier serves F1.1 > F1.2 and
+// overflows the relay; 2PA tracks 1/2:1/2:1/4:1/4 with the highest total
+// effective throughput and minimal loss.
+#include <iostream>
+
+#include "bench_util.hpp"
+#include "net/scenarios.hpp"
+
+using namespace e2efa;
+
+int main(int argc, char** argv) {
+  const auto args = benchutil::parse_args(argc, argv);
+  const Scenario sc = scenario1();
+
+  SimConfig cfg;
+  cfg.sim_seconds = args.seconds;
+  cfg.seed = args.seed;
+  cfg.alpha = args.alpha;
+
+  std::cout << "Table II — simulation results, topology as in Fig. 1 (T = "
+            << args.seconds << " s)\n\n";
+
+  const Protocol protos[] = {Protocol::k80211, Protocol::kTwoTier,
+                             Protocol::k2paCentralized};
+  std::vector<RunResult> results;
+  for (Protocol p : protos) results.push_back(run_scenario(sc, p, cfg));
+
+  TextTable t({"Parameters", "802.11", "two-tier", "2PA"});
+  auto row = [&](const std::string& name, auto getter) {
+    std::vector<std::string> cells{name};
+    for (const RunResult& r : results) cells.push_back(getter(r));
+    t.add_row(cells);
+  };
+  row("r1.1 T", [](const RunResult& r) { return benchutil::fmt_count(r.delivered_per_subflow[0]); });
+  row("r1.2 T (r1^ T)", [](const RunResult& r) { return benchutil::fmt_count(r.delivered_per_subflow[1]); });
+  row("r2.1 T", [](const RunResult& r) { return benchutil::fmt_count(r.delivered_per_subflow[2]); });
+  row("r2.2 T (r2^ T)", [](const RunResult& r) { return benchutil::fmt_count(r.delivered_per_subflow[3]); });
+  row("sum ri^ T", [](const RunResult& r) { return benchutil::fmt_count(r.total_end_to_end); });
+  row("lost packets", [](const RunResult& r) { return benchutil::fmt_count(r.lost_packets); });
+  row("loss ratio", [](const RunResult& r) { return benchutil::fmt_ratio(r.loss_ratio); });
+  t.print(std::cout);
+
+  std::cout << "\nPhase-1 target shares (units of B):\n";
+  for (std::size_t i = 1; i < results.size(); ++i) {
+    std::cout << "  " << to_string(results[i].protocol) << ": ";
+    std::vector<std::string> shares;
+    for (double s : results[i].target_subflow_share)
+      shares.push_back(format_share_of_b(s));
+    std::cout << join(shares, ", ") << "\n";
+  }
+  std::cout << "\nPaper shapes: 802.11 starves F1.2; two-tier r1.1 > r1.2 "
+               "(relay overflow); 2PA ~ 1/2:1/2:1/4:1/4, highest total, "
+               "lowest loss.\n";
+  return 0;
+}

@@ -1,0 +1,58 @@
+// Example: community mesh backhaul.
+//
+// The scenario the paper's introduction motivates: a static wireless mesh
+// where several houses route traffic across multiple hops toward a single
+// gateway. Plain 802.11 lets the one-hop houses crowd out the far ones;
+// 2PA guarantees every house its basic share while still exploiting
+// spatial reuse.
+#include <iostream>
+
+#include "net/runner.hpp"
+#include "route/routing.hpp"
+#include "topology/builders.hpp"
+#include "util/stats.hpp"
+#include "util/strings.hpp"
+#include "util/table.hpp"
+
+using namespace e2efa;
+
+int main() {
+  // A 3x4 grid; the gateway is node 0 (top-left corner).
+  Scenario sc{"mesh-gateway", make_grid(3, 4, 200.0), {}};
+  const NodeId gateway = 0;
+  // Houses at increasing distance from the gateway.
+  for (NodeId house : {3, 7, 11, 9}) {
+    sc.flow_specs.push_back(make_routed_flow(sc.topo, house, gateway));
+  }
+
+  FlowSet flows(sc.topo, sc.flow_specs);
+  std::cout << "Mesh backhaul: " << sc.topo.node_count() << " nodes, "
+            << flows.flow_count() << " flows to the gateway\n";
+  for (const Flow& f : flows.flows())
+    std::cout << "  " << f.name() << ": node " << f.source() << " -> gateway ("
+              << f.length() << " hops)\n";
+
+  SimConfig cfg;
+  cfg.sim_seconds = 60.0;
+  cfg.cbr_pps = 100.0;
+
+  TextTable t({"protocol", "per-flow end-to-end packets", "total", "loss ratio",
+               "Jain index"});
+  for (Protocol p : {Protocol::k80211, Protocol::k2paCentralized,
+                     Protocol::k2paDistributed}) {
+    const RunResult r = run_scenario(sc, p, cfg);
+    std::vector<std::string> per;
+    std::vector<double> xs;
+    for (std::int64_t v : r.end_to_end_per_flow) {
+      per.push_back(std::to_string(v));
+      xs.push_back(static_cast<double>(v));
+    }
+    t.add_row({to_string(p), join(per, ", "), std::to_string(r.total_end_to_end),
+               strformat("%.3f", r.loss_ratio),
+               strformat("%.3f", jain_fairness_index(xs))});
+  }
+  t.print(std::cout);
+  std::cout << "\n2PA should show a markedly higher Jain fairness index than "
+               "802.11 at a small (or no) cost in total throughput.\n";
+  return 0;
+}

@@ -1,0 +1,60 @@
+// Example: weighted flows (service differentiation).
+//
+// The paper's model carries a preassigned weight w_i per flow; allocations
+// are proportional per unit weight. Here a "video" flow (w = 3) shares a
+// chain with a "telemetry" flow (w = 1): phase 1 gives the video flow three
+// times the telemetry share, and the measured packet counts follow.
+#include <iostream>
+
+#include "alloc/centralized.hpp"
+#include "net/runner.hpp"
+#include "route/routing.hpp"
+#include "topology/builders.hpp"
+#include "util/strings.hpp"
+#include "util/table.hpp"
+
+using namespace e2efa;
+
+int main() {
+  // Two parallel 2-hop flows crossing the same middle of a chain.
+  Scenario sc{"weighted", make_chain(5), {}};
+  sc.flow_specs.push_back(make_routed_flow(sc.topo, 0, 2, /*weight=*/3.0));  // video
+  sc.flow_specs.push_back(make_routed_flow(sc.topo, 2, 4, /*weight=*/1.0));  // telemetry
+
+  FlowSet flows(sc.topo, sc.flow_specs);
+  ContentionGraph graph(sc.topo, flows);
+  const auto alloc = centralized_allocate(graph);
+
+  std::cout << "Weighted service differentiation (video w=3 vs telemetry w=1)\n\n";
+  std::cout << "Basic shares: ";
+  for (double b : basic_shares(flows)) std::cout << format_share_of_b(b) << " ";
+  std::cout << "\nAllocated:    ";
+  for (double r : alloc.allocation.flow_share) std::cout << format_share_of_b(r) << " ";
+  std::cout << "\nFairness residual |r̂_i/w_i − r̂_j/w_j| = "
+            << strformat("%.4f", fairness_residual(flows, alloc.allocation.flow_share))
+            << "B\n\n";
+
+  // Note: basic fairness guarantees shares >= w_i-proportional *basic*
+  // shares; surplus capacity the video flow cannot use flows to telemetry,
+  // so the allocated ratio (here 3/8 : 1/4 = 1.5) is the tracking target,
+  // not the raw weight ratio 3.
+  const double target_ratio =
+      alloc.allocation.flow_share[0] / alloc.allocation.flow_share[1];
+
+  SimConfig cfg;
+  cfg.sim_seconds = 60.0;
+  cfg.cbr_pps = 300.0;  // both flows saturate their shares
+  TextTable t({"protocol", "video e2e pkts", "telemetry e2e pkts",
+               strformat("ratio (2PA target %.2f)", target_ratio)});
+  for (Protocol p : {Protocol::k80211, Protocol::k2paCentralized}) {
+    const RunResult r = run_scenario(sc, p, cfg);
+    const double ratio = static_cast<double>(r.end_to_end_per_flow[0]) /
+                         static_cast<double>(std::max<std::int64_t>(1, r.end_to_end_per_flow[1]));
+    t.add_row({to_string(p), std::to_string(r.end_to_end_per_flow[0]),
+               std::to_string(r.end_to_end_per_flow[1]), strformat("%.2f", ratio)});
+  }
+  t.print(std::cout);
+  std::cout << "\n802.11 is weight-blind (it even inverts the priority); 2PA's\n"
+               "measured ratio tracks the allocated ratio.\n";
+  return 0;
+}

@@ -1,0 +1,32 @@
+#include "alloc/centralized.hpp"
+
+namespace e2efa {
+
+CentralizedResult centralized_allocate(const ContentionGraph& g) {
+  const FlowSet& flows = g.flows();
+  const int n = flows.flow_count();
+
+  CentralizedResult out;
+  out.constraint_rows = clique_constraint_rows(g);
+  out.basic = basic_shares(g);  // group-aware (Sec. II-D defines the basic
+                                // share within a contending flow group)
+
+  ShareLp lp;
+  lp.lower_bounds = out.basic;
+  lp.weights.resize(static_cast<std::size_t>(n));
+  for (FlowId f = 0; f < n; ++f)
+    lp.weights[static_cast<std::size_t>(f)] = flows.flow(f).weight;
+  for (const auto& row : out.constraint_rows) {
+    std::vector<double> coeffs(row.begin(), row.end());
+    lp.capacity_rows.push_back(std::move(coeffs));
+  }
+
+  ShareLpResult r = solve_share_lp(lp);
+  out.status = r.status;
+  out.min_relaxation = r.min_relaxation;
+  if (r.status == LpStatus::kOptimal)
+    out.allocation = make_equalized_allocation(flows, std::move(r.shares));
+  return out;
+}
+
+}  // namespace e2efa

@@ -1,0 +1,62 @@
+// Phase 1, distributed form (Sec. IV-B): local cliques, intra-flow
+// constraint propagation, per-source local LPs.
+//
+// Knowledge model (reproduces Table I on the Fig.-6 topology verbatim):
+//
+//  1. Every node v *overhears* the subflows with an endpoint inside its
+//     interference range — Own(v) — by listening to RTS/CTS/DATA traffic.
+//  2. One round of neighbor exchange widens this to
+//     K(v) = Own(v) ∪ ⋃_{u ∈ neighbors(v)} Own(u).
+//  3. Local cliques of v are the maximal cliques of the contention graph
+//     restricted to K(v) (constructible per Huang & Bensaou [5]).
+//  4. Every transmitting node of a flow propagates its local cliques
+//     upstream/downstream along the flow (piggybacked (n_{i,k}, i) arrays),
+//     so the flow's source accumulates ⋃ local cliques over its path.
+//  5. The source's per-unit basic share is r̂₀ = B / Σ_{flows seen in K(v)}
+//     w_j·v_j (v_j travels with the flow information), which is >= the
+//     centralized basic share because only locally visible flows count.
+//  6. The source solves the local LP (maximize local total effective
+//     throughput subject to its clique rows and r̂_j >= w_j·r̂₀) with the
+//     balanced refinement; the flow's allocated share is the source's
+//     solution component for its own flow.
+#pragma once
+
+#include <vector>
+
+#include "alloc/allocation.hpp"
+#include "alloc/refine.hpp"
+#include "topology/topology.hpp"
+
+namespace e2efa {
+
+/// The local optimization problem one flow's source constructed and solved
+/// (one Table-I row).
+struct LocalProblem {
+  FlowId flow = -1;       ///< Flow whose share this LP decides.
+  NodeId source = kInvalidNode;
+  std::vector<FlowId> vars;                 ///< Flows in the local LP, ascending.
+  std::vector<std::vector<int>> cliques;    ///< Local cliques (global subflow ids).
+  std::vector<std::vector<int>> rows;       ///< Dedup n_{j,k} rows over `vars` order.
+  double unit_basic = 0.0;                  ///< r̂₀ at the source (units of B).
+  std::vector<double> mins;                 ///< Per-var lower bound w_j·r̂₀.
+  LpStatus status = LpStatus::kInfeasible;
+  std::vector<double> solution;             ///< Per-var shares (units of B).
+  double flow_share = 0.0;                  ///< Solution entry for `flow`.
+  double min_relaxation = 1.0;              ///< See ShareLpResult.
+};
+
+struct DistributedResult {
+  Allocation allocation;              ///< Equalized allocation from flow shares.
+  std::vector<LocalProblem> locals;   ///< One per flow, in flow order.
+  /// Per-node knowledge K(v) (global subflow ids, ascending) — diagnostics.
+  std::vector<std::vector<int>> node_knowledge;
+  /// Per-node local cliques — diagnostics (Table I "Local cliques" column).
+  std::vector<std::vector<std::vector<int>>> node_cliques;
+};
+
+/// Runs the distributed first phase. `g` must be the contention graph of
+/// `flows` over `topo`.
+DistributedResult distributed_allocate(const Topology& topo, const FlowSet& flows,
+                                       const ContentionGraph& g);
+
+}  // namespace e2efa

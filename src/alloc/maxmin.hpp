@@ -1,0 +1,43 @@
+// Weighted max-min fair allocation (the paper's footnote-3 extension).
+//
+// The main analysis assumes greedy sources (r_i < ρ_i never binds). When
+// sources are not greedy, the natural generalization is weighted max-min
+// fairness with rate caps: lexicographically maximize the minimum r̂_i/w_i,
+// subject to the clique capacity rows and optional per-flow demand caps
+// r̂_i <= ρ_i. Computed by LP water-filling: repeatedly maximize the common
+// per-weight level of the still-free flows, freezing flows that cannot rise
+// further (saturated clique or reached cap).
+//
+// The same engine also runs at subflow granularity, which models what the
+// two-tier scheduler of [1] *achieves in practice* (its measured Table-II
+// allocation is near max-min across subflows, not the max-total LP optimum).
+#pragma once
+
+#include <optional>
+#include <vector>
+
+#include "alloc/allocation.hpp"
+
+namespace e2efa {
+
+struct MaxMinResult {
+  Allocation allocation;
+  /// Water-filling levels: level[i] = r̂_i / w_i at freeze time; flows frozen
+  /// in the same iteration share a level.
+  std::vector<double> level;
+  /// True where the flow froze because it hit its rate cap ρ_i (as opposed
+  /// to a saturated clique).
+  std::vector<bool> capped;
+};
+
+/// Flow-level weighted max-min with optional caps (`caps` empty = greedy
+/// sources). Shares are equalized across each flow's subflows.
+MaxMinResult maxmin_allocate(const ContentionGraph& g,
+                             const std::vector<double>& caps = {});
+
+/// Subflow-level weighted max-min (each subflow an independent single-hop
+/// flow, as in previous work); `caps` per subflow, empty = greedy.
+MaxMinResult maxmin_allocate_subflows(const ContentionGraph& g,
+                                      const std::vector<double>& caps = {});
+
+}  // namespace e2efa

@@ -1,0 +1,47 @@
+// Shared LP construction + balanced (lexicographic max-min) refinement.
+//
+// The paper's allocation LPs routinely have many optima (e.g. Fig. 6:
+// (1/3,1/3,2/3,1/8,3/4) and (1/3,1/8,7/8,1/8,3/4) both maximize total
+// effective throughput). The paper always reports the *balanced* optimum, so
+// after maximizing the total we refine lexicographically: repeatedly
+// maximize the minimum weighted share among still-free variables, fixing the
+// variables that cannot rise further. This reproduces every worked example
+// in the paper and gives deterministic output.
+#pragma once
+
+#include <vector>
+
+#include "lp/problem.hpp"
+#include "lp/simplex.hpp"
+
+namespace e2efa {
+
+/// A phase-1 allocation LP in normalized form:
+///   maximize Σ x_i  s.t.  row_k · x <= 1 (clique capacity, B == 1),
+///                          x_i >= lb_i (basic shares).
+struct ShareLp {
+  /// Capacity rows: coefficient vector per deduplicated maximal clique.
+  std::vector<std::vector<double>> capacity_rows;
+  /// Per-variable lower bound (basic shares). Same length as weights.
+  std::vector<double> lower_bounds;
+  /// Per-variable weight (for max-min normalization x_i / w_i).
+  std::vector<double> weights;
+};
+
+struct ShareLpResult {
+  LpStatus status = LpStatus::kInfeasible;
+  std::vector<double> shares;   ///< Valid when status == kOptimal.
+  double total = 0.0;           ///< Σ shares.
+  /// Multiplicative scale applied to the lower bounds to restore
+  /// feasibility (1.0 normally; < 1.0 when the basic shares alone exceed
+  /// some clique's capacity and were proportionally relaxed).
+  double min_relaxation = 1.0;
+};
+
+/// Maximizes total share, then applies the balanced refinement. If the
+/// lower bounds are by themselves infeasible, they are scaled down by the
+/// largest factor that fits (bisection) before solving, and the factor is
+/// reported in `min_relaxation`.
+ShareLpResult solve_share_lp(const ShareLp& lp);
+
+}  // namespace e2efa

@@ -1,0 +1,51 @@
+#include "alloc/schedulability.hpp"
+
+#include <algorithm>
+
+#include "contention/cliques.hpp"
+#include "lp/problem.hpp"
+#include "lp/simplex.hpp"
+#include "util/assert.hpp"
+
+namespace e2efa {
+
+SchedulabilityResult check_schedulable(const ContentionGraph& g,
+                                       const std::vector<double>& subflow_demand,
+                                       double eps) {
+  const int n = g.vertex_count();
+  E2EFA_ASSERT(static_cast<int>(subflow_demand.size()) == n);
+  for (double d : subflow_demand) E2EFA_ASSERT_MSG(d >= 0.0, "negative demand");
+
+  const auto sets = maximal_independent_sets(g);
+  const int k = static_cast<int>(sets.size());
+  E2EFA_ASSERT(k >= 1);
+
+  // minimize Σ λ  ==  maximize -Σ λ, coverage rows as >=.
+  LpProblem p(k);
+  for (int j = 0; j < k; ++j) p.set_objective(j, -1.0);
+  for (int v = 0; v < n; ++v) {
+    std::vector<double> coeffs(static_cast<std::size_t>(k), 0.0);
+    for (int j = 0; j < k; ++j) {
+      const auto& s = sets[static_cast<std::size_t>(j)];
+      if (std::find(s.begin(), s.end(), v) != s.end())
+        coeffs[static_cast<std::size_t>(j)] = 1.0;
+    }
+    p.add_constraint(std::move(coeffs), Relation::kGreaterEq,
+                     subflow_demand[static_cast<std::size_t>(v)]);
+  }
+
+  SchedulabilityResult out;
+  const LpSolution s = solve_lp(p);
+  E2EFA_ASSERT_MSG(s.status == LpStatus::kOptimal,
+                   "coverage LP must be solvable (independent sets cover all vertices)");
+  out.time_needed = -s.objective;
+  out.schedulable = out.time_needed <= 1.0 + eps;
+  for (int j = 0; j < k; ++j) {
+    if (s.x[static_cast<std::size_t>(j)] > eps) {
+      out.schedule.push_back({sets[static_cast<std::size_t>(j)], s.x[static_cast<std::size_t>(j)]});
+    }
+  }
+  return out;
+}
+
+}  // namespace e2efa

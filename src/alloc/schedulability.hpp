@@ -1,0 +1,41 @@
+// Feasible-schedule existence check (Sec. III-B, the pentagon example).
+//
+// A per-subflow demand vector (units of B) is achievable by some TDMA-style
+// schedule iff it can be written as a sub-convex combination of independent
+// sets of the contention graph: pick fractions λ_S >= 0 with Σ λ_S <= 1 such
+// that every subflow v is covered for at least its demand. We solve the
+// fractional-chromatic LP  min Σ λ_S  s.t.  Σ_{S ∋ v} λ_S >= demand_v over
+// the enumerated maximal independent sets; the demand is schedulable iff
+// the optimum is <= 1. For the pentagon at the Prop.-1 bound (each of the
+// five mutually-ringed subflows demanding B/2), the optimum is 5/4 > 1 —
+// the paper's unachievability result.
+#pragma once
+
+#include <vector>
+
+#include "contention/contention_graph.hpp"
+
+namespace e2efa {
+
+struct ScheduleEntry {
+  std::vector<int> independent_set;  ///< Subflow ids transmitting together.
+  double fraction = 0.0;             ///< Fraction of time the set is active.
+};
+
+struct SchedulabilityResult {
+  bool schedulable = false;
+  /// Minimal total activation time needed to serve the demand (units of the
+  /// scheduling period); schedulable iff <= 1 (+eps).
+  double time_needed = 0.0;
+  /// A witness schedule serving the demand in `time_needed`.
+  std::vector<ScheduleEntry> schedule;
+};
+
+/// Checks whether `subflow_demand` (one value per subflow, units of B) has a
+/// feasible schedule. Exponential in the worst case (independent-set
+/// enumeration) but instant on paper-scale graphs.
+SchedulabilityResult check_schedulable(const ContentionGraph& g,
+                                       const std::vector<double>& subflow_demand,
+                                       double eps = 1e-7);
+
+}  // namespace e2efa

@@ -1,0 +1,21 @@
+#include "alloc/strict_fair.hpp"
+
+#include "contention/cliques.hpp"
+#include "util/assert.hpp"
+
+namespace e2efa {
+
+StrictFairResult strict_fair_allocate(const ContentionGraph& g) {
+  StrictFairResult out;
+  out.per_unit_share = 1.0 / weighted_clique_number(g);
+  out.allocation = make_equalized_allocation(g.flows(), fairness_bound_shares(g));
+
+  const auto check = check_schedulable(g, out.allocation.subflow_share);
+  out.schedulable = check.schedulable;
+  // κ·demand needs κ·time: the largest schedulable scale is 1/time_needed.
+  out.schedulable_fraction =
+      check.time_needed <= 1.0 ? 1.0 : 1.0 / check.time_needed;
+  return out;
+}
+
+}  // namespace e2efa

@@ -1,0 +1,27 @@
+// Strict-fairness allocation (Sec. III-A / Proposition 1).
+//
+// Under the *fairness constraint* |r̂_i/w_i − r̂_j/w_j| < ε every flow gets
+// the same per-unit-weight share r̂₀; the largest feasible r̂₀ under the
+// clique rows is B/ω_Ω (Proposition 1). The bound is not always attainable
+// by a real schedule (Fig. 5's pentagon), so the result carries the
+// schedulability verdict and, when unattainable, the largest uniformly
+// scaled-down level that a TDMA schedule can serve.
+#pragma once
+
+#include "alloc/allocation.hpp"
+#include "alloc/schedulability.hpp"
+
+namespace e2efa {
+
+struct StrictFairResult {
+  Allocation allocation;  ///< r̂_i = w_i · B/ω_Ω (the Prop.-1 point).
+  double per_unit_share = 0.0;  ///< r̂₀ = B/ω_Ω.
+  bool schedulable = false;     ///< Whether a feasible schedule attains it.
+  /// Largest κ <= 1 such that κ·r̂ is schedulable (1.0 when schedulable;
+  /// e.g. 4/5 for the pentagon: κ·B/2 = 2B/5).
+  double schedulable_fraction = 1.0;
+};
+
+StrictFairResult strict_fair_allocate(const ContentionGraph& g);
+
+}  // namespace e2efa

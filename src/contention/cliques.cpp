@@ -1,0 +1,135 @@
+#include "contention/cliques.hpp"
+
+#include <algorithm>
+#include <set>
+
+#include "util/assert.hpp"
+
+namespace e2efa {
+
+namespace {
+
+/// Generic Bron–Kerbosch with pivoting over an adjacency predicate.
+class BronKerbosch {
+ public:
+  BronKerbosch(int n, std::vector<std::vector<bool>> adj) : n_(n), adj_(std::move(adj)) {}
+
+  std::vector<std::vector<int>> run() {
+    std::vector<int> r, p, x;
+    for (int v = 0; v < n_; ++v) p.push_back(v);
+    expand(r, p, x);
+    for (auto& c : out_) std::sort(c.begin(), c.end());
+    std::sort(out_.begin(), out_.end());
+    return std::move(out_);
+  }
+
+ private:
+  void expand(std::vector<int>& r, std::vector<int> p, std::vector<int> x) {
+    if (p.empty() && x.empty()) {
+      out_.push_back(r);
+      return;
+    }
+    // Pivot: vertex of P ∪ X with most neighbors in P (Tomita et al.).
+    int pivot = -1, best = -1;
+    auto count_nbrs_in_p = [&](int u) {
+      int c = 0;
+      for (int w : p) c += adj_[u][w] ? 1 : 0;
+      return c;
+    };
+    for (int u : p) {
+      const int c = count_nbrs_in_p(u);
+      if (c > best) best = c, pivot = u;
+    }
+    for (int u : x) {
+      const int c = count_nbrs_in_p(u);
+      if (c > best) best = c, pivot = u;
+    }
+    std::vector<int> candidates;
+    for (int v : p)
+      if (pivot == -1 || !adj_[pivot][v]) candidates.push_back(v);
+
+    for (int v : candidates) {
+      std::vector<int> p2, x2;
+      for (int w : p)
+        if (adj_[v][w]) p2.push_back(w);
+      for (int w : x)
+        if (adj_[v][w]) x2.push_back(w);
+      r.push_back(v);
+      expand(r, std::move(p2), std::move(x2));
+      r.pop_back();
+      p.erase(std::find(p.begin(), p.end(), v));
+      x.push_back(v);
+    }
+  }
+
+  int n_;
+  std::vector<std::vector<bool>> adj_;
+  std::vector<std::vector<int>> out_;
+};
+
+std::vector<std::vector<bool>> adjacency_of(const ContentionGraph& g, bool complement) {
+  const int n = g.vertex_count();
+  std::vector<std::vector<bool>> adj(static_cast<std::size_t>(n),
+                                     std::vector<bool>(static_cast<std::size_t>(n), false));
+  for (int a = 0; a < n; ++a)
+    for (int b = 0; b < n; ++b)
+      if (a != b) adj[a][b] = complement ? !g.contend(a, b) : g.contend(a, b);
+  return adj;
+}
+
+}  // namespace
+
+std::vector<std::vector<int>> maximal_cliques(const ContentionGraph& g) {
+  return BronKerbosch(g.vertex_count(), adjacency_of(g, /*complement=*/false)).run();
+}
+
+std::vector<std::vector<int>> maximal_independent_sets(const ContentionGraph& g) {
+  return BronKerbosch(g.vertex_count(), adjacency_of(g, /*complement=*/true)).run();
+}
+
+double weighted_clique_size(const ContentionGraph& g, const std::vector<int>& clique) {
+  double sum = 0.0;
+  for (int v : clique) sum += g.flows().subflow(v).weight;
+  return sum;
+}
+
+double weighted_clique_number(const ContentionGraph& g) {
+  E2EFA_ASSERT_MSG(g.vertex_count() > 0, "empty contention graph");
+  double best = 0.0;
+  for (const auto& c : maximal_cliques(g)) best = std::max(best, weighted_clique_size(g, c));
+  return best;
+}
+
+std::vector<int> flow_membership_counts(const ContentionGraph& g,
+                                        const std::vector<int>& clique) {
+  std::vector<int> counts(static_cast<std::size_t>(g.flows().flow_count()), 0);
+  for (int v : clique) ++counts[static_cast<std::size_t>(g.flows().subflow(v).flow)];
+  return counts;
+}
+
+std::vector<std::vector<int>> clique_constraint_rows(const ContentionGraph& g) {
+  std::set<std::vector<int>> rows;
+  for (const auto& c : maximal_cliques(g)) rows.insert(flow_membership_counts(g, c));
+  return {rows.begin(), rows.end()};
+}
+
+std::vector<std::vector<int>> maximal_cliques_in_subset(const ContentionGraph& g,
+                                                        const std::vector<int>& subset) {
+  const int k = static_cast<int>(subset.size());
+  for (int i = 1; i < k; ++i)
+    E2EFA_ASSERT_MSG(subset[static_cast<std::size_t>(i - 1)] < subset[static_cast<std::size_t>(i)],
+                     "subset must be strictly ascending");
+  std::vector<std::vector<bool>> adj(static_cast<std::size_t>(k),
+                                     std::vector<bool>(static_cast<std::size_t>(k), false));
+  for (int a = 0; a < k; ++a)
+    for (int b = 0; b < k; ++b)
+      if (a != b)
+        adj[static_cast<std::size_t>(a)][static_cast<std::size_t>(b)] =
+            g.contend(subset[static_cast<std::size_t>(a)], subset[static_cast<std::size_t>(b)]);
+  auto local = BronKerbosch(k, std::move(adj)).run();
+  for (auto& clique : local)
+    for (int& v : clique) v = subset[static_cast<std::size_t>(v)];
+  return local;
+}
+
+}  // namespace e2efa

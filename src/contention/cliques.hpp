@@ -1,0 +1,47 @@
+// Maximal-clique machinery over the (weighted) subflow contention graph
+// (Sec. III-A): Bron–Kerbosch enumeration, weighted clique sizes, the
+// weighted clique number ω_Ω, per-flow clique membership counts n_{i,k},
+// and maximal independent sets (used by the schedulability check).
+#pragma once
+
+#include <vector>
+
+#include "contention/contention_graph.hpp"
+
+namespace e2efa {
+
+/// All maximal cliques of the contention graph (Bron–Kerbosch with
+/// pivoting). Each clique is an ascending list of subflow indices; the
+/// clique list is sorted lexicographically for determinism.
+std::vector<std::vector<int>> maximal_cliques(const ContentionGraph& g);
+
+/// All maximal independent sets (maximal cliques of the complement graph),
+/// same ordering guarantees. Independent sets are the sets of subflows that
+/// may transmit concurrently.
+std::vector<std::vector<int>> maximal_independent_sets(const ContentionGraph& g);
+
+/// Weighted clique size ω_{Ω_k}: sum of subflow weights in the clique.
+double weighted_clique_size(const ContentionGraph& g, const std::vector<int>& clique);
+
+/// Weighted clique number ω_Ω = max_k ω_{Ω_k} over all maximal cliques.
+/// Requires a non-empty graph.
+double weighted_clique_number(const ContentionGraph& g);
+
+/// Per-flow clique membership: n[i] = number of subflows of flow i in
+/// `clique` (the n_{i,k} coefficients of constraint (3)/(6)).
+std::vector<int> flow_membership_counts(const ContentionGraph& g,
+                                        const std::vector<int>& clique);
+
+/// Deduplicated per-flow constraint rows: each row is the n_{i,k} vector of
+/// one maximal clique; identical rows (e.g. the two 3-subflow cliques of a
+/// long chain) are merged. Rows are sorted for determinism.
+std::vector<std::vector<int>> clique_constraint_rows(const ContentionGraph& g);
+
+/// Maximal cliques of the subgraph induced by `subset` (ascending subflow
+/// indices, no duplicates). Cliques are reported in *global* vertex ids and
+/// are maximal within the subset — the distributed algorithm's "local
+/// cliques" (a node can only reason about subflows it knows of).
+std::vector<std::vector<int>> maximal_cliques_in_subset(const ContentionGraph& g,
+                                                        const std::vector<int>& subset);
+
+}  // namespace e2efa

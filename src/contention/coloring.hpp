@@ -1,0 +1,30 @@
+// Graph coloring of subflow contention graphs (Sec. II-D, Fig. 3).
+//
+// A proper coloring partitions subflows into non-contending sets that may
+// transmit concurrently; for a shortcut-free chain the chromatic number is
+// min(l, 3), which is what motivates the virtual length v_i = min(l_i, 3).
+#pragma once
+
+#include <vector>
+
+#include "contention/contention_graph.hpp"
+
+namespace e2efa {
+
+/// Greedy (largest-degree-first) proper coloring. Returns a color per
+/// vertex, colors numbered from 0. Not necessarily optimal in general, but
+/// exact (== min(l,3)) on shortcut-free chains.
+std::vector<int> greedy_coloring(const ContentionGraph& g);
+
+/// Number of colors used by a coloring (max + 1; 0 when empty).
+int color_count(const std::vector<int>& coloring);
+
+/// True when `coloring` assigns different colors to every contending pair.
+bool is_proper_coloring(const ContentionGraph& g, const std::vector<int>& coloring);
+
+/// The paper's canonical chain coloring: subflow j (zero-based) of an l-hop
+/// shortcut-free flow gets color j mod min(l, 3). Returns colors for hops
+/// 0..l-1.
+std::vector<int> chain_coloring(int hop_count);
+
+}  // namespace e2efa

@@ -1,0 +1,148 @@
+#include "contention/contention_graph.hpp"
+
+#include <numeric>
+#include <queue>
+
+#include "util/assert.hpp"
+
+namespace e2efa {
+
+namespace {
+/// Endpoint-range contention rule: any endpoint of a within interference
+/// range of any endpoint of b (a node is trivially within range of itself).
+bool subflows_contend(const Topology& topo, const Subflow& a, const Subflow& b) {
+  const NodeId ea[2] = {a.src, a.dst};
+  const NodeId eb[2] = {b.src, b.dst};
+  for (NodeId x : ea)
+    for (NodeId y : eb)
+      if (x == y || topo.interferes(x, y)) return true;
+  return false;
+}
+}  // namespace
+
+ContentionGraph::ContentionGraph(const Topology& topo, const FlowSet& flows)
+    : flows_(&flows), n_(flows.subflow_count()) {
+  adj_.assign(static_cast<std::size_t>(n_), std::vector<bool>(static_cast<std::size_t>(n_), false));
+  for (int a = 0; a < n_; ++a) {
+    for (int b = a + 1; b < n_; ++b) {
+      if (subflows_contend(topo, flows.subflow(a), flows.subflow(b))) {
+        adj_[a][b] = adj_[b][a] = true;
+      }
+    }
+  }
+}
+
+ContentionGraph::ContentionGraph(const FlowSet& flows,
+                                 const std::vector<std::pair<int, int>>& edges)
+    : flows_(&flows), n_(flows.subflow_count()) {
+  adj_.assign(static_cast<std::size_t>(n_), std::vector<bool>(static_cast<std::size_t>(n_), false));
+  for (const auto& [a, b] : edges) {
+    check_vertex(a);
+    check_vertex(b);
+    E2EFA_ASSERT_MSG(a != b, "self edge in contention graph");
+    adj_[a][b] = adj_[b][a] = true;
+  }
+  add_intra_flow_edges();
+}
+
+void ContentionGraph::add_intra_flow_edges() {
+  for (int a = 0; a < n_; ++a) {
+    for (int b = a + 1; b < n_; ++b) {
+      const Subflow& sa = flows_->subflow(a);
+      const Subflow& sb = flows_->subflow(b);
+      const bool share_node =
+          sa.src == sb.src || sa.src == sb.dst || sa.dst == sb.src || sa.dst == sb.dst;
+      if (share_node) adj_[a][b] = adj_[b][a] = true;
+    }
+  }
+}
+
+void ContentionGraph::check_vertex(int v) const {
+  E2EFA_ASSERT_MSG(v >= 0 && v < n_, "contention graph vertex out of range");
+}
+
+bool ContentionGraph::contend(int a, int b) const {
+  check_vertex(a);
+  check_vertex(b);
+  return adj_[a][b];
+}
+
+std::vector<int> ContentionGraph::neighbors_of(int v) const {
+  check_vertex(v);
+  std::vector<int> out;
+  for (int u = 0; u < n_; ++u)
+    if (adj_[v][u]) out.push_back(u);
+  return out;
+}
+
+int ContentionGraph::degree(int v) const {
+  check_vertex(v);
+  int d = 0;
+  for (int u = 0; u < n_; ++u) d += adj_[v][u] ? 1 : 0;
+  return d;
+}
+
+std::vector<std::vector<int>> ContentionGraph::components() const {
+  std::vector<int> comp(static_cast<std::size_t>(n_), -1);
+  int next = 0;
+  for (int start = 0; start < n_; ++start) {
+    if (comp[start] != -1) continue;
+    std::queue<int> q;
+    q.push(start);
+    comp[start] = next;
+    while (!q.empty()) {
+      const int u = q.front();
+      q.pop();
+      for (int v = 0; v < n_; ++v) {
+        if (adj_[u][v] && comp[v] == -1) {
+          comp[v] = next;
+          q.push(v);
+        }
+      }
+    }
+    ++next;
+  }
+  std::vector<std::vector<int>> out(static_cast<std::size_t>(next));
+  for (int v = 0; v < n_; ++v) out[static_cast<std::size_t>(comp[v])].push_back(v);
+  return out;
+}
+
+std::vector<std::vector<FlowId>> ContentionGraph::flow_groups() const {
+  // Union-find over flows: flows with subflows in the same component merge.
+  const int nf = flows_->flow_count();
+  std::vector<int> parent(static_cast<std::size_t>(nf));
+  std::iota(parent.begin(), parent.end(), 0);
+  auto find = [&](int x) {
+    while (parent[x] != x) {
+      parent[x] = parent[parent[x]];
+      x = parent[x];
+    }
+    return x;
+  };
+  auto unite = [&](int a, int b) { parent[find(a)] = find(b); };
+
+  for (const auto& comp : components()) {
+    for (std::size_t i = 1; i < comp.size(); ++i) {
+      unite(flows_->subflow(comp[0]).flow, flows_->subflow(comp[i]).flow);
+    }
+  }
+  std::vector<std::vector<FlowId>> groups;
+  std::vector<int> group_of(static_cast<std::size_t>(nf), -1);
+  for (FlowId f = 0; f < nf; ++f) {
+    const int root = find(f);
+    if (group_of[static_cast<std::size_t>(root)] == -1) {
+      group_of[static_cast<std::size_t>(root)] = static_cast<int>(groups.size());
+      groups.emplace_back();
+    }
+    groups[static_cast<std::size_t>(group_of[static_cast<std::size_t>(root)])].push_back(f);
+  }
+  return groups;
+}
+
+bool ContentionGraph::same_flow(int a, int b) const {
+  check_vertex(a);
+  check_vertex(b);
+  return flows_->subflow(a).flow == flows_->subflow(b).flow;
+}
+
+}  // namespace e2efa

@@ -1,0 +1,65 @@
+// The subflow contention graph (Sec. II-A).
+//
+// Vertices are subflows; an edge joins two subflows that *contend*: the
+// source or destination of one is within (interference) range of the source
+// or destination of the other. Subflows of the same flow sharing a node
+// contend trivially. Partitioned subgraphs correspond to contending flow
+// groups.
+//
+// The graph can be built from (Topology, FlowSet) using the range rule, or
+// constructed directly from an explicit edge list for analytic examples
+// where the paper gives the graph rather than node positions (Fig. 4,
+// Fig. 5 pentagon).
+#pragma once
+
+#include <vector>
+
+#include "flow/flow.hpp"
+
+namespace e2efa {
+
+/// Adjacency-matrix contention graph over the subflows of a FlowSet.
+class ContentionGraph {
+ public:
+  /// Builds from geometry: subflows a and b contend iff any endpoint of a is
+  /// within interference range of any endpoint of b.
+  ContentionGraph(const Topology& topo, const FlowSet& flows);
+
+  /// Builds from an explicit undirected edge list over subflow indices.
+  /// Intra-flow node-sharing edges are added automatically.
+  ContentionGraph(const FlowSet& flows, const std::vector<std::pair<int, int>>& edges);
+
+  const FlowSet& flows() const { return *flows_; }
+  int vertex_count() const { return n_; }
+
+  bool contend(int a, int b) const;
+
+  /// Neighbor list (contending subflows) of vertex v, ascending.
+  std::vector<int> neighbors_of(int v) const;
+
+  /// Degree of vertex v.
+  int degree(int v) const;
+
+  /// Connected components over subflow vertices; each component is an
+  /// ascending list of subflow indices.
+  std::vector<std::vector<int>> components() const;
+
+  /// Contending flow groups: flows whose subflows fall in the same
+  /// component are grouped (transitively, per the paper's definition).
+  /// Each group is an ascending list of FlowIds; groups are disjoint and
+  /// cover all flows.
+  std::vector<std::vector<FlowId>> flow_groups() const;
+
+  /// True when subflows `a` and `b` belong to the same flow.
+  bool same_flow(int a, int b) const;
+
+ private:
+  void add_intra_flow_edges();
+  void check_vertex(int v) const;
+
+  const FlowSet* flows_;
+  int n_ = 0;
+  std::vector<std::vector<bool>> adj_;
+};
+
+}  // namespace e2efa

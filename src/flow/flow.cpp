@@ -1,0 +1,87 @@
+#include "flow/flow.hpp"
+
+#include <algorithm>
+#include <unordered_set>
+
+#include "util/assert.hpp"
+#include "util/strings.hpp"
+
+namespace e2efa {
+
+std::string Subflow::name() const { return strformat("F%d.%d", flow + 1, hop + 1); }
+
+std::string Flow::name() const { return strformat("F%d", id + 1); }
+
+int virtual_length(int hop_count) {
+  E2EFA_ASSERT(hop_count >= 1);
+  return std::min(hop_count, 3);
+}
+
+FlowSet::FlowSet(const Topology& topo, std::vector<Flow> flows)
+    : topo_(&topo), flows_(std::move(flows)) {
+  E2EFA_ASSERT_MSG(!flows_.empty(), "FlowSet requires at least one flow");
+  subflow_index_.resize(flows_.size());
+  for (std::size_t i = 0; i < flows_.size(); ++i) {
+    Flow& f = flows_[i];
+    f.id = static_cast<FlowId>(i);
+    E2EFA_ASSERT_MSG(f.path.size() >= 2, "flow path needs >= 2 nodes");
+    E2EFA_ASSERT_MSG(f.weight > 0.0, "flow weight must be positive");
+    std::unordered_set<NodeId> seen;
+    for (NodeId n : f.path) {
+      E2EFA_ASSERT_MSG(n >= 0 && n < topo.node_count(), "flow path node out of range");
+      E2EFA_ASSERT_MSG(seen.insert(n).second, "flow path revisits a node");
+    }
+    for (std::size_t h = 0; h + 1 < f.path.size(); ++h) {
+      E2EFA_ASSERT_MSG(topo.has_link(f.path[h], f.path[h + 1]),
+                       "flow path hop is not a live link");
+      Subflow s;
+      s.flow = f.id;
+      s.hop = static_cast<int>(h);
+      s.src = f.path[h];
+      s.dst = f.path[h + 1];
+      s.weight = f.weight;
+      subflow_index_[i].push_back(static_cast<int>(subflows_.size()));
+      subflows_.push_back(s);
+    }
+  }
+}
+
+const Flow& FlowSet::flow(FlowId f) const {
+  E2EFA_ASSERT(f >= 0 && f < flow_count());
+  return flows_[static_cast<std::size_t>(f)];
+}
+
+const Subflow& FlowSet::subflow(int global_index) const {
+  E2EFA_ASSERT(global_index >= 0 && global_index < subflow_count());
+  return subflows_[static_cast<std::size_t>(global_index)];
+}
+
+int FlowSet::subflow_index(FlowId f, int hop) const {
+  E2EFA_ASSERT(f >= 0 && f < flow_count());
+  const auto& idx = subflow_index_[static_cast<std::size_t>(f)];
+  E2EFA_ASSERT(hop >= 0 && hop < static_cast<int>(idx.size()));
+  return idx[static_cast<std::size_t>(hop)];
+}
+
+double FlowSet::weighted_virtual_length_sum() const {
+  double sum = 0.0;
+  for (const Flow& f : flows_) sum += f.weight * virtual_length(f.length());
+  return sum;
+}
+
+bool FlowSet::has_shortcut(FlowId f) const {
+  const Flow& fl = flow(f);
+  const auto& p = fl.path;
+  for (std::size_t i = 0; i < p.size(); ++i)
+    for (std::size_t j = i + 2; j < p.size(); ++j)
+      if (topo_->has_link(p[i], p[j])) return true;
+  return false;
+}
+
+bool FlowSet::all_shortcut_free() const {
+  for (const Flow& f : flows_)
+    if (has_shortcut(f.id)) return false;
+  return true;
+}
+
+}  // namespace e2efa

@@ -1,0 +1,90 @@
+// Multi-hop flows and their per-hop subflows (Sec. II of the paper).
+//
+// A flow F_i is a source-routed end-to-end path with a preassigned weight
+// w_i. Its j-th hop is the subflow F_{i.j}; every subflow inherits the
+// flow's weight (w_{i.j} = w_i). The *virtual length* v_i = min(l_i, 3)
+// captures intra-flow spatial reuse: in a shortcut-free chain, subflows
+// three hops apart can transmit concurrently, so a flow longer than three
+// hops is entitled to the same end-to-end throughput as a three-hop flow.
+#pragma once
+
+#include <string>
+#include <vector>
+
+#include "topology/topology.hpp"
+
+namespace e2efa {
+
+using FlowId = std::int32_t;
+
+/// One hop of a multi-hop flow.
+struct Subflow {
+  FlowId flow = -1;   ///< Owning flow id.
+  int hop = 0;        ///< Zero-based hop index within the flow.
+  NodeId src = kInvalidNode;
+  NodeId dst = kInvalidNode;
+  double weight = 1.0;  ///< Inherited flow weight (w_{i.j} = w_i).
+
+  /// Paper-style name like "F1.2" (flow ids and hops printed one-based).
+  std::string name() const;
+};
+
+/// An end-to-end flow: a node path plus a weight.
+struct Flow {
+  FlowId id = -1;
+  std::vector<NodeId> path;  ///< path.front() is the source; >= 2 nodes.
+  double weight = 1.0;
+
+  int length() const { return static_cast<int>(path.size()) - 1; }  ///< l_i
+  NodeId source() const { return path.front(); }
+  NodeId destination() const { return path.back(); }
+  std::string name() const;  ///< "F1", "F2", ... (one-based)
+};
+
+/// Virtual length v = min(l, 3) for a flow of hop count l (paper Sec. II-D).
+int virtual_length(int hop_count);
+
+/// A validated collection of flows over a topology.
+///
+/// Construction checks that every consecutive path pair is a live link,
+/// that paths are simple (no repeated node), and assigns flow ids 0..n-1
+/// in insertion order. Subflows are materialized with global indices
+/// 0..m-1, ordered by (flow, hop).
+class FlowSet {
+ public:
+  FlowSet(const Topology& topo, std::vector<Flow> flows);
+
+  const Topology& topology() const { return *topo_; }
+  int flow_count() const { return static_cast<int>(flows_.size()); }
+  int subflow_count() const { return static_cast<int>(subflows_.size()); }
+
+  const Flow& flow(FlowId f) const;
+  const std::vector<Flow>& flows() const { return flows_; }
+  const Subflow& subflow(int global_index) const;
+  const std::vector<Subflow>& subflows() const { return subflows_; }
+
+  /// Global subflow index of hop `hop` of flow `f`.
+  int subflow_index(FlowId f, int hop) const;
+
+  /// Virtual length of flow f.
+  int virtual_length_of(FlowId f) const { return virtual_length(flow(f).length()); }
+
+  /// Sum over flows of w_i * v_i (denominator of the basic share).
+  double weighted_virtual_length_sum() const;
+
+  /// True when flow f has a shortcut: two non-consecutive path nodes within
+  /// transmission range. The paper's analysis assumes shortcut-free flows
+  /// (min-hop routes never have shortcuts).
+  bool has_shortcut(FlowId f) const;
+
+  /// True when no flow in the set has a shortcut.
+  bool all_shortcut_free() const;
+
+ private:
+  const Topology* topo_;
+  std::vector<Flow> flows_;
+  std::vector<Subflow> subflows_;
+  std::vector<std::vector<int>> subflow_index_;  // [flow][hop] -> global index
+};
+
+}  // namespace e2efa

@@ -1,0 +1,20 @@
+#include "geom/geom.hpp"
+
+#include "util/assert.hpp"
+
+namespace e2efa {
+
+double distance_sq(const Point& a, const Point& b) {
+  const double dx = a.x - b.x;
+  const double dy = a.y - b.y;
+  return dx * dx + dy * dy;
+}
+
+double distance(const Point& a, const Point& b) { return std::sqrt(distance_sq(a, b)); }
+
+bool within_range(const Point& a, const Point& b, double range) {
+  E2EFA_ASSERT(range >= 0.0);
+  return distance_sq(a, b) <= range * range;
+}
+
+}  // namespace e2efa

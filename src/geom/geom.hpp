@@ -1,0 +1,23 @@
+// 2-D geometry for node placement and radio range tests.
+#pragma once
+
+#include <cmath>
+
+namespace e2efa {
+
+/// A point in the plane, in meters.
+struct Point {
+  double x = 0.0;
+  double y = 0.0;
+
+  friend bool operator==(const Point&, const Point&) = default;
+};
+
+double distance(const Point& a, const Point& b);
+double distance_sq(const Point& a, const Point& b);
+
+/// True when b lies within (or exactly at) `range` meters of a.
+/// The comparison is done on squared distances; `range` must be >= 0.
+bool within_range(const Point& a, const Point& b, double range);
+
+}  // namespace e2efa

@@ -1,0 +1,138 @@
+// IEEE-802.11-DCF-style MAC with the RTS-CTS-DATA-ACK handshake.
+//
+// One instance per node. The MAC owns channel access (DIFS + slotted
+// backoff with freeze, virtual carrier sense via NAV, EIFS after corrupted
+// receptions), runs the sender and receiver sides of the four-way
+// handshake with timeouts and a retry limit, and delegates *which* packet
+// to send to a TxQueue and *how long* to back off to a BackoffPolicy —
+// which is exactly where 2PA's phase-2 scheduler plugs in. Service tags are
+// piggybacked on every frame of an exchange when a TagAgent is present.
+#pragma once
+
+#include <cstdint>
+
+#include "mac/backoff.hpp"
+#include "phy/channel.hpp"
+#include "sched/tx_queue.hpp"
+#include "sim/simulator.hpp"
+#include "util/rng.hpp"
+
+namespace e2efa {
+
+struct MacConfig {
+  TimeNs slot = 20 * kMicrosecond;
+  TimeNs sifs = 10 * kMicrosecond;
+  TimeNs difs = 50 * kMicrosecond;
+  int retry_limit = 7;  ///< Drops the packet after this many failed attempts.
+  /// True (default): four-way RTS/CTS/DATA/ACK. False: basic access —
+  /// DATA/ACK only; hidden terminals then collide on full data frames.
+  bool use_rts_cts = true;
+  FrameSizes sizes;
+};
+
+/// Upcalls from the MAC into the node stack.
+class MacCallbacks {
+ public:
+  virtual ~MacCallbacks() = default;
+  /// Clean DATA addressed to this node (duplicates possible on ACK loss —
+  /// the stack deduplicates by sequence number).
+  virtual void on_packet_delivered(const Packet& p) = 0;
+  /// ACK received: the packet left this node successfully.
+  virtual void on_packet_sent(const Packet& p) = 0;
+  /// Retry limit exhausted: the packet was dropped at this node.
+  virtual void on_packet_dropped(const Packet& p) = 0;
+};
+
+class DcfMac : public PhyListener {
+ public:
+  DcfMac(Simulator& sim, Channel& channel, NodeId self, const MacConfig& cfg,
+         TxQueue& queue, BackoffPolicy& backoff, MacCallbacks& callbacks, Rng rng,
+         TagAgent* tags = nullptr);
+
+  /// The stack must call this after enqueueing into a previously empty (or
+  /// idle) queue so the MAC starts contending.
+  void notify_queue_nonempty();
+
+  // --- PhyListener ---
+  void on_frame_received(const Frame& frame) override;
+  void on_frame_corrupted(TimeNs end) override;
+  void on_medium_busy() override;
+  void on_medium_idle() override;
+
+  struct Stats {
+    std::uint64_t rts_sent = 0;
+    std::uint64_t cts_sent = 0;
+    std::uint64_t data_sent = 0;
+    std::uint64_t ack_sent = 0;
+    std::uint64_t timeouts = 0;
+    std::uint64_t retry_drops = 0;
+  };
+  const Stats& stats() const { return stats_; }
+  NodeId self() const { return self_; }
+
+ private:
+  enum class State {
+    kIdle,        ///< Nothing to send, no exchange in progress.
+    kContend,     ///< Backlogged: DIFS / backoff countdown.
+    kWaitCts,     ///< Sent RTS, awaiting CTS.
+    kSendData,    ///< CTS received, DATA going out (or queued behind SIFS).
+    kWaitAck,     ///< DATA sent, awaiting ACK.
+    kRxExchange,  ///< Responding (CTS sent / awaiting DATA / ACK going out).
+  };
+
+  // Channel access.
+  void start_access(bool redraw);
+  void arm_step();
+  void on_step();
+  bool virtual_busy() const;  ///< NAV or EIFS active.
+  void cancel_step();
+
+  // Sender side.
+  void send_rts();
+  void on_cts(const Frame& f);
+  void send_data();
+  void on_ack(const Frame& f);
+  void on_timeout();
+  void finish_attempt(bool success);
+
+  // Receiver side.
+  void on_rts(const Frame& f);
+  void on_data(const Frame& f);
+  void end_rx_exchange();
+
+  TimeNs dur(int bytes) const { return channel_.frame_duration(bytes); }
+  TimeNs data_bytes(const Packet& p) const;
+  void attach_tag(Frame& f) const;
+
+  Simulator& sim_;
+  Channel& channel_;
+  NodeId self_;
+  MacConfig cfg_;
+  TxQueue& queue_;
+  BackoffPolicy& backoff_;
+  MacCallbacks& callbacks_;
+  Rng rng_;
+  TagAgent* tags_;
+
+  State state_ = State::kIdle;
+  int backoff_remaining_ = 0;
+  bool backoff_drawn_ = false;  ///< Counter valid (persists across freezes).
+  int retries_ = 0;
+  TimeNs nav_until_ = 0;
+  TimeNs eifs_until_ = 0;
+  Simulator::EventId step_event_ = Simulator::kInvalidEvent;
+  TimeNs step_time_ = -1;      ///< Fire time of the pending step.
+  bool step_is_first_ = true;  ///< Pending step needs DIFS+slot (vs slot).
+  Simulator::EventId timeout_event_ = Simulator::kInvalidEvent;
+
+  // Receiver-exchange context.
+  NodeId rx_peer_ = kInvalidNode;
+  double rx_tag_ = 0.0;
+  std::int32_t rx_tag_subflow_ = -1;
+  bool rx_has_tag_ = false;
+  TimeNs rx_nav_remaining_ = 0;
+
+  Stats stats_;
+};
+
+}  // namespace e2efa

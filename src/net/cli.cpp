@@ -1,0 +1,206 @@
+#include "net/cli.hpp"
+
+#include <cstdlib>
+#include <sstream>
+
+#include "net/scenario_file.hpp"
+#include "route/routing.hpp"
+#include "topology/builders.hpp"
+#include "util/assert.hpp"
+#include "util/strings.hpp"
+#include "util/table.hpp"
+
+namespace e2efa {
+
+std::optional<Protocol> parse_protocol(const std::string& s) {
+  if (s == "802.11" || s == "80211" || s == "dcf") return Protocol::k80211;
+  if (s == "two-tier" || s == "twotier") return Protocol::kTwoTier;
+  if (s == "two-tier-mm" || s == "twotier-mm") return Protocol::kTwoTierBalanced;
+  if (s == "2pa-c" || s == "2pa" || s == "2PA-C") return Protocol::k2paCentralized;
+  if (s == "2pa-d" || s == "2PA-D") return Protocol::k2paDistributed;
+  if (s == "maxmin" || s == "max-min") return Protocol::kMaxMin;
+  return std::nullopt;
+}
+
+std::string cli_usage() {
+  return
+      "usage: e2efa_sim [options]\n"
+      "  --scenario S    1 | 2 | chain:N | grid:RxC | random:N | file:PATH (default 1)\n"
+      "  --protocol P    802.11 | two-tier | two-tier-mm | 2pa-c | 2pa-d | maxmin\n"
+      "  --seconds T     measured simulation horizon (default 60)\n"
+      "  --warmup T      excluded transient seconds (default 0)\n"
+      "  --pps N         CBR packets per second per flow (default 200)\n"
+      "  --alpha A       2PA tag-backoff strictness (default 1e-4)\n"
+      "  --seed N        RNG seed (default 1)\n"
+      "  --queue N       per-queue capacity (default 50)\n"
+      "  --shares        also print phase-1 target shares\n"
+      "  --help          this text\n";
+}
+
+std::optional<CliOptions> parse_cli(int argc, const char* const* argv,
+                                    std::string* error) {
+  E2EFA_ASSERT(error != nullptr);
+  CliOptions opt;
+  opt.config.sim_seconds = 60.0;
+  for (int i = 1; i < argc; ++i) {
+    const std::string arg = argv[i];
+    auto next = [&]() -> std::optional<std::string> {
+      if (i + 1 >= argc) return std::nullopt;
+      return std::string(argv[++i]);
+    };
+    if (arg == "--help" || arg == "-h") {
+      error->clear();
+      return std::nullopt;
+    }
+    if (arg == "--shares") {
+      opt.list_shares = true;
+      continue;
+    }
+    const auto value = next();
+    if (!value) {
+      *error = "missing value for " + arg;
+      return std::nullopt;
+    }
+    if (arg == "--scenario") {
+      opt.scenario = *value;
+    } else if (arg == "--protocol") {
+      const auto p = parse_protocol(*value);
+      if (!p) {
+        *error = "unknown protocol: " + *value;
+        return std::nullopt;
+      }
+      opt.protocol = *p;
+    } else if (arg == "--seconds") {
+      opt.config.sim_seconds = std::atof(value->c_str());
+      if (opt.config.sim_seconds <= 0) {
+        *error = "--seconds must be positive";
+        return std::nullopt;
+      }
+    } else if (arg == "--warmup") {
+      opt.config.warmup_seconds = std::atof(value->c_str());
+      if (opt.config.warmup_seconds < 0) {
+        *error = "--warmup must be non-negative";
+        return std::nullopt;
+      }
+    } else if (arg == "--pps") {
+      opt.config.cbr_pps = std::atof(value->c_str());
+      if (opt.config.cbr_pps <= 0) {
+        *error = "--pps must be positive";
+        return std::nullopt;
+      }
+    } else if (arg == "--alpha") {
+      opt.config.alpha = std::atof(value->c_str());
+    } else if (arg == "--seed") {
+      opt.config.seed = static_cast<std::uint64_t>(std::atoll(value->c_str()));
+    } else if (arg == "--queue") {
+      opt.config.queue_capacity = std::atoi(value->c_str());
+      if (opt.config.queue_capacity < 1) {
+        *error = "--queue must be >= 1";
+        return std::nullopt;
+      }
+    } else {
+      *error = "unknown option: " + arg;
+      return std::nullopt;
+    }
+  }
+  return opt;
+}
+
+namespace {
+/// Splits "chain:5" into ("chain", "5"); tag empty when no colon.
+std::pair<std::string, std::string> split_spec(const std::string& spec) {
+  const auto pos = spec.find(':');
+  if (pos == std::string::npos) return {spec, ""};
+  return {spec.substr(0, pos), spec.substr(pos + 1)};
+}
+}  // namespace
+
+Scenario make_named_scenario(const std::string& spec, Rng& rng) {
+  const auto [kind, param] = split_spec(spec);
+  if (kind == "1") return scenario1();
+  if (kind == "2") return scenario2();
+  if (kind == "file") {
+    E2EFA_ASSERT_MSG(!param.empty(), "file spec needs a path: file:PATH");
+    return load_scenario_file(param);
+  }
+  if (kind == "chain") {
+    const int hops = std::atoi(param.c_str());
+    E2EFA_ASSERT_MSG(hops >= 1 && hops <= 64, "chain:N needs 1 <= N <= 64");
+    Scenario sc{spec, make_chain(hops + 1), {}};
+    sc.flow_specs.push_back(make_routed_flow(sc.topo, 0, hops));
+    return sc;
+  }
+  if (kind == "grid") {
+    const auto x = param.find('x');
+    E2EFA_ASSERT_MSG(x != std::string::npos, "grid spec needs RxC");
+    const int rows = std::atoi(param.substr(0, x).c_str());
+    const int cols = std::atoi(param.substr(x + 1).c_str());
+    E2EFA_ASSERT_MSG(rows >= 2 && cols >= 2 && rows <= 16 && cols <= 16,
+                     "grid:RxC needs 2..16 per side");
+    Scenario sc{spec, make_grid(rows, cols), {}};
+    const NodeId n = static_cast<NodeId>(rows * cols);
+    // Four corner-crossing flows.
+    sc.flow_specs.push_back(make_routed_flow(sc.topo, 0, n - 1));
+    sc.flow_specs.push_back(make_routed_flow(sc.topo, cols - 1, n - cols));
+    sc.flow_specs.push_back(make_routed_flow(sc.topo, n - 1, 0));
+    sc.flow_specs.push_back(make_routed_flow(sc.topo, n - cols, cols - 1));
+    return sc;
+  }
+  if (kind == "random") {
+    const int nodes = std::atoi(param.c_str());
+    E2EFA_ASSERT_MSG(nodes >= 4 && nodes <= 128, "random:N needs 4 <= N <= 128");
+    const double side = 200.0 * std::sqrt(static_cast<double>(nodes));
+    Scenario sc{spec, make_random(nodes, side, side, rng), {}};
+    const int nf = std::max(2, nodes / 3);
+    for (int i = 0; i < nf; ++i) {
+      NodeId a, b;
+      do {
+        a = static_cast<NodeId>(rng.uniform_u64(static_cast<std::uint64_t>(nodes)));
+        b = static_cast<NodeId>(rng.uniform_u64(static_cast<std::uint64_t>(nodes)));
+      } while (a == b);
+      sc.flow_specs.push_back(make_routed_flow(sc.topo, a, b));
+    }
+    return sc;
+  }
+  throw ContractViolation("unknown scenario spec: " + spec);
+}
+
+std::string format_run_result(const Scenario& sc, const RunResult& r,
+                              const SimConfig& cfg, bool list_shares) {
+  std::ostringstream os;
+  FlowSet flows(sc.topo, sc.flow_specs);
+  os << sc.name << " | " << to_string(r.protocol) << " | T = " << cfg.sim_seconds
+     << " s";
+  if (cfg.warmup_seconds > 0) os << " (+" << cfg.warmup_seconds << " s warmup)";
+  os << "\n\n";
+
+  TextTable t({"flow", "route", "e2e pkts", "measured share", "target share",
+               "mean delay ms"});
+  for (FlowId f = 0; f < flows.flow_count(); ++f) {
+    const Flow& fl = flows.flow(f);
+    std::vector<std::string> hops;
+    for (NodeId n : fl.path) hops.push_back(sc.topo.label(n));
+    const int last = flows.subflow_index(f, fl.length() - 1);
+    t.add_row({fl.name(), join(hops, "-"), std::to_string(r.end_to_end_per_flow[f]),
+               strformat("%.3fB", r.measured_subflow_share(last, cfg.channel_bps,
+                                                           cfg.payload_bytes)),
+               r.has_target ? format_share_of_b(r.target_flow_share[f]) : "-",
+               strformat("%.1f", r.mean_delay_s[f] * 1e3)});
+  }
+  t.print(os);
+  os << "\ntotal end-to-end " << r.total_end_to_end << " pkts, lost "
+     << r.lost_packets << " (ratio " << strformat("%.4f", r.loss_ratio) << "), "
+     << r.channel.frames_transmitted << " frames on air, "
+     << r.channel.frames_corrupted << " corrupted\n";
+
+  if (list_shares && r.has_target) {
+    os << "\nphase-1 subflow shares:\n";
+    for (int s = 0; s < flows.subflow_count(); ++s)
+      os << "  " << flows.subflow(s).name() << " = "
+         << format_share_of_b(r.target_subflow_share[static_cast<std::size_t>(s)])
+         << "\n";
+  }
+  return os.str();
+}
+
+}  // namespace e2efa

@@ -1,0 +1,45 @@
+// Command-line front end for the scenario runner (used by tools/e2efa_sim).
+//
+// Scenario specs:  "1" | "2" (the paper's topologies), "chain:N" (one flow
+// across an N-hop chain), "grid:RxC" (four corner-to-corner flows on an
+// RxC grid), "random:N" (N nodes, N/3 random flows).
+// Protocol specs:  "802.11" | "two-tier" | "two-tier-mm" | "2pa-c" |
+//                  "2pa-d" | "maxmin".
+#pragma once
+
+#include <optional>
+#include <string>
+
+#include "net/runner.hpp"
+#include "net/scenarios.hpp"
+#include "util/rng.hpp"
+
+namespace e2efa {
+
+struct CliOptions {
+  std::string scenario = "1";
+  Protocol protocol = Protocol::k2paCentralized;
+  SimConfig config;
+  bool list_shares = false;  ///< Also print phase-1 target shares.
+};
+
+/// Parses argv. On error returns nullopt and fills *error with a message
+/// (also used for --help, with an empty error).
+std::optional<CliOptions> parse_cli(int argc, const char* const* argv,
+                                    std::string* error);
+
+/// Usage text for the CLI tool.
+std::string cli_usage();
+
+/// Parses a protocol spec; nullopt when unknown.
+std::optional<Protocol> parse_protocol(const std::string& s);
+
+/// Builds a scenario from its spec; throws ContractViolation on a malformed
+/// spec. `rng` seeds "random:N" placements.
+Scenario make_named_scenario(const std::string& spec, Rng& rng);
+
+/// Renders a RunResult as the standard report table.
+std::string format_run_result(const Scenario& sc, const RunResult& r,
+                              const SimConfig& cfg, bool list_shares);
+
+}  // namespace e2efa

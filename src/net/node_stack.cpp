@@ -1,0 +1,72 @@
+#include "net/node_stack.hpp"
+
+#include "util/assert.hpp"
+
+namespace e2efa {
+
+NodeStack::NodeStack(Simulator& sim, Channel& channel, NodeId self, const FlowSet& flows,
+                     TrafficStats& stats, const MacConfig& mac_cfg,
+                     std::unique_ptr<TxQueue> queue, std::unique_ptr<BackoffPolicy> backoff,
+                     Rng mac_rng, TagAgent* tags)
+    : sim_(sim),
+      self_(self),
+      flows_(flows),
+      stats_(stats),
+      queue_(std::move(queue)),
+      backoff_(std::move(backoff)) {
+  E2EFA_ASSERT(queue_ != nullptr && backoff_ != nullptr);
+  mac_ = std::make_unique<DcfMac>(sim, channel, self, mac_cfg, *queue_, *backoff_, *this,
+                                  mac_rng, tags);
+}
+
+void NodeStack::enqueue_and_notify(Packet p) {
+  SubflowCounters& c = stats_.subflow(p.subflow);
+  const bool measuring = stats_.measuring(sim_.now());
+  if (queue_->enqueue(p, sim_.now())) {
+    if (measuring) ++c.enqueued;
+    mac_->notify_queue_nonempty();
+  } else if (measuring) {
+    ++c.dropped_queue;
+  }
+}
+
+void NodeStack::inject_from_source(Packet p, FlowId flow) {
+  const Flow& f = flows_.flow(flow);
+  E2EFA_ASSERT_MSG(f.source() == self_, "source packet injected at wrong node");
+  p.flow = flow;
+  p.hop = 0;
+  p.subflow = flows_.subflow_index(flow, 0);
+  p.src = self_;
+  p.dst = f.path[1];
+  if (stats_.measuring(sim_.now())) ++stats_.subflow(p.subflow).generated;
+  enqueue_and_notify(p);
+}
+
+void NodeStack::on_packet_delivered(const Packet& p) {
+  E2EFA_ASSERT(p.dst == self_);
+  auto [it, inserted] = last_seq_.try_emplace(p.subflow, -1);
+  if (p.seq <= it->second) return;  // duplicate (lost ACK, sender retried)
+  it->second = p.seq;
+  if (stats_.measuring(sim_.now())) ++stats_.subflow(p.subflow).delivered;
+
+  const Flow& f = flows_.flow(p.flow);
+  if (p.hop + 1 >= f.length()) {
+    if (stats_.measuring(sim_.now()))
+      stats_.record_delay(p.flow, sim_.now() - p.created);
+    return;  // reached the destination
+  }
+  Packet fwd = p;
+  ++fwd.hop;
+  fwd.subflow = flows_.subflow_index(fwd.flow, fwd.hop);
+  fwd.src = self_;
+  fwd.dst = f.path[static_cast<std::size_t>(fwd.hop) + 1];
+  enqueue_and_notify(fwd);
+}
+
+void NodeStack::on_packet_sent(const Packet&) {}
+
+void NodeStack::on_packet_dropped(const Packet& p) {
+  if (stats_.measuring(sim_.now())) ++stats_.subflow(p.subflow).dropped_mac;
+}
+
+}  // namespace e2efa

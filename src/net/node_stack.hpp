@@ -1,0 +1,50 @@
+// Per-node protocol stack: transmit queue(s) + backoff policy + DCF MAC,
+// plus the forwarding plane (deliver / relay / count).
+#pragma once
+
+#include <memory>
+#include <unordered_map>
+
+#include "flow/flow.hpp"
+#include "mac/dcf_mac.hpp"
+#include "sched/tx_queue.hpp"
+#include "traffic/stats.hpp"
+
+namespace e2efa {
+
+class NodeStack : public MacCallbacks {
+ public:
+  NodeStack(Simulator& sim, Channel& channel, NodeId self, const FlowSet& flows,
+            TrafficStats& stats, const MacConfig& mac_cfg,
+            std::unique_ptr<TxQueue> queue, std::unique_ptr<BackoffPolicy> backoff,
+            Rng mac_rng, TagAgent* tags);
+
+  /// Entry point for locally generated (source) packets; stamps the first
+  /// hop and enqueues. Forwarded packets arrive via on_packet_delivered.
+  void inject_from_source(Packet p, FlowId flow);
+
+  // --- MacCallbacks ---
+  void on_packet_delivered(const Packet& p) override;
+  void on_packet_sent(const Packet& p) override;
+  void on_packet_dropped(const Packet& p) override;
+
+  const DcfMac& mac() const { return *mac_; }
+  NodeId self() const { return self_; }
+  int backlog() const { return queue_->backlog(); }
+
+ private:
+  void enqueue_and_notify(Packet p);
+
+  Simulator& sim_;
+  NodeId self_;
+  const FlowSet& flows_;
+  TrafficStats& stats_;
+  std::unique_ptr<TxQueue> queue_;
+  std::unique_ptr<BackoffPolicy> backoff_;
+  std::unique_ptr<DcfMac> mac_;
+  /// Duplicate suppression: highest sequence delivered per incoming subflow
+  /// (per-subflow queues are FIFO, so sequences arrive in order).
+  std::unordered_map<std::int32_t, std::int64_t> last_seq_;
+};
+
+}  // namespace e2efa

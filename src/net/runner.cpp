@@ -1,0 +1,300 @@
+#include "net/runner.hpp"
+
+#include <algorithm>
+#include <memory>
+#include <set>
+
+#include "alloc/centralized.hpp"
+#include "alloc/distributed.hpp"
+#include "alloc/maxmin.hpp"
+#include "alloc/two_tier.hpp"
+#include "contention/contention_graph.hpp"
+#include "net/node_stack.hpp"
+#include "sched/fifo_queue.hpp"
+#include "sched/tag_scheduler.hpp"
+#include "sim/simulator.hpp"
+#include "traffic/cbr_source.hpp"
+#include "util/assert.hpp"
+
+namespace e2efa {
+
+const char* to_string(Protocol p) {
+  switch (p) {
+    case Protocol::k80211: return "802.11";
+    case Protocol::kTwoTier: return "two-tier";
+    case Protocol::kTwoTierBalanced: return "two-tier-mm";
+    case Protocol::k2paCentralized: return "2PA-C";
+    case Protocol::k2paDistributed: return "2PA-D";
+    case Protocol::kMaxMin: return "maxmin";
+    case Protocol::k2paStaticCw: return "2PA-staticCW";
+  }
+  return "?";
+}
+
+double RunResult::measured_subflow_share(int s, std::int64_t bps, int payload_bytes) const {
+  E2EFA_ASSERT(s >= 0 && s < static_cast<int>(delivered_per_subflow.size()));
+  const double bits =
+      static_cast<double>(delivered_per_subflow[static_cast<std::size_t>(s)]) * 8.0 *
+      payload_bytes;
+  return bits / (sim_seconds * static_cast<double>(bps));
+}
+
+namespace {
+
+/// Share given to lanes of flows that are currently inactive (they carry no
+/// traffic; a tiny positive value keeps the scheduler's invariants).
+constexpr double kInactiveShare = 1e-6;
+
+/// Phase-1 dispatch over an arbitrary flow set. Returns false for plain
+/// 802.11 (no allocation).
+bool compute_allocation(Protocol proto, const Topology& topo, const FlowSet& flows,
+                        Allocation* out) {
+  if (proto == Protocol::k80211) return false;
+  ContentionGraph graph(topo, flows);
+  switch (proto) {
+    case Protocol::kTwoTier: {
+      const TwoTierResult r = two_tier_allocate(graph);
+      E2EFA_ASSERT_MSG(r.status == LpStatus::kOptimal, "two-tier allocation failed");
+      *out = r.allocation;
+      return true;
+    }
+    case Protocol::kTwoTierBalanced:
+      *out = maxmin_allocate_subflows(graph).allocation;
+      return true;
+    case Protocol::kMaxMin:
+      *out = maxmin_allocate(graph).allocation;
+      return true;
+    case Protocol::k2paCentralized:
+    case Protocol::k2paStaticCw: {
+      const CentralizedResult r = centralized_allocate(graph);
+      E2EFA_ASSERT_MSG(r.status == LpStatus::kOptimal, "centralized allocation failed");
+      *out = r.allocation;
+      return true;
+    }
+    case Protocol::k2paDistributed:
+      *out = distributed_allocate(topo, flows, graph).allocation;
+      return true;
+    case Protocol::k80211:
+      break;
+  }
+  return false;
+}
+
+/// Global-index allocation for one epoch: flows inactive in the epoch get
+/// share 0 (lanes get kInactiveShare).
+struct EpochAllocation {
+  double start_s = 0.0;
+  bool has_target = false;
+  std::vector<double> flow_share;     ///< Global flow ids; 0 when inactive.
+  std::vector<double> subflow_share;  ///< Global subflow ids; kInactiveShare
+                                      ///< when inactive.
+};
+
+EpochAllocation allocate_epoch(Protocol proto, const Topology& topo,
+                               const FlowSet& all_flows,
+                               const std::vector<FlowId>& active, double start_s) {
+  EpochAllocation out;
+  out.start_s = start_s;
+  out.flow_share.assign(static_cast<std::size_t>(all_flows.flow_count()), 0.0);
+  out.subflow_share.assign(static_cast<std::size_t>(all_flows.subflow_count()),
+                           kInactiveShare);
+  if (active.empty() || proto == Protocol::k80211) return out;
+
+  std::vector<Flow> specs;
+  specs.reserve(active.size());
+  for (FlowId f : active) specs.push_back(all_flows.flow(f));
+  FlowSet sub(topo, specs);
+  Allocation a;
+  out.has_target = compute_allocation(proto, topo, sub, &a);
+  if (!out.has_target) return out;
+  for (std::size_t i = 0; i < active.size(); ++i) {
+    const FlowId g = active[i];
+    out.flow_share[static_cast<std::size_t>(g)] = a.flow_share[i];
+    for (int h = 0; h < all_flows.flow(g).length(); ++h) {
+      out.subflow_share[static_cast<std::size_t>(all_flows.subflow_index(g, h))] =
+          a.subflow_share[static_cast<std::size_t>(sub.subflow_index(static_cast<FlowId>(i), h))];
+    }
+  }
+  return out;
+}
+
+}  // namespace
+
+RunResult run_scenario(const Scenario& sc, Protocol proto, const SimConfig& cfg) {
+  return run_scenario(sc, proto, cfg, {});
+}
+
+RunResult run_scenario(const Scenario& sc, Protocol proto, const SimConfig& cfg,
+                       const std::vector<FlowActivity>& activity) {
+  FlowSet flows(sc.topo, sc.flow_specs);
+  const bool dynamic = !activity.empty();
+  E2EFA_ASSERT_MSG(!dynamic || static_cast<int>(activity.size()) == flows.flow_count(),
+                   "one FlowActivity per flow required");
+
+  RunResult out;
+  out.protocol = proto;
+  out.sim_seconds = cfg.sim_seconds;
+  const double total_s = cfg.warmup_seconds + cfg.sim_seconds;
+  const TimeNs horizon = from_seconds(total_s);
+
+  auto window_of = [&](FlowId f) {
+    return dynamic ? activity[static_cast<std::size_t>(f)]
+                   : FlowActivity{0.0, 1e300};
+  };
+
+  // ---- Epoch boundaries and per-epoch phase-1 allocations. ----
+  std::set<double> boundary_set{0.0};
+  for (FlowId f = 0; f < flows.flow_count(); ++f) {
+    const FlowActivity w = window_of(f);
+    E2EFA_ASSERT_MSG(w.start_s >= 0.0 && w.stop_s > w.start_s, "bad activity window");
+    if (w.start_s > 0.0 && w.start_s < total_s) boundary_set.insert(w.start_s);
+    if (w.stop_s > 0.0 && w.stop_s < total_s) boundary_set.insert(w.stop_s);
+  }
+  std::vector<EpochAllocation> epochs;
+  for (double t : boundary_set) {
+    std::vector<FlowId> active;
+    for (FlowId f = 0; f < flows.flow_count(); ++f) {
+      const FlowActivity w = window_of(f);
+      if (w.start_s <= t && t < w.stop_s) active.push_back(f);
+    }
+    epochs.push_back(allocate_epoch(proto, sc.topo, flows, active, t));
+  }
+
+  out.has_target = epochs.front().has_target;
+  if (out.has_target) {
+    out.target_flow_share = epochs.front().flow_share;
+    out.target_subflow_share = epochs.front().subflow_share;
+  }
+  if (dynamic) {
+    for (const EpochAllocation& e : epochs) {
+      out.epoch_starts_s.push_back(e.start_s);
+      out.epoch_flow_share.push_back(e.flow_share);
+    }
+  }
+
+  // ---- Phase 2: packet-level simulation. ----
+  Simulator sim;
+  Channel channel(sim, sc.topo, cfg.channel_bps);
+  TrafficStats stats(flows);
+  stats.set_warmup(from_seconds(cfg.warmup_seconds));
+  Rng master(cfg.seed);
+
+  MacConfig mac_cfg;
+  mac_cfg.retry_limit = cfg.retry_limit;
+  mac_cfg.use_rts_cts = cfg.use_rts_cts;
+
+  std::vector<std::unique_ptr<NodeStack>> stacks;
+  std::vector<TagScheduler*> tag_scheds(static_cast<std::size_t>(sc.topo.node_count()),
+                                        nullptr);
+  stacks.reserve(static_cast<std::size_t>(sc.topo.node_count()));
+  for (NodeId n = 0; n < sc.topo.node_count(); ++n) {
+    std::unique_ptr<TxQueue> queue;
+    std::unique_ptr<BackoffPolicy> backoff;
+    TagAgent* tags = nullptr;
+    if (proto == Protocol::k80211) {
+      queue = std::make_unique<FifoQueue>(cfg.queue_capacity);
+      backoff = std::make_unique<BebBackoff>(cfg.cw_min, cfg.cw_max);
+    } else {
+      std::vector<TagScheduler::SubflowConfig> lanes;
+      for (int s = 0; s < flows.subflow_count(); ++s) {
+        if (flows.subflow(s).src == n)
+          lanes.push_back({s, epochs.front().subflow_share[static_cast<std::size_t>(s)]});
+      }
+      auto sched = std::make_unique<TagScheduler>(std::move(lanes), cfg.queue_capacity,
+                                                  cfg.channel_bps, cfg.alpha);
+      tag_scheds[static_cast<std::size_t>(n)] = sched.get();
+      if (proto == Protocol::k2paStaticCw) {
+        // Ablation: weighted queueing, but no tag feedback over the air.
+        backoff = std::make_unique<ScaledCwBackoff>(
+            cfg.cw_min, cfg.cw_max, std::min(1.0, std::max(sched->node_share(), 1e-3)));
+      } else {
+        tags = sched.get();
+        backoff = std::make_unique<TagBackoff>(cfg.cw_min, cfg.cw_max, *sched);
+      }
+      queue = std::move(sched);
+    }
+    stacks.push_back(std::make_unique<NodeStack>(sim, channel, n, flows, stats, mac_cfg,
+                                                 std::move(queue), std::move(backoff),
+                                                 master.split(), tags));
+  }
+
+  // Re-allocation pushes at every later epoch boundary.
+  for (std::size_t e = 1; e < epochs.size(); ++e) {
+    const EpochAllocation* epoch = &epochs[e];
+    sim.schedule_at(from_seconds(epoch->start_s), [&flows, &tag_scheds, epoch] {
+      for (int s = 0; s < flows.subflow_count(); ++s) {
+        TagScheduler* sched =
+            tag_scheds[static_cast<std::size_t>(flows.subflow(s).src)];
+        if (sched != nullptr)
+          sched->update_share(s, epoch->subflow_share[static_cast<std::size_t>(s)]);
+      }
+    });
+  }
+
+  // Traffic sources at each flow's origin, gated by the activity windows.
+  std::vector<std::unique_ptr<CbrSource>> sources;
+  for (FlowId f = 0; f < flows.flow_count(); ++f) {
+    NodeStack* stack = stacks[static_cast<std::size_t>(flows.flow(f).source())].get();
+    auto src = std::make_unique<CbrSource>(
+        sim, cfg.cbr_pps, cfg.payload_bytes,
+        [stack, f](Packet p) { stack->inject_from_source(p, f); }, master);
+    const FlowActivity w = window_of(f);
+    const TimeNs until = std::min(horizon, from_seconds(std::min(w.stop_s, total_s)));
+    CbrSource* raw = src.get();
+    sim.schedule_at(from_seconds(std::min(w.start_s, total_s)),
+                    [raw, until] { raw->start(until); });
+    sources.push_back(std::move(src));
+  }
+
+  // Optional short-term fairness sampling: snapshot per-flow end-to-end
+  // deliveries at fixed intervals and report the deltas. All sampler state
+  // lives at function scope: the scheduled events reference it while
+  // run_until executes below.
+  std::vector<std::vector<std::int64_t>> windows;
+  std::vector<std::int64_t> window_prev(static_cast<std::size_t>(flows.flow_count()), 0);
+  std::function<void()> sample;
+  if (cfg.sample_interval_seconds > 0.0) {
+    const TimeNs interval = from_seconds(cfg.sample_interval_seconds);
+    E2EFA_ASSERT(interval > 0);
+    sample = [&sim, &stats, &flows, &windows, &window_prev, &sample, interval,
+              horizon] {
+      std::vector<std::int64_t> now(static_cast<std::size_t>(flows.flow_count()));
+      for (FlowId f = 0; f < flows.flow_count(); ++f) {
+        const std::int64_t total = stats.end_to_end(f);
+        now[static_cast<std::size_t>(f)] = total - window_prev[static_cast<std::size_t>(f)];
+        window_prev[static_cast<std::size_t>(f)] = total;
+      }
+      windows.push_back(std::move(now));
+      if (sim.now() + interval <= horizon) sim.schedule_in(interval, sample);
+    };
+    sim.schedule_at(from_seconds(cfg.warmup_seconds) + interval, sample);
+  }
+
+  sim.run_until(horizon);
+
+  // ---- Collect. ----
+  out.delivered_per_subflow.resize(static_cast<std::size_t>(flows.subflow_count()));
+  for (int s = 0; s < flows.subflow_count(); ++s)
+    out.delivered_per_subflow[static_cast<std::size_t>(s)] = stats.subflow(s).delivered;
+  out.end_to_end_per_flow.resize(static_cast<std::size_t>(flows.flow_count()));
+  for (FlowId f = 0; f < flows.flow_count(); ++f)
+    out.end_to_end_per_flow[static_cast<std::size_t>(f)] = stats.end_to_end(f);
+  out.total_end_to_end = stats.total_end_to_end();
+  for (int s = 0; s < flows.subflow_count(); ++s) {
+    out.dropped_queue += stats.subflow(s).dropped_queue;
+    out.dropped_mac += stats.subflow(s).dropped_mac;
+  }
+  out.lost_packets = stats.total_lost();
+  out.loss_ratio = stats.loss_ratio();
+  out.channel = channel.stats();
+  out.mean_delay_s.resize(static_cast<std::size_t>(flows.flow_count()));
+  out.max_delay_s.resize(static_cast<std::size_t>(flows.flow_count()));
+  for (FlowId f = 0; f < flows.flow_count(); ++f) {
+    out.mean_delay_s[static_cast<std::size_t>(f)] = stats.delay(f).mean();
+    out.max_delay_s[static_cast<std::size_t>(f)] = stats.delay(f).max();
+  }
+  out.window_end_to_end = std::move(windows);
+  return out;
+}
+
+}  // namespace e2efa

@@ -1,0 +1,116 @@
+// End-to-end scenario runner: phase 1 (allocation) + phase 2 (packet-level
+// simulation) for one of the four protocols the paper evaluates.
+#pragma once
+
+#include <cstdint>
+#include <string>
+#include <vector>
+
+#include "alloc/allocation.hpp"
+#include "mac/dcf_mac.hpp"
+#include "net/scenarios.hpp"
+#include "phy/channel.hpp"
+#include "traffic/stats.hpp"
+
+namespace e2efa {
+
+enum class Protocol {
+  k80211,            ///< Plain IEEE 802.11 DCF, single FIFO per node.
+  kTwoTier,          ///< Two-tier [1]: per-subflow LP shares + tag scheduler.
+  kTwoTierBalanced,  ///< Two-tier variant: per-subflow *max-min* shares —
+                     ///< models the near-equal services [1]'s scheduler
+                     ///< actually measured in the paper's Table II.
+  k2paCentralized,   ///< 2PA, phase 1 solved centrally (Sec. IV-A).
+  k2paDistributed,   ///< 2PA, phase 1 solved distributedly (Sec. IV-B).
+  kMaxMin,           ///< Flow-level weighted max-min (footnote-3 extension).
+  k2paStaticCw,      ///< Ablation: 2PA phase-1 shares + intra-node weighted
+                     ///< queueing, but a static 1/node-share contention
+                     ///< window instead of the tag/backoff feedback loop.
+};
+
+const char* to_string(Protocol p);
+
+struct SimConfig {
+  std::int64_t channel_bps = 2'000'000;  ///< Paper: 2 Mbps.
+  int payload_bytes = 512;               ///< Paper: 512-byte packets.
+  double cbr_pps = 200.0;                ///< Paper: 200 packets/s per flow.
+  double sim_seconds = 1000.0;           ///< Paper: T = 1000 s.
+  int queue_capacity = 50;               ///< Per transmit queue (ns-2 default).
+  int cw_min = 31;                       ///< Paper: CW_min = 31.
+  int cw_max = 1023;
+  int retry_limit = 7;
+  double alpha = 1e-4;                   ///< Paper: α = 0.0001.
+  std::uint64_t seed = 1;
+  /// Measurements start after this transient (simulated seconds); the run
+  /// lasts warmup + sim_seconds in total.
+  double warmup_seconds = 0.0;
+  /// When > 0, sample per-flow end-to-end deliveries every this many
+  /// simulated seconds (fills RunResult::window_end_to_end) — used to study
+  /// short-term fairness (the α knob's purpose).
+  double sample_interval_seconds = 0.0;
+  /// False switches the MAC to basic access (no RTS/CTS): hidden terminals
+  /// then collide on whole DATA frames. The paper always uses RTS/CTS.
+  bool use_rts_cts = true;
+};
+
+struct RunResult {
+  Protocol protocol = Protocol::k80211;
+  double sim_seconds = 0.0;
+
+  // Measured (packets over the whole run).
+  std::vector<std::int64_t> delivered_per_subflow;  ///< r_{i.j} · T
+  std::vector<std::int64_t> end_to_end_per_flow;    ///< r̂_i · T
+  std::int64_t total_end_to_end = 0;                ///< Σ r̂_i · T
+  /// In-network losses (the paper's "lost packets"; see TrafficStats).
+  std::int64_t lost_packets = 0;
+  /// Diagnostics: all drop-tail and retry-limit drops, incl. source-side.
+  std::int64_t dropped_queue = 0;
+  std::int64_t dropped_mac = 0;
+  double loss_ratio = 0.0;  ///< lost / total end-to-end (paper's metric).
+
+  // Phase-1 targets (empty for plain 802.11).
+  bool has_target = false;
+  std::vector<double> target_subflow_share;
+  std::vector<double> target_flow_share;
+
+  ChannelStats channel;
+
+  /// Mean / maximum end-to-end delay per flow (seconds; 0 when the flow
+  /// delivered nothing inside the measurement window).
+  std::vector<double> mean_delay_s;
+  std::vector<double> max_delay_s;
+
+  /// Per-sample-window end-to-end deliveries: window_end_to_end[w][f] =
+  /// packets flow f completed during window w. Empty unless
+  /// SimConfig::sample_interval_seconds > 0.
+  std::vector<std::vector<std::int64_t>> window_end_to_end;
+
+  /// Dynamic runs only: epoch start times (seconds) and the per-epoch
+  /// re-computed flow shares (0 for flows inactive in that epoch).
+  std::vector<double> epoch_starts_s;
+  std::vector<std::vector<double>> epoch_flow_share;
+
+  /// Measured share of subflow s in units of B:
+  /// delivered · payload_bits / (T · B).
+  double measured_subflow_share(int s, std::int64_t bps, int payload_bytes) const;
+};
+
+/// Activity window of one flow in a dynamic run (seconds from sim start;
+/// the flow sources packets during [start_s, stop_s)).
+struct FlowActivity {
+  double start_s = 0.0;
+  double stop_s = 1e300;
+};
+
+/// Runs phase 1 + phase 2 on the scenario. Deterministic given cfg.seed.
+RunResult run_scenario(const Scenario& sc, Protocol proto, const SimConfig& cfg);
+
+/// Dynamic variant: flows come and go per `activity` (one entry per flow).
+/// The phase-1 allocation is recomputed over the *active* flow set at every
+/// epoch boundary and pushed into the running tag schedulers — the paper's
+/// algorithm applied to backlogged-flow churn. RunResult::target_* reflect
+/// the first epoch; epoch_* record the full history.
+RunResult run_scenario(const Scenario& sc, Protocol proto, const SimConfig& cfg,
+                       const std::vector<FlowActivity>& activity);
+
+}  // namespace e2efa

@@ -1,0 +1,124 @@
+#include "net/scenario_file.hpp"
+
+#include <fstream>
+#include <map>
+#include <sstream>
+
+#include "route/routing.hpp"
+#include "util/assert.hpp"
+#include "util/strings.hpp"
+
+namespace e2efa {
+
+namespace {
+
+[[noreturn]] void fail(int line, const std::string& msg) {
+  throw ContractViolation(strformat("scenario file line %d: %s", line, msg.c_str()));
+}
+
+struct FlowSpec {
+  std::vector<std::string> nodes;
+  double weight = 1.0;
+  int line = 0;
+};
+
+}  // namespace
+
+Scenario parse_scenario_text(const std::string& text, std::string name) {
+  std::vector<Point> positions;
+  std::vector<std::string> labels;
+  std::map<std::string, NodeId> by_label;
+  std::vector<FlowSpec> flow_specs;
+  double range = 250.0;
+  double irange = -1.0;
+
+  std::istringstream in(text);
+  std::string raw;
+  int lineno = 0;
+  while (std::getline(in, raw)) {
+    ++lineno;
+    const auto hash = raw.find('#');
+    if (hash != std::string::npos) raw.erase(hash);
+    std::istringstream line(raw);
+    std::string cmd;
+    if (!(line >> cmd)) continue;  // blank / comment-only
+
+    if (cmd == "range" || cmd == "irange") {
+      double v;
+      if (!(line >> v) || v <= 0) fail(lineno, cmd + " needs a positive number");
+      (cmd == "range" ? range : irange) = v;
+    } else if (cmd == "node") {
+      std::string label;
+      double x, y;
+      if (!(line >> label >> x >> y)) fail(lineno, "node needs: label x y");
+      if (by_label.contains(label)) fail(lineno, "duplicate node label " + label);
+      by_label[label] = static_cast<NodeId>(positions.size());
+      positions.push_back({x, y});
+      labels.push_back(label);
+    } else if (cmd == "flow") {
+      FlowSpec spec;
+      spec.line = lineno;
+      std::string tok;
+      while (line >> tok) {
+        if (tok == "weight") {
+          if (!(line >> spec.weight) || spec.weight <= 0)
+            fail(lineno, "weight needs a positive number");
+          std::string extra;
+          if (line >> extra) fail(lineno, "unexpected token after weight");
+          break;
+        }
+        spec.nodes.push_back(tok);
+      }
+      if (spec.nodes.size() < 2) fail(lineno, "flow needs at least two nodes");
+      flow_specs.push_back(std::move(spec));
+    } else {
+      fail(lineno, "unknown directive '" + cmd + "'");
+    }
+  }
+  if (positions.empty()) throw ContractViolation("scenario file defines no nodes");
+  if (flow_specs.empty()) throw ContractViolation("scenario file defines no flows");
+
+  Topology topo(std::move(positions), range,
+                irange > 0 ? std::optional<double>(irange) : std::nullopt);
+  topo.set_labels(labels);
+
+  Scenario sc{std::move(name), std::move(topo), {}};
+  for (const FlowSpec& spec : flow_specs) {
+    std::vector<NodeId> ids;
+    for (const std::string& label : spec.nodes) {
+      const auto it = by_label.find(label);
+      if (it == by_label.end()) fail(spec.line, "unknown node label " + label);
+      ids.push_back(it->second);
+    }
+    if (ids.size() == 2) {
+      const auto path = shortest_path(sc.topo, ids[0], ids[1]);
+      if (!path)
+        fail(spec.line, "no route from " + spec.nodes[0] + " to " + spec.nodes[1]);
+      Flow f;
+      f.path = *path;
+      f.weight = spec.weight;
+      sc.flow_specs.push_back(std::move(f));
+    } else {
+      Flow f;
+      f.path = std::move(ids);
+      f.weight = spec.weight;
+      for (std::size_t h = 0; h + 1 < f.path.size(); ++h) {
+        if (!sc.topo.has_link(f.path[h], f.path[h + 1]))
+          fail(spec.line, "hop " + spec.nodes[h] + " -> " + spec.nodes[h + 1] +
+                              " is not a link");
+      }
+      sc.flow_specs.push_back(std::move(f));
+    }
+  }
+  return sc;
+}
+
+Scenario load_scenario_file(const std::string& path) {
+  std::ifstream in(path);
+  E2EFA_ASSERT_MSG(in.good(), "cannot open scenario file: " + path);
+  std::ostringstream buf;
+  buf << in.rdbuf();
+  return parse_scenario_text(buf.str(), path);
+}
+
+}  // namespace e2efa

@@ -1,0 +1,32 @@
+// Text scenario files: define your own topology and flows for e2efa-sim.
+//
+// Line-oriented format (comments with '#', blank lines ignored):
+//
+//   range 250               # transmission range in meters (default 250)
+//   irange 250              # interference range (default = range)
+//   node A 0 0              # label, x, y (meters)
+//   node B 200 0
+//   node C 400 0
+//   flow A C                # min-hop routed flow, weight 1
+//   flow C A weight 2.5     # optional weight
+//   flow A B C              # or an explicit multi-node path
+//
+// Node labels are arbitrary tokens without whitespace; flows may mix
+// routed (2 endpoints) and explicit-path (>= 3 nodes) forms. Flows with an
+// explicit `weight` suffix apply it to either form.
+#pragma once
+
+#include <string>
+
+#include "net/scenarios.hpp"
+
+namespace e2efa {
+
+/// Parses scenario text; throws ContractViolation with a line-numbered
+/// message on malformed input.
+Scenario parse_scenario_text(const std::string& text, std::string name = "file");
+
+/// Loads and parses a scenario file from disk.
+Scenario load_scenario_file(const std::string& path);
+
+}  // namespace e2efa

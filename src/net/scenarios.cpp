@@ -1,0 +1,112 @@
+#include "net/scenarios.hpp"
+
+#include "util/assert.hpp"
+#include "util/strings.hpp"
+
+namespace e2efa {
+
+Scenario scenario1() {
+  // A(0) B(1) C(2) carry F1; D(3) E(4) F(5) carry F2. C and E are in range
+  // (200 m), which makes F1.2 contend with F2.1 and F2.2; A and B are out
+  // of range of all of D/E/F, so F1.1 contends only with F1.2.
+  std::vector<Point> pos{
+      {0, 0},      // A
+      {200, 0},    // B
+      {400, 0},    // C
+      {800, 0},    // D
+      {600, 0},    // E
+      {600, -200}, // F
+  };
+  Topology topo(std::move(pos), /*tx_range_m=*/250.0);
+  topo.set_labels({"A", "B", "C", "D", "E", "F"});
+  Scenario sc{"scenario1 (Fig. 1)", std::move(topo), {}};
+  Flow f1;
+  f1.path = {0, 1, 2};  // A -> B -> C
+  Flow f2;
+  f2.path = {3, 4, 5};  // D -> E -> F
+  sc.flow_specs = {f1, f2};
+  return sc;
+}
+
+Scenario scenario2() {
+  // Fig. 6: F1 is the 4-hop chain A..E along the x axis; F2 (F->G) hangs
+  // below D so F2.1 contends with F1.3 and F1.4 only; F3 (H->I) bridges F2
+  // and F4; F4 (J->K->L) continues east; F5 (M->N) hangs below F4 within
+  // range of J and K. Maximal cliques are exactly Ω1..Ω6 of the paper.
+  std::vector<Point> pos{
+      {0, 0},       // 0  A
+      {200, 0},     // 1  B
+      {400, 0},     // 2  C
+      {600, 0},     // 3  D
+      {800, 0},     // 4  E
+      {600, -400},  // 5  F
+      {600, -200},  // 6  G
+      {600, -600},  // 7  H
+      {800, -600},  // 8  I
+      {1000, -600}, // 9  J
+      {1200, -600}, // 10 K
+      {1400, -600}, // 11 L
+      {1100, -780}, // 12 M
+      {1300, -780}, // 13 N
+  };
+  Topology topo(std::move(pos), /*tx_range_m=*/250.0);
+  topo.set_labels({"A", "B", "C", "D", "E", "F", "G", "H", "I", "J", "K", "L", "M", "N"});
+  Scenario sc{"scenario2 (Fig. 6)", std::move(topo), {}};
+  Flow f1;
+  f1.path = {0, 1, 2, 3, 4};  // A -> B -> C -> D -> E
+  Flow f2;
+  f2.path = {5, 6};  // F -> G
+  Flow f3;
+  f3.path = {7, 8};  // H -> I
+  Flow f4;
+  f4.path = {9, 10, 11};  // J -> K -> L
+  Flow f5;
+  f5.path = {12, 13};  // M -> N
+  sc.flow_specs = {f1, f2, f3, f4, f5};
+  return sc;
+}
+
+Scenario make_abstract_scenario(const std::vector<int>& hop_counts,
+                                const std::vector<double>& weights, std::string name) {
+  E2EFA_ASSERT(hop_counts.size() == weights.size());
+  E2EFA_ASSERT(!hop_counts.empty());
+  // Each flow gets its own chain at a far-away y offset; 200 m hop spacing
+  // keeps chains shortcut-free, 10 km separation keeps flows geometrically
+  // independent, so all inter-flow contention comes from explicit edges.
+  std::vector<Point> pos;
+  std::vector<std::string> labels;
+  std::vector<Flow> specs;
+  for (std::size_t i = 0; i < hop_counts.size(); ++i) {
+    E2EFA_ASSERT(hop_counts[i] >= 1);
+    Flow f;
+    f.weight = weights[i];
+    for (int h = 0; h <= hop_counts[i]; ++h) {
+      f.path.push_back(static_cast<NodeId>(pos.size()));
+      pos.push_back({200.0 * h, 10000.0 * static_cast<double>(i)});
+      labels.push_back(strformat("N%zu.%d", i + 1, h));
+    }
+    specs.push_back(std::move(f));
+  }
+  Topology topo(std::move(pos), /*tx_range_m=*/250.0);
+  topo.set_labels(std::move(labels));
+  return Scenario{std::move(name), std::move(topo), std::move(specs)};
+}
+
+AbstractExample fig4_example() {
+  // Subflow global indices: F1.1=0, F2.1=1, F2.2=2, F3.1=3, F4.1=4.
+  // Paper's weighted subflow contention graph: the 4-clique
+  // {F1.1, F2.1, F2.2, F3.1} plus the edge {F3.1, F4.1}.
+  return AbstractExample{
+      make_abstract_scenario({1, 2, 1, 1}, {1.0, 2.0, 3.0, 2.0}, "fig4"),
+      {{0, 1}, {0, 2}, {0, 3}, {1, 3}, {2, 3}, {3, 4}}};
+}
+
+AbstractExample pentagon_example() {
+  // Five unit-weight single-hop flows whose contention graph is the cycle
+  // C5 (each vertex contends with exactly its two ring neighbors).
+  return AbstractExample{
+      make_abstract_scenario({1, 1, 1, 1, 1}, {1, 1, 1, 1, 1}, "pentagon"),
+      {{0, 1}, {1, 2}, {2, 3}, {3, 4}, {4, 0}}};
+}
+
+}  // namespace e2efa

@@ -1,0 +1,58 @@
+// The paper's evaluation topologies and analytic examples.
+//
+// scenario1(): Fig. 1 — two 2-hop flows, F1: A→B→C and F2: D→E→F, where
+//   F1.2 contends with both hops of F2 but F1.1 contends with neither.
+// scenario2(): Fig. 6 / Tables I & III — five flows over 14 nodes:
+//   F1: A→B→C→D→E (4 hops), F2: F→G, F3: H→I, F4: J→K→L, F5: M→N, wired so
+//   the maximal cliques are exactly the paper's Ω1..Ω6.
+// fig4_example(), pentagon_example(): analytic contention graphs the paper
+//   gives directly (no geometry), realized over far-apart chains with
+//   explicit contention edges.
+//
+// NOTE: a Scenario owns its Topology; construct the FlowSet against the
+// Scenario's own `topo` member and keep the Scenario alive (and unmoved)
+// while the FlowSet is in use.
+#pragma once
+
+#include <memory>
+#include <string>
+#include <vector>
+
+#include "contention/contention_graph.hpp"
+#include "flow/flow.hpp"
+#include "topology/topology.hpp"
+
+namespace e2efa {
+
+/// A named topology plus flow specifications (paths and weights).
+struct Scenario {
+  std::string name;
+  Topology topo;
+  std::vector<Flow> flow_specs;
+};
+
+/// Fig. 1: the motivating two-flow topology.
+Scenario scenario1();
+
+/// Fig. 6: the five-flow topology of Table I / Table III.
+Scenario scenario2();
+
+/// An analytic example: flows with the given hop counts and weights laid
+/// out as mutually far-apart chains (no geometric contention between
+/// flows); pair with ContentionGraph's explicit-edge constructor.
+Scenario make_abstract_scenario(const std::vector<int>& hop_counts,
+                                const std::vector<double>& weights,
+                                std::string name = "abstract");
+
+/// Fig. 4 weighted contention-graph example. Returns the scenario plus the
+/// explicit contention edges (over global subflow indices) the paper draws.
+struct AbstractExample {
+  Scenario scenario;
+  std::vector<std::pair<int, int>> edges;
+};
+AbstractExample fig4_example();
+
+/// Fig. 5 pentagon: five single-hop unit-weight flows in a contention ring.
+AbstractExample pentagon_example();
+
+}  // namespace e2efa

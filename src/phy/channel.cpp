@@ -1,0 +1,116 @@
+#include "phy/channel.hpp"
+
+#include "util/assert.hpp"
+
+namespace e2efa {
+
+Channel::Channel(Simulator& sim, const Topology& topo, std::int64_t bits_per_second)
+    : sim_(sim), topo_(topo), bps_(bits_per_second) {
+  E2EFA_ASSERT(bps_ > 0);
+  nodes_.resize(static_cast<std::size_t>(topo.node_count()));
+}
+
+void Channel::attach(NodeId n, PhyListener* listener) {
+  E2EFA_ASSERT(listener != nullptr);
+  E2EFA_ASSERT_MSG(state(n).listener == nullptr, "node already attached");
+  state(n).listener = listener;
+}
+
+Channel::NodeState& Channel::state(NodeId n) {
+  E2EFA_ASSERT(n >= 0 && n < static_cast<NodeId>(nodes_.size()));
+  return nodes_[static_cast<std::size_t>(n)];
+}
+
+const Channel::NodeState& Channel::state(NodeId n) const {
+  E2EFA_ASSERT(n >= 0 && n < static_cast<NodeId>(nodes_.size()));
+  return nodes_[static_cast<std::size_t>(n)];
+}
+
+bool Channel::transmitting(NodeId n) const { return state(n).tx_end > sim_.now(); }
+
+bool Channel::medium_busy(NodeId n) const {
+  const NodeState& s = state(n);
+  return s.interferers > 0 || transmitting(n);
+}
+
+bool Channel::idle_during(NodeId n, TimeNs from) const {
+  const NodeState& s = state(n);
+  const TimeNs now = sim_.now();
+  if (s.busy) {
+    // Busy right now: idle over [from, now) only if the busy period began
+    // exactly at `now` (same-instant transmission — intentional collision
+    // semantics) and nothing else intruded earlier.
+    return s.busy_since >= now && s.last_busy_end <= from;
+  }
+  return s.last_busy_end <= from;
+}
+
+void Channel::update_busy(NodeId n) {
+  NodeState& s = state(n);
+  const bool now_busy = s.interferers > 0 || transmitting(n);
+  if (now_busy == s.busy) return;
+  s.busy = now_busy;
+  if (now_busy) {
+    s.busy_since = sim_.now();
+    if (s.listener) s.listener->on_medium_busy();
+  } else {
+    s.last_busy_end = sim_.now();
+    if (s.listener) s.listener->on_medium_idle();
+  }
+}
+
+TimeNs Channel::transmit(NodeId sender, Frame frame) {
+  E2EFA_ASSERT_MSG(!transmitting(sender), "node is already transmitting");
+  E2EFA_ASSERT(frame.bytes > 0);
+  frame.tx = sender;
+  const TimeNs now = sim_.now();
+  const TimeNs duration = frame_duration(frame.bytes);
+  const TimeNs end = now + duration;
+  const std::uint64_t tx_id = next_tx_id_++;
+  ++stats_.frames_transmitted;
+
+  // Half-duplex: transmitting kills any reception in progress at the sender.
+  {
+    NodeState& s = state(sender);
+    if (s.decoding) s.decode_corrupted = true;
+    s.tx_end = end;
+    update_busy(sender);
+    sim_.schedule_at(end, [this, sender] { update_busy(sender); });
+  }
+
+  for (NodeId r : topo_.interference_neighbors(sender)) {
+    NodeState& s = state(r);
+    const bool decodable = topo_.has_link(sender, r);
+    if (s.interferers == 0 && !transmitting(r) && !s.decoding && decodable) {
+      s.decoding = true;
+      s.decode_corrupted = false;
+      s.decode_tx_id = tx_id;
+    } else if (s.decoding) {
+      s.decode_corrupted = true;  // overlap ruins the in-progress decode
+    }
+    ++s.interferers;
+    update_busy(r);
+
+    sim_.schedule_at(end, [this, r, tx_id, frame, end] {
+      NodeState& s = state(r);
+      --s.interferers;
+      E2EFA_ASSERT(s.interferers >= 0);
+      if (s.decoding && s.decode_tx_id == tx_id) {
+        const bool ok = !s.decode_corrupted && !transmitting(r);
+        s.decoding = false;
+        if (ok) {
+          ++stats_.frames_delivered;
+          if (s.listener) s.listener->on_frame_received(frame);
+        } else {
+          ++stats_.frames_corrupted;
+          stats_.bytes_corrupted += static_cast<std::uint64_t>(frame.bytes);
+          if (s.listener) s.listener->on_frame_corrupted(end);
+        }
+      }
+      update_busy(r);
+    });
+  }
+  return end;
+}
+
+}  // namespace e2efa

@@ -1,0 +1,104 @@
+// Shared-medium wireless channel (the PHY of the ns-2 stand-in).
+//
+// Unit-disk propagation with zero propagation delay: a transmission from s
+// is *decodable* by nodes within the transmission range and deposits
+// *energy* (busy medium / interference) at nodes within the interference
+// range. A node successfully decodes a frame iff it is not transmitting
+// itself and no other transmission overlaps the frame's airtime at the
+// node — the standard collision model that produces hidden-terminal losses.
+//
+// Carrier-sense queries are interval-based (`idle_during`) so that two
+// nodes whose backoff expires in the same slot both commit to transmitting
+// and collide, exactly as in slotted CSMA.
+#pragma once
+
+#include <cstdint>
+#include <optional>
+#include <vector>
+
+#include "phy/frame.hpp"
+#include "sim/simulator.hpp"
+#include "topology/topology.hpp"
+#include "util/time.hpp"
+
+namespace e2efa {
+
+/// Per-node PHY event sink (implemented by the MAC).
+class PhyListener {
+ public:
+  virtual ~PhyListener() = default;
+  /// A frame was fully and cleanly received (regardless of addressee).
+  virtual void on_frame_received(const Frame& frame) = 0;
+  /// A reception was lost to collision; `end` is when the air went quiet
+  /// for that frame (hook for EIFS-style deferral).
+  virtual void on_frame_corrupted(TimeNs end) = 0;
+  /// Medium (energy) transitions at this node.
+  virtual void on_medium_busy() = 0;
+  virtual void on_medium_idle() = 0;
+};
+
+struct ChannelStats {
+  std::uint64_t frames_transmitted = 0;
+  std::uint64_t frames_delivered = 0;   ///< Clean receptions (all hearers).
+  std::uint64_t frames_corrupted = 0;   ///< Collision-lost receptions.
+  std::uint64_t bytes_corrupted = 0;    ///< Airtime lost to collisions, bytes.
+};
+
+class Channel {
+ public:
+  Channel(Simulator& sim, const Topology& topo, std::int64_t bits_per_second);
+
+  /// Registers the MAC of node n. Must be called once per node before any
+  /// transmission reaches it.
+  void attach(NodeId n, PhyListener* listener);
+
+  std::int64_t bps() const { return bps_; }
+
+  /// Airtime of a frame of `bytes` bytes at the channel rate.
+  TimeNs frame_duration(int bytes) const { return tx_duration(8LL * bytes, bps_); }
+
+  /// Starts transmitting `frame` from `sender` now; returns the end time.
+  /// The sender must not already be transmitting. A node that transmits
+  /// while decoding loses the reception (half-duplex).
+  TimeNs transmit(NodeId sender, Frame frame);
+
+  /// True when node n senses energy (another transmission in interference
+  /// range) or is itself transmitting.
+  bool medium_busy(NodeId n) const;
+
+  bool transmitting(NodeId n) const;
+
+  /// True when the medium at n was continuously idle over [from, now).
+  /// A transmission starting exactly at `now` does not count — both
+  /// same-instant transmitters proceed (and collide).
+  bool idle_during(NodeId n, TimeNs from) const;
+
+  const ChannelStats& stats() const { return stats_; }
+
+ private:
+  struct NodeState {
+    PhyListener* listener = nullptr;
+    TimeNs tx_end = -1;          ///< End of own transmission (-1: none).
+    int interferers = 0;         ///< Active foreign transmissions heard.
+    bool busy = false;           ///< Cached (interferers>0 || transmitting).
+    TimeNs busy_since = 0;       ///< Start of the current busy period.
+    TimeNs last_busy_end = -1;   ///< End of the previous busy period.
+    // In-progress decode attempt.
+    bool decoding = false;
+    bool decode_corrupted = false;
+    std::uint64_t decode_tx_id = 0;  ///< Which transmission is being decoded.
+  };
+
+  void update_busy(NodeId n);
+  NodeState& state(NodeId n);
+  const NodeState& state(NodeId n) const;
+
+  Simulator& sim_;
+  const Topology& topo_;
+  std::int64_t bps_;
+  std::vector<NodeState> nodes_;
+  std::uint64_t next_tx_id_ = 1;
+  ChannelStats stats_;
+};
+
+}  // namespace e2efa

@@ -1,0 +1,15 @@
+#include "phy/frame.hpp"
+
+namespace e2efa {
+
+const char* to_string(FrameType t) {
+  switch (t) {
+    case FrameType::kRts: return "RTS";
+    case FrameType::kCts: return "CTS";
+    case FrameType::kData: return "DATA";
+    case FrameType::kAck: return "ACK";
+  }
+  return "?";
+}
+
+}  // namespace e2efa

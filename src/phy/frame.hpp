@@ -1,0 +1,48 @@
+// MAC frames exchanged over the wireless channel.
+//
+// The RTS-CTS-DATA-ACK handshake follows IEEE 802.11 DCF. Frames carry the
+// NAV (duration of the remainder of the exchange) for virtual carrier
+// sensing, and 2PA piggybacks the transmitting node's current service tag on
+// RTS/CTS/ACK so neighbors can maintain their local tag tables (Sec. IV-C).
+#pragma once
+
+#include <optional>
+
+#include "phy/packet.hpp"
+#include "util/time.hpp"
+
+namespace e2efa {
+
+enum class FrameType { kRts, kCts, kData, kAck };
+
+const char* to_string(FrameType t);
+
+/// Frame sizes in bytes (MAC header + FCS; DATA adds the payload).
+struct FrameSizes {
+  int rts = 20;
+  int cts = 14;
+  int ack = 14;
+  int data_header = 52;  ///< MAC + IP/UDP overhead on top of the payload.
+};
+
+struct Frame {
+  FrameType type = FrameType::kRts;
+  std::int32_t tx = -1;  ///< Transmitting node.
+  std::int32_t rx = -1;  ///< Intended receiver (frames are overheard by all).
+  int bytes = 0;
+  /// Virtual-carrier-sense reservation: medium time remaining in this
+  /// exchange *after* this frame ends.
+  TimeNs nav = 0;
+  /// Present on DATA frames.
+  std::optional<Packet> packet;
+  /// 2PA piggyback: the service tag of the exchange's data packet and the
+  /// global subflow id it belongs to (responders echo the initiator's tag).
+  double service_tag = 0.0;
+  std::int32_t tag_subflow = -1;
+  bool has_service_tag = false;
+  /// 2PA piggyback on ACK: the receiver-estimated backoff component R for
+  /// the sender's future packets.
+  double ack_backoff_r = 0.0;
+};
+
+}  // namespace e2efa

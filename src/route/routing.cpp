@@ -1,0 +1,75 @@
+#include "route/routing.hpp"
+
+#include <algorithm>
+#include <queue>
+
+#include "util/assert.hpp"
+
+namespace e2efa {
+
+std::optional<std::vector<NodeId>> shortest_path(const Topology& topo, NodeId src,
+                                                 NodeId dst) {
+  E2EFA_ASSERT(src >= 0 && src < topo.node_count());
+  E2EFA_ASSERT(dst >= 0 && dst < topo.node_count());
+  if (src == dst) return std::vector<NodeId>{src};
+
+  // BFS; neighbor lists are ascending, so the first parent found is the
+  // smallest-id parent at the shortest distance.
+  std::vector<NodeId> parent(static_cast<std::size_t>(topo.node_count()), kInvalidNode);
+  std::vector<bool> seen(static_cast<std::size_t>(topo.node_count()), false);
+  std::queue<NodeId> q;
+  q.push(src);
+  seen[static_cast<std::size_t>(src)] = true;
+  while (!q.empty()) {
+    const NodeId u = q.front();
+    q.pop();
+    for (NodeId v : topo.neighbors(u)) {
+      if (seen[static_cast<std::size_t>(v)]) continue;
+      seen[static_cast<std::size_t>(v)] = true;
+      parent[static_cast<std::size_t>(v)] = u;
+      if (v == dst) {
+        std::vector<NodeId> path{dst};
+        for (NodeId w = dst; w != src; w = parent[static_cast<std::size_t>(w)])
+          path.push_back(parent[static_cast<std::size_t>(w)]);
+        std::reverse(path.begin(), path.end());
+        return path;
+      }
+      q.push(v);
+    }
+  }
+  return std::nullopt;
+}
+
+Flow make_routed_flow(const Topology& topo, NodeId src, NodeId dst, double weight) {
+  auto path = shortest_path(topo, src, dst);
+  E2EFA_ASSERT_MSG(path.has_value(), "destination unreachable");
+  Flow f;
+  f.path = std::move(*path);
+  f.weight = weight;
+  return f;
+}
+
+std::vector<std::vector<int>> hop_distances(const Topology& topo) {
+  const int n = topo.node_count();
+  std::vector<std::vector<int>> dist(static_cast<std::size_t>(n),
+                                     std::vector<int>(static_cast<std::size_t>(n), -1));
+  for (NodeId s = 0; s < n; ++s) {
+    auto& row = dist[static_cast<std::size_t>(s)];
+    row[static_cast<std::size_t>(s)] = 0;
+    std::queue<NodeId> q;
+    q.push(s);
+    while (!q.empty()) {
+      const NodeId u = q.front();
+      q.pop();
+      for (NodeId v : topo.neighbors(u)) {
+        if (row[static_cast<std::size_t>(v)] == -1) {
+          row[static_cast<std::size_t>(v)] = row[static_cast<std::size_t>(u)] + 1;
+          q.push(v);
+        }
+      }
+    }
+  }
+  return dist;
+}
+
+}  // namespace e2efa

@@ -1,0 +1,31 @@
+// Min-hop source routing (DSR stand-in).
+//
+// The paper runs Dynamic Source Routing over static topologies; on a static
+// connectivity graph DSR converges to min-hop source routes, which is what
+// we compute — BFS with deterministic (smallest-id) tie-breaking, so routes
+// are reproducible. Routes are attached to flows at scenario setup, exactly
+// like DSR's source-route headers.
+#pragma once
+
+#include <optional>
+#include <vector>
+
+#include "flow/flow.hpp"
+#include "topology/topology.hpp"
+
+namespace e2efa {
+
+/// Shortest (min-hop) path from src to dst, inclusive of both endpoints.
+/// Ties are broken toward smaller predecessor ids (deterministic).
+/// Returns nullopt when dst is unreachable.
+std::optional<std::vector<NodeId>> shortest_path(const Topology& topo, NodeId src,
+                                                 NodeId dst);
+
+/// Builds a Flow along the min-hop route; throws ContractViolation when the
+/// destination is unreachable.
+Flow make_routed_flow(const Topology& topo, NodeId src, NodeId dst, double weight = 1.0);
+
+/// All-pairs hop distance matrix (-1 for unreachable). O(V·(V+E)).
+std::vector<std::vector<int>> hop_distances(const Topology& topo);
+
+}  // namespace e2efa

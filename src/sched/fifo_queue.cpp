@@ -1,0 +1,32 @@
+#include "sched/fifo_queue.hpp"
+
+#include "util/assert.hpp"
+
+namespace e2efa {
+
+FifoQueue::FifoQueue(int capacity) : capacity_(capacity) {
+  E2EFA_ASSERT(capacity >= 1);
+}
+
+bool FifoQueue::enqueue(Packet p, TimeNs) {
+  if (static_cast<int>(q_.size()) >= capacity_) return false;
+  q_.push_back(p);
+  return true;
+}
+
+const Packet& FifoQueue::head() const {
+  E2EFA_ASSERT(!q_.empty());
+  return q_.front();
+}
+
+Packet FifoQueue::pop_front() {
+  E2EFA_ASSERT(!q_.empty());
+  Packet p = q_.front();
+  q_.pop_front();
+  return p;
+}
+
+Packet FifoQueue::pop_success(TimeNs) { return pop_front(); }
+Packet FifoQueue::pop_drop(TimeNs) { return pop_front(); }
+
+}  // namespace e2efa

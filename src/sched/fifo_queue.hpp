@@ -1,0 +1,28 @@
+// Bounded drop-tail FIFO — the interface queue of the plain IEEE 802.11
+// baseline (all flows share one queue per node, no per-flow state).
+#pragma once
+
+#include <deque>
+
+#include "sched/tx_queue.hpp"
+
+namespace e2efa {
+
+class FifoQueue : public TxQueue {
+ public:
+  explicit FifoQueue(int capacity);
+
+  bool enqueue(Packet p, TimeNs now) override;
+  bool has_packet() const override { return !q_.empty(); }
+  const Packet& head() const override;
+  Packet pop_success(TimeNs now) override;
+  Packet pop_drop(TimeNs now) override;
+  int backlog() const override { return static_cast<int>(q_.size()); }
+
+ private:
+  Packet pop_front();
+  int capacity_;
+  std::deque<Packet> q_;
+};
+
+}  // namespace e2efa

@@ -1,0 +1,130 @@
+// The paper's second-phase scheduler (Sec. IV-C).
+//
+// Per node: one bounded queue per locally-originating subflow j with
+// allocated share c^j; node share c = Σ_j c^j. Each head-of-line packet k
+// of subflow j carries three tags (virtual time in µs of channel airtime):
+//
+//   start tag           S = v(t) when the packet reaches its queue head,
+//   internal finish tag I = max(S, I_prev^j) + L/c^j — selects the next
+//                           packet to send (I_prev^j is the lane's previous
+//                           internal finish tag; the max() continuation is
+//                           the standard SFQ rule that keeps service of
+//                           backlogged lanes proportional to c^j — without
+//                           it, lanes with close shares degenerate to 1:1
+//                           alternation),
+//   external finish tag E = S + L/c    — advances the node virtual clock v
+//                                        after a successful transmission.
+//
+// The node also keeps a table of the most recently overheard service tags
+// of one-hop-neighbor subflows (piggybacked on RTS/CTS/DATA/ACK). The
+// sender-side backoff component is Q = α·Σ_m (S − r_m); the receiver
+// estimates R = α·Σ_{m≠i} (r_i − r_m) and returns it in the ACK. The MAC
+// draws its contention backoff from [0, CW_min + max(Q, R, 0)].
+#pragma once
+
+#include <deque>
+#include <unordered_map>
+#include <vector>
+
+#include "sched/tx_queue.hpp"
+
+namespace e2efa {
+
+class TagScheduler : public TxQueue, public TagAgent {
+ public:
+  struct SubflowConfig {
+    std::int32_t subflow = -1;  ///< Global subflow id.
+    double share = 0.0;         ///< Allocated share c^j in units of B (> 0).
+  };
+
+  /// `bits_per_second` is the channel rate B (tag units are µs of airtime
+  /// at B); `alpha` is the paper's short-term fairness strictness knob;
+  /// `tag_horizon` ages neighbor-table entries (a flow-churn extension:
+  /// tags not refreshed within the horizon no longer enter Q/R, so departed
+  /// flows stop throttling survivors).
+  TagScheduler(std::vector<SubflowConfig> subflows, int per_queue_capacity,
+               std::int64_t bits_per_second, double alpha,
+               TimeNs tag_horizon = 2 * kSecond);
+
+  // --- TxQueue ---
+  bool enqueue(Packet p, TimeNs now) override;
+  bool has_packet() const override;
+  const Packet& head() const override;
+  Packet pop_success(TimeNs now) override;
+  Packet pop_drop(TimeNs now) override;
+  int backlog() const override;
+
+  // --- TagAgent ---
+  double head_tag() const override;
+  std::int32_t head_subflow() const override;
+  void observe_tag(std::int32_t subflow, double tag, TimeNs now) override;
+  double q_slots(TimeNs now) const override;
+  double r_slots_for(std::int32_t data_subflow, TimeNs now) const override;
+  void store_ack_r(std::int32_t subflow, double r) override;
+  double head_last_r() const override;
+
+  /// Updates the allocated share of one lane (phase-1 re-allocation after
+  /// flow churn). Node share is recomputed and the lane's head tags are
+  /// re-derived from the current virtual clock. share must be > 0.
+  void update_share(std::int32_t subflow, double share);
+
+  /// Node share c = Σ_j c^j.
+  double node_share() const { return node_share_; }
+  /// Current virtual clock v (µs).
+  double virtual_clock() const { return vclock_; }
+  /// Number of (neighbor-subflow, tag) entries in the local table.
+  int tag_table_size() const { return static_cast<int>(tag_table_.size()); }
+
+ private:
+  struct Lane {
+    SubflowConfig cfg;
+    std::deque<Packet> q;
+    // Tags of the head packet (valid when !q.empty()).
+    double start_tag = 0.0;
+    double internal_finish = 0.0;
+    double external_finish = 0.0;
+    // Internal finish tag of the lane's previously served packet (SFQ
+    // continuation for backlogged proportional service).
+    double last_internal_finish = 0.0;
+  };
+
+  /// Virtual transmission time of a packet: payload airtime at B, in µs.
+  double packet_vtime(const Packet& p) const;
+  void assign_head_tags(Lane& lane);
+  void select_head() const;
+  Lane& lane_of(std::int32_t subflow);
+  Packet pop_selected();
+
+  struct TableEntry {
+    double tag = 0.0;
+    TimeNs updated = 0;
+  };
+  bool fresh(const TableEntry& e, TimeNs now) const {
+    return now - e.updated <= tag_horizon_;
+  }
+
+  std::vector<Lane> lanes_;
+  std::unordered_map<std::int32_t, std::size_t> lane_index_;
+  int capacity_;
+  std::int64_t bps_;
+  double alpha_;
+  TimeNs tag_horizon_;
+  double node_share_ = 0.0;
+  double vclock_ = 0.0;
+  mutable int selected_ = -1;  ///< Lane chosen for the current head; -1 = none.
+  std::unordered_map<std::int32_t, TableEntry> tag_table_;  ///< neighbor subflow -> r_m
+  std::unordered_map<std::int32_t, double> last_r_;         ///< own subflow -> last ACK R
+  /// Join synchronization: after an idle gap longer than the tag horizon,
+  /// the virtual clock fast-forwards to the largest recently heard tag so a
+  /// (re)joining node does not start with an enormous apparent lag — and
+  /// for one further horizon (the *grace window*) it keeps adopting larger
+  /// overheard tags, which bootstraps joiners whose tables were empty at
+  /// their first enqueue. Incumbents never resync: their tag lag *is* the
+  /// fairness signal (and negative lag is floored in the backoff anyway,
+  /// so adopting a larger clock never removes a legitimate advantage).
+  TimeNs last_busy_ = kInvalidTime;
+  TimeNs sync_grace_until_ = kInvalidTime;
+  static constexpr TimeNs kInvalidTime = -1;
+};
+
+}  // namespace e2efa

@@ -1,0 +1,65 @@
+// Transmit-queue abstraction between the node stack and the MAC.
+//
+// The MAC latches head() when it begins a channel-access attempt; the
+// selected head must remain stable until pop_success/pop_drop removes it
+// (new arrivals may not displace an in-flight packet).
+#pragma once
+
+#include "phy/packet.hpp"
+#include "util/time.hpp"
+
+namespace e2efa {
+
+class TxQueue {
+ public:
+  virtual ~TxQueue() = default;
+
+  /// Offers a packet; returns false when the queue is full (drop-tail).
+  virtual bool enqueue(Packet p, TimeNs now) = 0;
+
+  virtual bool has_packet() const = 0;
+
+  /// The packet the MAC should transmit next. Requires has_packet().
+  virtual const Packet& head() const = 0;
+
+  /// Removes the current head after a successful (ACKed) transmission.
+  virtual Packet pop_success(TimeNs now) = 0;
+
+  /// Removes the current head after a retry-limit drop.
+  virtual Packet pop_drop(TimeNs now) = 0;
+
+  /// Total buffered packets.
+  virtual int backlog() const = 0;
+};
+
+/// Hooks the MAC uses to drive the 2PA tag machinery (Sec. IV-C). Null for
+/// protocols without tags (plain 802.11). Time-taking methods age out
+/// stale neighbor entries (departed flows must not throttle survivors).
+class TagAgent {
+ public:
+  virtual ~TagAgent() = default;
+
+  /// Start tag S of the current head packet (virtual-time µs).
+  virtual double head_tag() const = 0;
+  /// Global subflow id of the current head packet.
+  virtual std::int32_t head_subflow() const = 0;
+
+  /// Records an overheard (subflow, tag) pair into the local table.
+  virtual void observe_tag(std::int32_t subflow, double tag, TimeNs now) = 0;
+
+  /// Sender-side extra backoff Q = α·Σ_m (S − r_m) in slots (may be < 0),
+  /// over the non-stale table entries.
+  virtual double q_slots(TimeNs now) const = 0;
+
+  /// Receiver-side estimate R = α·Σ_{m≠i} (r_i − r_m) for the subflow whose
+  /// DATA was just received; carried back in the ACK.
+  virtual double r_slots_for(std::int32_t data_subflow, TimeNs now) const = 0;
+
+  /// Sender stores the R delivered by an ACK for the given subflow.
+  virtual void store_ack_r(std::int32_t subflow, double r) = 0;
+
+  /// Last stored R for the current head's subflow (0 if none).
+  virtual double head_last_r() const = 0;
+};
+
+}  // namespace e2efa

@@ -1,0 +1,61 @@
+#include "sim/simulator.hpp"
+
+#include "util/assert.hpp"
+
+namespace e2efa {
+
+Simulator::EventId Simulator::schedule_at(TimeNs t, std::function<void()> fn) {
+  E2EFA_ASSERT_MSG(t >= now_, "cannot schedule in the past");
+  E2EFA_ASSERT(fn != nullptr);
+  const EventId id = next_id_++;
+  heap_.push({t, id});
+  handlers_.emplace(id, std::move(fn));
+  return id;
+}
+
+Simulator::EventId Simulator::schedule_in(TimeNs delay, std::function<void()> fn) {
+  E2EFA_ASSERT_MSG(delay >= 0, "negative delay");
+  return schedule_at(now_ + delay, std::move(fn));
+}
+
+bool Simulator::cancel(EventId id) {
+  const auto it = handlers_.find(id);
+  if (it == handlers_.end()) return false;
+  handlers_.erase(it);
+  cancelled_.insert(id);
+  return true;
+}
+
+std::uint64_t Simulator::run_until(TimeNs t_end) {
+  std::uint64_t count = 0;
+  while (!heap_.empty() && heap_.top().time <= t_end) {
+    const Entry e = heap_.top();
+    heap_.pop();
+    const auto c = cancelled_.find(e.id);
+    if (c != cancelled_.end()) {
+      cancelled_.erase(c);
+      continue;
+    }
+    const auto h = handlers_.find(e.id);
+    E2EFA_ASSERT(h != handlers_.end());
+    auto fn = std::move(h->second);
+    handlers_.erase(h);
+    now_ = e.time;
+    fn();
+    ++count;
+    ++processed_;
+  }
+  if (heap_.empty() || now_ < t_end) now_ = std::max(now_, t_end);
+  return count;
+}
+
+std::uint64_t Simulator::run() {
+  std::uint64_t count = 0;
+  while (!heap_.empty()) {
+    // Delegate in chunks; run_until handles cancellation bookkeeping.
+    count += run_until(heap_.top().time);
+  }
+  return count;
+}
+
+}  // namespace e2efa

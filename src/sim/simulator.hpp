@@ -1,0 +1,70 @@
+// Discrete-event simulation engine (the ns-2 stand-in's core).
+//
+// A binary heap of (time, sequence) ordered events; same-time events fire
+// in scheduling order, which makes every run fully deterministic. Events
+// may be cancelled (lazily removed). Handlers may schedule further events
+// freely, including at the current time.
+#pragma once
+
+#include <cstdint>
+#include <functional>
+#include <queue>
+#include <unordered_map>
+#include <unordered_set>
+#include <vector>
+
+#include "util/time.hpp"
+
+namespace e2efa {
+
+class Simulator {
+ public:
+  using EventId = std::uint64_t;
+  static constexpr EventId kInvalidEvent = 0;
+
+  /// Current simulation time.
+  TimeNs now() const { return now_; }
+
+  /// Schedules `fn` at absolute time t (>= now). Returns a cancellable id.
+  EventId schedule_at(TimeNs t, std::function<void()> fn);
+
+  /// Schedules `fn` after `delay` (>= 0) from now.
+  EventId schedule_in(TimeNs delay, std::function<void()> fn);
+
+  /// Cancels a pending event; cancelling an already-fired or invalid id is
+  /// a harmless no-op (returns false).
+  bool cancel(EventId id);
+
+  /// Runs events until the queue empties or the next event is after
+  /// `t_end`; the clock finishes at min(t_end, last event time). Returns
+  /// the number of events processed by this call.
+  std::uint64_t run_until(TimeNs t_end);
+
+  /// Runs until the event queue is empty.
+  std::uint64_t run();
+
+  /// Total events processed over the simulator's lifetime.
+  std::uint64_t events_processed() const { return processed_; }
+
+  /// Pending (non-cancelled) events.
+  std::size_t pending() const { return heap_.size() - cancelled_.size(); }
+
+ private:
+  struct Entry {
+    TimeNs time;
+    EventId id;  ///< Doubles as the scheduling sequence number.
+    // Min-heap on (time, id).
+    bool operator>(const Entry& o) const {
+      return time != o.time ? time > o.time : id > o.id;
+    }
+  };
+
+  TimeNs now_ = 0;
+  EventId next_id_ = 1;
+  std::uint64_t processed_ = 0;
+  std::priority_queue<Entry, std::vector<Entry>, std::greater<Entry>> heap_;
+  std::unordered_set<EventId> cancelled_;
+  std::unordered_map<EventId, std::function<void()>> handlers_;
+};
+
+}  // namespace e2efa

@@ -1,0 +1,41 @@
+#include "topology/builders.hpp"
+
+#include "util/assert.hpp"
+
+namespace e2efa {
+
+Topology make_chain(int n, double spacing_m, double tx_range_m) {
+  E2EFA_ASSERT(n >= 1);
+  E2EFA_ASSERT(spacing_m > 0.0);
+  std::vector<Point> pos;
+  pos.reserve(static_cast<std::size_t>(n));
+  for (int i = 0; i < n; ++i) pos.push_back({spacing_m * i, 0.0});
+  return Topology(std::move(pos), tx_range_m);
+}
+
+Topology make_grid(int rows, int cols, double spacing_m, double tx_range_m) {
+  E2EFA_ASSERT(rows >= 1 && cols >= 1);
+  E2EFA_ASSERT(spacing_m > 0.0);
+  std::vector<Point> pos;
+  pos.reserve(static_cast<std::size_t>(rows) * static_cast<std::size_t>(cols));
+  for (int r = 0; r < rows; ++r)
+    for (int c = 0; c < cols; ++c) pos.push_back({spacing_m * c, spacing_m * r});
+  return Topology(std::move(pos), tx_range_m);
+}
+
+Topology make_random(int n, double width_m, double height_m, Rng& rng,
+                     double tx_range_m, bool require_connected, int max_attempts) {
+  E2EFA_ASSERT(n >= 1);
+  E2EFA_ASSERT(width_m > 0.0 && height_m > 0.0);
+  for (int attempt = 0; attempt < max_attempts; ++attempt) {
+    std::vector<Point> pos;
+    pos.reserve(static_cast<std::size_t>(n));
+    for (int i = 0; i < n; ++i)
+      pos.push_back({rng.uniform(0.0, width_m), rng.uniform(0.0, height_m)});
+    Topology topo(std::move(pos), tx_range_m);
+    if (!require_connected || topo.connected()) return topo;
+  }
+  throw ContractViolation("make_random: could not place a connected topology");
+}
+
+}  // namespace e2efa

@@ -1,0 +1,28 @@
+// Convenience topology constructors: chains, grids, and random placements.
+// The exact topologies of the paper's two evaluation scenarios live in
+// net/scenarios.hpp because they also carry flow definitions.
+#pragma once
+
+#include "topology/topology.hpp"
+#include "util/rng.hpp"
+
+namespace e2efa {
+
+/// A straight-line chain of `n` nodes spaced `spacing_m` apart.
+/// With spacing 200 m and range 250 m this yields the paper's canonical
+/// shortcut-free multi-hop path (nodes two hops apart are out of range).
+Topology make_chain(int n, double spacing_m = 200.0, double tx_range_m = 250.0);
+
+/// A rows x cols grid with the given spacing.
+Topology make_grid(int rows, int cols, double spacing_m = 200.0,
+                   double tx_range_m = 250.0);
+
+/// `n` nodes placed uniformly at random in a width x height field.
+/// If `require_connected`, retries placement (up to `max_attempts`) until the
+/// connectivity graph is a single component; throws ContractViolation if it
+/// never is.
+Topology make_random(int n, double width_m, double height_m, Rng& rng,
+                     double tx_range_m = 250.0, bool require_connected = true,
+                     int max_attempts = 200);
+
+}  // namespace e2efa

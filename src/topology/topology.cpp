@@ -1,0 +1,98 @@
+#include "topology/topology.hpp"
+
+#include <algorithm>
+#include <queue>
+
+#include "util/assert.hpp"
+
+namespace e2efa {
+
+Topology::Topology(std::vector<Point> positions, double tx_range_m,
+                   std::optional<double> interference_range_m)
+    : positions_(std::move(positions)),
+      tx_range_(tx_range_m),
+      if_range_(interference_range_m.value_or(tx_range_m)) {
+  E2EFA_ASSERT(tx_range_ > 0.0);
+  E2EFA_ASSERT_MSG(if_range_ >= tx_range_,
+                   "interference range must be at least the transmission range");
+  const int n = node_count();
+  neighbors_.resize(static_cast<std::size_t>(n));
+  if_neighbors_.resize(static_cast<std::size_t>(n));
+  for (NodeId i = 0; i < n; ++i) {
+    for (NodeId j = 0; j < n; ++j) {
+      if (i == j) continue;
+      if (within_range(positions_[i], positions_[j], tx_range_))
+        neighbors_[i].push_back(j);
+      if (within_range(positions_[i], positions_[j], if_range_))
+        if_neighbors_[i].push_back(j);
+    }
+  }
+}
+
+void Topology::check_node(NodeId n) const {
+  E2EFA_ASSERT_MSG(n >= 0 && n < node_count(), "node id out of range");
+}
+
+const Point& Topology::position(NodeId n) const {
+  check_node(n);
+  return positions_[static_cast<std::size_t>(n)];
+}
+
+bool Topology::has_link(NodeId a, NodeId b) const {
+  check_node(a);
+  check_node(b);
+  if (a == b) return false;
+  return within_range(positions_[a], positions_[b], tx_range_);
+}
+
+bool Topology::interferes(NodeId a, NodeId b) const {
+  check_node(a);
+  check_node(b);
+  if (a == b) return false;
+  return within_range(positions_[a], positions_[b], if_range_);
+}
+
+const std::vector<NodeId>& Topology::neighbors(NodeId n) const {
+  check_node(n);
+  return neighbors_[static_cast<std::size_t>(n)];
+}
+
+const std::vector<NodeId>& Topology::interference_neighbors(NodeId n) const {
+  check_node(n);
+  return if_neighbors_[static_cast<std::size_t>(n)];
+}
+
+bool Topology::connected() const {
+  const int n = node_count();
+  if (n <= 1) return true;
+  std::vector<bool> seen(static_cast<std::size_t>(n), false);
+  std::queue<NodeId> frontier;
+  frontier.push(0);
+  seen[0] = true;
+  int visited = 1;
+  while (!frontier.empty()) {
+    const NodeId u = frontier.front();
+    frontier.pop();
+    for (NodeId v : neighbors_[static_cast<std::size_t>(u)]) {
+      if (!seen[static_cast<std::size_t>(v)]) {
+        seen[static_cast<std::size_t>(v)] = true;
+        ++visited;
+        frontier.push(v);
+      }
+    }
+  }
+  return visited == n;
+}
+
+void Topology::set_labels(std::vector<std::string> labels) {
+  E2EFA_ASSERT(static_cast<int>(labels.size()) == node_count());
+  labels_ = std::move(labels);
+}
+
+std::string Topology::label(NodeId n) const {
+  check_node(n);
+  if (!labels_.empty()) return labels_[static_cast<std::size_t>(n)];
+  return std::to_string(n);
+}
+
+}  // namespace e2efa

@@ -1,0 +1,67 @@
+// Static wireless network topology: node positions plus radio ranges.
+//
+// Connectivity follows the unit-disk model the paper's evaluation reduces
+// to: node j can receive node i's transmission iff it lies within the
+// transmission range; it is *interfered with* by i iff within the
+// interference range (>= transmission range). Both scenarios in the paper
+// use 250 m for both ranges.
+#pragma once
+
+#include <cstdint>
+#include <optional>
+#include <string>
+#include <vector>
+
+#include "geom/geom.hpp"
+
+namespace e2efa {
+
+using NodeId = std::int32_t;
+constexpr NodeId kInvalidNode = -1;
+
+/// Immutable-after-construction set of node positions with range-based
+/// connectivity queries and cached neighbor lists.
+class Topology {
+ public:
+  /// `tx_range_m` is the transmission (and default interference) range.
+  Topology(std::vector<Point> positions, double tx_range_m,
+           std::optional<double> interference_range_m = std::nullopt);
+
+  int node_count() const { return static_cast<int>(positions_.size()); }
+  const Point& position(NodeId n) const;
+  double tx_range() const { return tx_range_; }
+  double interference_range() const { return if_range_; }
+
+  /// True when a and b are distinct nodes within transmission range
+  /// (i.e., a bidirectional wireless link exists between them).
+  bool has_link(NodeId a, NodeId b) const;
+
+  /// True when b is within a's interference range (a != b).
+  bool interferes(NodeId a, NodeId b) const;
+
+  /// Nodes within transmission range of n (excluding n), ascending ids.
+  const std::vector<NodeId>& neighbors(NodeId n) const;
+
+  /// Nodes within interference range of n (excluding n), ascending ids.
+  const std::vector<NodeId>& interference_neighbors(NodeId n) const;
+
+  /// True when the connectivity graph is a single connected component.
+  bool connected() const;
+
+  /// Optional human-readable labels ("A", "B", ...) used in printed tables.
+  void set_labels(std::vector<std::string> labels);
+  /// Label for node n; defaults to its numeric id.
+  std::string label(NodeId n) const;
+
+ private:
+  void check_node(NodeId n) const;
+
+  std::vector<Point> positions_;
+  double tx_range_;
+  double if_range_;
+  std::vector<std::vector<NodeId>> neighbors_;
+  std::vector<std::vector<NodeId>> if_neighbors_;
+  std::vector<std::string> labels_;
+};
+
+}  // namespace e2efa

@@ -1,0 +1,47 @@
+// Lightweight contract checking.
+//
+// E2EFA_ASSERT is an always-on precondition/invariant check that throws
+// e2efa::ContractViolation (so tests can observe failures and callers can
+// unwind cleanly) instead of aborting the process.
+#pragma once
+
+#include <stdexcept>
+#include <string>
+
+namespace e2efa {
+
+/// Thrown when a checked precondition or invariant does not hold.
+class ContractViolation : public std::logic_error {
+ public:
+  explicit ContractViolation(const std::string& what) : std::logic_error(what) {}
+};
+
+namespace detail {
+[[noreturn]] inline void contract_failed(const char* expr, const char* file, int line,
+                                         const std::string& msg) {
+  std::string s = "contract violated: ";
+  s += expr;
+  s += " at ";
+  s += file;
+  s += ":";
+  s += std::to_string(line);
+  if (!msg.empty()) {
+    s += " (";
+    s += msg;
+    s += ")";
+  }
+  throw ContractViolation(s);
+}
+}  // namespace detail
+
+}  // namespace e2efa
+
+#define E2EFA_ASSERT(expr)                                                  \
+  do {                                                                      \
+    if (!(expr)) ::e2efa::detail::contract_failed(#expr, __FILE__, __LINE__, ""); \
+  } while (false)
+
+#define E2EFA_ASSERT_MSG(expr, msg)                                         \
+  do {                                                                      \
+    if (!(expr)) ::e2efa::detail::contract_failed(#expr, __FILE__, __LINE__, (msg)); \
+  } while (false)

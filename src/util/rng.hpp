@@ -1,0 +1,60 @@
+// Deterministic pseudo-random number generation.
+//
+// All stochastic behaviour in the library (backoff draws, jitter, random
+// topologies) is driven by an explicitly seeded Rng so that every simulation
+// is reproducible bit-for-bit from its seed. The generator is xoshiro256**,
+// seeded through SplitMix64 as its authors recommend.
+#pragma once
+
+#include <cstdint>
+#include <limits>
+
+#include "util/assert.hpp"
+
+namespace e2efa {
+
+/// xoshiro256** pseudo-random generator with convenience distributions.
+///
+/// Satisfies the UniformRandomBitGenerator concept so it can also be used
+/// with <random> distributions when needed.
+class Rng {
+ public:
+  using result_type = std::uint64_t;
+
+  explicit Rng(std::uint64_t seed = 0x9e3779b97f4a7c15ULL) { reseed(seed); }
+
+  /// Re-initializes the state from a 64-bit seed via SplitMix64.
+  void reseed(std::uint64_t seed);
+
+  static constexpr result_type min() { return 0; }
+  static constexpr result_type max() { return std::numeric_limits<result_type>::max(); }
+
+  /// Next raw 64-bit output.
+  std::uint64_t operator()();
+
+  /// Uniform integer in [0, bound). Requires bound > 0.
+  std::uint64_t uniform_u64(std::uint64_t bound);
+
+  /// Uniform integer in [lo, hi] inclusive. Requires lo <= hi.
+  std::int64_t uniform_i64(std::int64_t lo, std::int64_t hi);
+
+  /// Uniform double in [0, 1).
+  double uniform01();
+
+  /// Uniform double in [lo, hi). Requires lo <= hi.
+  double uniform(double lo, double hi);
+
+  /// Exponentially distributed double with the given mean (> 0).
+  double exponential(double mean);
+
+  /// Bernoulli trial with success probability p in [0, 1].
+  bool bernoulli(double p);
+
+  /// Splits off an independent generator (for per-node streams).
+  Rng split();
+
+ private:
+  std::uint64_t s_[4]{};
+};
+
+}  // namespace e2efa

@@ -1,0 +1,43 @@
+#include "util/stats.hpp"
+
+#include <algorithm>
+#include <cmath>
+
+namespace e2efa {
+
+void RunningStat::add(double x) {
+  ++count_;
+  sum_ += x;
+  const double delta = x - mean_;
+  mean_ += delta / static_cast<double>(count_);
+  m2_ += delta * (x - mean_);
+  min_ = std::min(min_, x);
+  max_ = std::max(max_, x);
+}
+
+double RunningStat::variance() const {
+  if (count_ < 2) return 0.0;
+  return m2_ / static_cast<double>(count_ - 1);
+}
+
+double RunningStat::stddev() const { return std::sqrt(variance()); }
+
+double jain_fairness_index(const std::vector<double>& xs) {
+  if (xs.empty()) return 1.0;
+  double sum = 0.0, sumsq = 0.0;
+  for (double x : xs) {
+    sum += x;
+    sumsq += x * x;
+  }
+  if (sumsq == 0.0) return 1.0;
+  return (sum * sum) / (static_cast<double>(xs.size()) * sumsq);
+}
+
+double max_min_ratio(const std::vector<double>& xs) {
+  if (xs.empty()) return 1.0;
+  const auto [mn, mx] = std::minmax_element(xs.begin(), xs.end());
+  if (*mn == 0.0) return *mx == 0.0 ? 1.0 : std::numeric_limits<double>::infinity();
+  return *mx / *mn;
+}
+
+}  // namespace e2efa

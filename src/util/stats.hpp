@@ -1,0 +1,41 @@
+// Streaming statistics helpers used by the simulator and benchmarks.
+#pragma once
+
+#include <cstdint>
+#include <limits>
+#include <vector>
+
+namespace e2efa {
+
+/// Single-pass mean/variance/min/max accumulator (Welford's algorithm).
+class RunningStat {
+ public:
+  void add(double x);
+
+  std::int64_t count() const { return count_; }
+  double mean() const { return count_ > 0 ? mean_ : 0.0; }
+  /// Sample variance (n-1 denominator); 0 for fewer than two samples.
+  double variance() const;
+  double stddev() const;
+  double min() const { return count_ > 0 ? min_ : 0.0; }
+  double max() const { return count_ > 0 ? max_ : 0.0; }
+  double sum() const { return sum_; }
+
+ private:
+  std::int64_t count_ = 0;
+  double mean_ = 0.0;
+  double m2_ = 0.0;
+  double sum_ = 0.0;
+  double min_ = std::numeric_limits<double>::infinity();
+  double max_ = -std::numeric_limits<double>::infinity();
+};
+
+/// Jain's fairness index over per-entity throughputs: (Σx)^2 / (n·Σx²).
+/// Returns 1.0 for an empty input (vacuously fair).
+double jain_fairness_index(const std::vector<double>& xs);
+
+/// Max/min ratio of the values; +inf when the minimum is zero but the
+/// maximum is not, 1.0 for empty input.
+double max_min_ratio(const std::vector<double>& xs);
+
+}  // namespace e2efa

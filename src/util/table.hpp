@@ -1,0 +1,29 @@
+// Plain-text table printer used by the bench binaries to render paper-style
+// result tables (Table I/II/III and the figure examples).
+#pragma once
+
+#include <ostream>
+#include <string>
+#include <vector>
+
+namespace e2efa {
+
+/// Accumulates rows of string cells and renders an aligned ASCII table.
+class TextTable {
+ public:
+  explicit TextTable(std::vector<std::string> header);
+
+  /// Appends one row; it may have fewer cells than the header (padded blank).
+  void add_row(std::vector<std::string> cells);
+
+  /// Renders with column alignment and a header separator.
+  void print(std::ostream& os) const;
+
+  std::size_t rows() const { return rows_.size(); }
+
+ private:
+  std::vector<std::string> header_;
+  std::vector<std::vector<std::string>> rows_;
+};
+
+}  // namespace e2efa

@@ -1,0 +1,135 @@
+#include <gtest/gtest.h>
+
+#include "net/cli.hpp"
+#include "util/assert.hpp"
+
+namespace e2efa {
+namespace {
+
+std::optional<CliOptions> parse(std::vector<const char*> args, std::string* err) {
+  args.insert(args.begin(), "e2efa-sim");
+  return parse_cli(static_cast<int>(args.size()), args.data(), err);
+}
+
+TEST(Cli, DefaultsWhenNoArgs) {
+  std::string err;
+  const auto opt = parse({}, &err);
+  ASSERT_TRUE(opt.has_value());
+  EXPECT_EQ(opt->scenario, "1");
+  EXPECT_EQ(opt->protocol, Protocol::k2paCentralized);
+  EXPECT_DOUBLE_EQ(opt->config.sim_seconds, 60.0);
+  EXPECT_FALSE(opt->list_shares);
+}
+
+TEST(Cli, ParsesAllOptions) {
+  std::string err;
+  const auto opt = parse({"--scenario", "chain:4", "--protocol", "2pa-d", "--seconds",
+                          "120", "--warmup", "5", "--pps", "50", "--alpha", "0.001",
+                          "--seed", "42", "--queue", "10", "--shares"},
+                         &err);
+  ASSERT_TRUE(opt.has_value()) << err;
+  EXPECT_EQ(opt->scenario, "chain:4");
+  EXPECT_EQ(opt->protocol, Protocol::k2paDistributed);
+  EXPECT_DOUBLE_EQ(opt->config.sim_seconds, 120.0);
+  EXPECT_DOUBLE_EQ(opt->config.warmup_seconds, 5.0);
+  EXPECT_DOUBLE_EQ(opt->config.cbr_pps, 50.0);
+  EXPECT_DOUBLE_EQ(opt->config.alpha, 0.001);
+  EXPECT_EQ(opt->config.seed, 42u);
+  EXPECT_EQ(opt->config.queue_capacity, 10);
+  EXPECT_TRUE(opt->list_shares);
+}
+
+TEST(Cli, HelpReturnsEmptyError) {
+  std::string err = "sentinel";
+  EXPECT_FALSE(parse({"--help"}, &err).has_value());
+  EXPECT_TRUE(err.empty());
+  EXPECT_NE(cli_usage().find("--scenario"), std::string::npos);
+}
+
+TEST(Cli, RejectsUnknownOption) {
+  std::string err;
+  EXPECT_FALSE(parse({"--bogus", "1"}, &err).has_value());
+  EXPECT_NE(err.find("unknown option"), std::string::npos);
+}
+
+TEST(Cli, RejectsMissingValue) {
+  std::string err;
+  EXPECT_FALSE(parse({"--seconds"}, &err).has_value());
+  EXPECT_NE(err.find("missing value"), std::string::npos);
+}
+
+TEST(Cli, RejectsBadValues) {
+  std::string err;
+  EXPECT_FALSE(parse({"--seconds", "-5"}, &err).has_value());
+  EXPECT_FALSE(parse({"--pps", "0"}, &err).has_value());
+  EXPECT_FALSE(parse({"--queue", "0"}, &err).has_value());
+  EXPECT_FALSE(parse({"--protocol", "tcp"}, &err).has_value());
+}
+
+TEST(Cli, ProtocolAliases) {
+  EXPECT_EQ(parse_protocol("802.11"), Protocol::k80211);
+  EXPECT_EQ(parse_protocol("dcf"), Protocol::k80211);
+  EXPECT_EQ(parse_protocol("two-tier"), Protocol::kTwoTier);
+  EXPECT_EQ(parse_protocol("two-tier-mm"), Protocol::kTwoTierBalanced);
+  EXPECT_EQ(parse_protocol("2pa"), Protocol::k2paCentralized);
+  EXPECT_EQ(parse_protocol("2pa-d"), Protocol::k2paDistributed);
+  EXPECT_EQ(parse_protocol("maxmin"), Protocol::kMaxMin);
+  EXPECT_FALSE(parse_protocol("csma").has_value());
+}
+
+TEST(NamedScenario, PaperScenarios) {
+  Rng rng(1);
+  EXPECT_EQ(make_named_scenario("1", rng).topo.node_count(), 6);
+  EXPECT_EQ(make_named_scenario("2", rng).topo.node_count(), 14);
+}
+
+TEST(NamedScenario, Chain) {
+  Rng rng(1);
+  const Scenario sc = make_named_scenario("chain:5", rng);
+  EXPECT_EQ(sc.topo.node_count(), 6);
+  ASSERT_EQ(sc.flow_specs.size(), 1u);
+  EXPECT_EQ(sc.flow_specs[0].path.size(), 6u);
+}
+
+TEST(NamedScenario, Grid) {
+  Rng rng(1);
+  const Scenario sc = make_named_scenario("grid:3x4", rng);
+  EXPECT_EQ(sc.topo.node_count(), 12);
+  EXPECT_EQ(sc.flow_specs.size(), 4u);
+  FlowSet flows(sc.topo, sc.flow_specs);  // validates routes
+  EXPECT_TRUE(flows.all_shortcut_free());
+}
+
+TEST(NamedScenario, RandomDeterministic) {
+  Rng a(7), b(7);
+  const Scenario s1 = make_named_scenario("random:10", a);
+  const Scenario s2 = make_named_scenario("random:10", b);
+  ASSERT_EQ(s1.flow_specs.size(), s2.flow_specs.size());
+  for (std::size_t i = 0; i < s1.flow_specs.size(); ++i)
+    EXPECT_EQ(s1.flow_specs[i].path, s2.flow_specs[i].path);
+}
+
+TEST(NamedScenario, RejectsBadSpecs) {
+  Rng rng(1);
+  EXPECT_THROW(make_named_scenario("chain:0", rng), ContractViolation);
+  EXPECT_THROW(make_named_scenario("grid:99x2", rng), ContractViolation);
+  EXPECT_THROW(make_named_scenario("grid:4", rng), ContractViolation);
+  EXPECT_THROW(make_named_scenario("random:1", rng), ContractViolation);
+  EXPECT_THROW(make_named_scenario("torus:3", rng), ContractViolation);
+}
+
+TEST(Cli, FormatRunResultContainsEssentials) {
+  Rng rng(1);
+  const Scenario sc = make_named_scenario("1", rng);
+  SimConfig cfg;
+  cfg.sim_seconds = 5.0;
+  const RunResult r = run_scenario(sc, Protocol::k2paCentralized, cfg);
+  const std::string s = format_run_result(sc, r, cfg, /*list_shares=*/true);
+  EXPECT_NE(s.find("2PA-C"), std::string::npos);
+  EXPECT_NE(s.find("A-B-C"), std::string::npos);
+  EXPECT_NE(s.find("target share"), std::string::npos);
+  EXPECT_NE(s.find("F2.2"), std::string::npos);  // share listing present
+}
+
+}  // namespace
+}  // namespace e2efa

@@ -1,0 +1,154 @@
+#include <gtest/gtest.h>
+
+#include "flow/flow.hpp"
+#include "net/scenarios.hpp"
+#include "topology/builders.hpp"
+#include "util/assert.hpp"
+
+namespace e2efa {
+namespace {
+
+TEST(VirtualLength, PaperDefinition) {
+  EXPECT_EQ(virtual_length(1), 1);
+  EXPECT_EQ(virtual_length(2), 2);
+  EXPECT_EQ(virtual_length(3), 3);
+  EXPECT_EQ(virtual_length(4), 3);
+  EXPECT_EQ(virtual_length(10), 3);
+}
+
+TEST(VirtualLength, RejectsNonPositive) {
+  EXPECT_THROW(virtual_length(0), ContractViolation);
+}
+
+class FlowSetTest : public ::testing::Test {
+ protected:
+  Topology topo_ = make_chain(6);  // 0-1-2-3-4-5
+};
+
+TEST_F(FlowSetTest, BuildsSubflowsInOrder) {
+  Flow f;
+  f.path = {0, 1, 2, 3};
+  f.weight = 2.0;
+  FlowSet fs(topo_, {f});
+  ASSERT_EQ(fs.flow_count(), 1);
+  ASSERT_EQ(fs.subflow_count(), 3);
+  for (int h = 0; h < 3; ++h) {
+    const Subflow& s = fs.subflow(fs.subflow_index(0, h));
+    EXPECT_EQ(s.flow, 0);
+    EXPECT_EQ(s.hop, h);
+    EXPECT_EQ(s.src, h);
+    EXPECT_EQ(s.dst, h + 1);
+    EXPECT_EQ(s.weight, 2.0);
+  }
+}
+
+TEST_F(FlowSetTest, NamesAreOneBased) {
+  Flow f;
+  f.path = {0, 1, 2};
+  FlowSet fs(topo_, {f});
+  EXPECT_EQ(fs.flow(0).name(), "F1");
+  EXPECT_EQ(fs.subflow(0).name(), "F1.1");
+  EXPECT_EQ(fs.subflow(1).name(), "F1.2");
+}
+
+TEST_F(FlowSetTest, AssignsIdsInInsertionOrder) {
+  Flow a, b;
+  a.path = {0, 1};
+  b.path = {3, 4};
+  FlowSet fs(topo_, {a, b});
+  EXPECT_EQ(fs.flow(0).path.front(), 0);
+  EXPECT_EQ(fs.flow(1).path.front(), 3);
+  EXPECT_EQ(fs.flow(1).id, 1);
+}
+
+TEST_F(FlowSetTest, SourceDestinationLength) {
+  Flow f;
+  f.path = {1, 2, 3, 4, 5};
+  FlowSet fs(topo_, {f});
+  EXPECT_EQ(fs.flow(0).source(), 1);
+  EXPECT_EQ(fs.flow(0).destination(), 5);
+  EXPECT_EQ(fs.flow(0).length(), 4);
+  EXPECT_EQ(fs.virtual_length_of(0), 3);
+}
+
+TEST_F(FlowSetTest, WeightedVirtualLengthSum) {
+  Flow a, b;
+  a.path = {0, 1, 2, 3, 4};  // l=4, v=3
+  a.weight = 2.0;
+  b.path = {5, 4};  // l=1, v=1
+  b.weight = 3.0;
+  FlowSet fs(topo_, {a, b});
+  EXPECT_DOUBLE_EQ(fs.weighted_virtual_length_sum(), 2.0 * 3 + 3.0 * 1);
+}
+
+TEST_F(FlowSetTest, RejectsBrokenLink) {
+  Flow f;
+  f.path = {0, 2};  // not in range
+  EXPECT_THROW(FlowSet(topo_, {f}), ContractViolation);
+}
+
+TEST_F(FlowSetTest, RejectsSingleNodePath) {
+  Flow f;
+  f.path = {0};
+  EXPECT_THROW(FlowSet(topo_, {f}), ContractViolation);
+}
+
+TEST_F(FlowSetTest, RejectsRepeatedNode) {
+  Flow f;
+  f.path = {0, 1, 0};
+  EXPECT_THROW(FlowSet(topo_, {f}), ContractViolation);
+}
+
+TEST_F(FlowSetTest, RejectsNonPositiveWeight) {
+  Flow f;
+  f.path = {0, 1};
+  f.weight = 0.0;
+  EXPECT_THROW(FlowSet(topo_, {f}), ContractViolation);
+}
+
+TEST_F(FlowSetTest, RejectsEmptyFlowSet) {
+  EXPECT_THROW(FlowSet(topo_, {}), ContractViolation);
+}
+
+TEST(FlowShortcut, DetectsShortcut) {
+  // Triangle topology: 0-1-2 with 0-2 also in range.
+  Topology t({{0, 0}, {200, 0}, {200, 200}}, 300.0);
+  Flow f;
+  f.path = {0, 1, 2};
+  FlowSet fs(t, {f});
+  EXPECT_TRUE(fs.has_shortcut(0));
+  EXPECT_FALSE(fs.all_shortcut_free());
+}
+
+TEST(FlowShortcut, ChainIsShortcutFree) {
+  Topology t = make_chain(8);
+  Flow f;
+  f.path = {0, 1, 2, 3, 4, 5, 6, 7};
+  FlowSet fs(t, {f});
+  EXPECT_FALSE(fs.has_shortcut(0));
+  EXPECT_TRUE(fs.all_shortcut_free());
+}
+
+TEST(FlowShortcut, PaperScenariosAreShortcutFree) {
+  for (Scenario sc : {scenario1(), scenario2()}) {
+    FlowSet fs(sc.topo, sc.flow_specs);
+    EXPECT_TRUE(fs.all_shortcut_free()) << sc.name;
+  }
+}
+
+TEST(FlowSetScenario, Scenario2FlowShapes) {
+  Scenario sc = scenario2();
+  FlowSet fs(sc.topo, sc.flow_specs);
+  ASSERT_EQ(fs.flow_count(), 5);
+  EXPECT_EQ(fs.flow(0).length(), 4);
+  EXPECT_EQ(fs.flow(1).length(), 1);
+  EXPECT_EQ(fs.flow(2).length(), 1);
+  EXPECT_EQ(fs.flow(3).length(), 2);
+  EXPECT_EQ(fs.flow(4).length(), 1);
+  EXPECT_EQ(fs.subflow_count(), 9);
+  // Σ w_j v_j = 3+1+1+2+1 = 8 (paper's B/8 basic share).
+  EXPECT_DOUBLE_EQ(fs.weighted_virtual_length_sum(), 8.0);
+}
+
+}  // namespace
+}  // namespace e2efa

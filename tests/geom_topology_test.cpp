@@ -1,0 +1,166 @@
+#include <gtest/gtest.h>
+
+#include "geom/geom.hpp"
+#include "net/scenarios.hpp"
+#include "topology/builders.hpp"
+#include "topology/topology.hpp"
+#include "util/assert.hpp"
+#include "util/rng.hpp"
+
+namespace e2efa {
+namespace {
+
+// ---------- geometry ----------
+
+TEST(Geom, Distance) {
+  EXPECT_DOUBLE_EQ(distance({0, 0}, {3, 4}), 5.0);
+  EXPECT_DOUBLE_EQ(distance({1, 1}, {1, 1}), 0.0);
+  EXPECT_DOUBLE_EQ(distance_sq({0, 0}, {3, 4}), 25.0);
+}
+
+TEST(Geom, WithinRangeBoundaryInclusive) {
+  EXPECT_TRUE(within_range({0, 0}, {250, 0}, 250.0));
+  EXPECT_FALSE(within_range({0, 0}, {250.001, 0}, 250.0));
+  EXPECT_TRUE(within_range({0, 0}, {0, 0}, 0.0));
+}
+
+TEST(Geom, NegativeRangeThrows) {
+  EXPECT_THROW(within_range({0, 0}, {1, 1}, -1.0), ContractViolation);
+}
+
+// ---------- topology ----------
+
+TEST(Topology, ChainLinksOnlyAdjacent) {
+  Topology t = make_chain(5, 200.0, 250.0);
+  for (NodeId i = 0; i < 4; ++i) EXPECT_TRUE(t.has_link(i, i + 1));
+  EXPECT_FALSE(t.has_link(0, 2));
+  EXPECT_FALSE(t.has_link(1, 3));
+  EXPECT_FALSE(t.has_link(0, 4));
+}
+
+TEST(Topology, NoSelfLink) {
+  Topology t = make_chain(3);
+  EXPECT_FALSE(t.has_link(1, 1));
+  EXPECT_FALSE(t.interferes(1, 1));
+}
+
+TEST(Topology, NeighborsSortedAndSymmetric) {
+  Topology t = make_chain(4);
+  EXPECT_EQ(t.neighbors(0), (std::vector<NodeId>{1}));
+  EXPECT_EQ(t.neighbors(1), (std::vector<NodeId>{0, 2}));
+  for (NodeId a = 0; a < 4; ++a)
+    for (NodeId b = 0; b < 4; ++b) EXPECT_EQ(t.has_link(a, b), t.has_link(b, a));
+}
+
+TEST(Topology, InterferenceRangeWiderThanTx) {
+  // 250 m tx / 500 m interference: node 0 and 2 (400 m apart) interfere but
+  // cannot exchange frames.
+  Topology t({{0, 0}, {200, 0}, {400, 0}}, 250.0, 500.0);
+  EXPECT_FALSE(t.has_link(0, 2));
+  EXPECT_TRUE(t.interferes(0, 2));
+  EXPECT_EQ(t.interference_neighbors(0).size(), 2u);
+  EXPECT_EQ(t.neighbors(0).size(), 1u);
+}
+
+TEST(Topology, InterferenceSmallerThanTxThrows) {
+  EXPECT_THROW(Topology({{0, 0}, {1, 1}}, 250.0, 100.0), ContractViolation);
+}
+
+TEST(Topology, Connectivity) {
+  EXPECT_TRUE(make_chain(6).connected());
+  // Two distant pairs: disconnected.
+  Topology t({{0, 0}, {100, 0}, {10000, 0}, {10100, 0}}, 250.0);
+  EXPECT_FALSE(t.connected());
+  EXPECT_TRUE(Topology({{5, 5}}, 250.0).connected());
+}
+
+TEST(Topology, LabelsDefaultAndCustom) {
+  Topology t = make_chain(2);
+  EXPECT_EQ(t.label(0), "0");
+  t.set_labels({"X", "Y"});
+  EXPECT_EQ(t.label(1), "Y");
+}
+
+TEST(Topology, OutOfRangeNodeThrows) {
+  Topology t = make_chain(2);
+  EXPECT_THROW(t.position(2), ContractViolation);
+  EXPECT_THROW(t.has_link(0, 5), ContractViolation);
+  EXPECT_THROW((void)t.neighbors(-1), ContractViolation);
+}
+
+TEST(Topology, GridStructure) {
+  Topology t = make_grid(3, 3, 200.0, 250.0);
+  EXPECT_EQ(t.node_count(), 9);
+  // Center node (1,1) = id 4 links to the 4-neighborhood but not diagonals
+  // (diagonal distance 283 > 250).
+  EXPECT_EQ(t.neighbors(4), (std::vector<NodeId>{1, 3, 5, 7}));
+}
+
+TEST(Topology, RandomPlacementConnectedAndDeterministic) {
+  Rng r1(12345), r2(12345);
+  Topology a = make_random(15, 800, 800, r1);
+  Topology b = make_random(15, 800, 800, r2);
+  EXPECT_TRUE(a.connected());
+  for (NodeId i = 0; i < a.node_count(); ++i) {
+    EXPECT_EQ(a.position(i).x, b.position(i).x);
+    EXPECT_EQ(a.position(i).y, b.position(i).y);
+  }
+}
+
+TEST(Topology, RandomPlacementImpossibleThrows) {
+  Rng r(1);
+  // 2 nodes in a 100 km field with 250 m range will essentially never
+  // connect in 3 attempts.
+  EXPECT_THROW(make_random(2, 100'000, 100'000, r, 250.0, true, 3),
+               ContractViolation);
+}
+
+// ---------- paper scenarios: geometric sanity ----------
+
+TEST(Scenarios, Scenario1LinksMatchFig1) {
+  Scenario sc = scenario1();
+  const auto& t = sc.topo;
+  ASSERT_EQ(t.node_count(), 6);
+  // Flow paths are live links.
+  EXPECT_TRUE(t.has_link(0, 1));  // A-B
+  EXPECT_TRUE(t.has_link(1, 2));  // B-C
+  EXPECT_TRUE(t.has_link(3, 4));  // D-E
+  EXPECT_TRUE(t.has_link(4, 5));  // E-F
+  // The crucial contention bridge: C in range of E.
+  EXPECT_TRUE(t.has_link(2, 4));
+  // F1.1's endpoints are isolated from F2 entirely.
+  for (NodeId f2node : {3, 4, 5}) {
+    EXPECT_FALSE(t.has_link(0, f2node));
+    EXPECT_FALSE(t.has_link(1, f2node));
+  }
+  // No shortcuts: A-C and D-F out of range.
+  EXPECT_FALSE(t.has_link(0, 2));
+  EXPECT_FALSE(t.has_link(3, 5));
+}
+
+TEST(Scenarios, Scenario2LinksMatchFig6) {
+  Scenario sc = scenario2();
+  const auto& t = sc.topo;
+  ASSERT_EQ(t.node_count(), 14);
+  // All flow hops are links.
+  for (const Flow& f : sc.flow_specs)
+    for (std::size_t h = 0; h + 1 < f.path.size(); ++h)
+      EXPECT_TRUE(t.has_link(f.path[h], f.path[h + 1]));
+  // G (6) bridges F2 to F1 via D (3).
+  EXPECT_TRUE(t.has_link(6, 3));
+  // F (5) in range of H (7): F2.1 contends F3.1.
+  EXPECT_TRUE(t.has_link(5, 7));
+  // I (8) in range of J (9): F3.1 contends F4.1; but I out of range of K.
+  EXPECT_TRUE(t.has_link(8, 9));
+  EXPECT_FALSE(t.has_link(8, 10));
+  // M (12) in range of J and K; N (13) in range of L.
+  EXPECT_TRUE(t.has_link(12, 9));
+  EXPECT_TRUE(t.has_link(12, 10));
+  EXPECT_TRUE(t.has_link(13, 11));
+  // F1's chain has no shortcuts.
+  for (int i = 0; i < 5; ++i)
+    for (int j = i + 2; j < 5; ++j) EXPECT_FALSE(t.has_link(i, j));
+}
+
+}  // namespace
+}  // namespace e2efa

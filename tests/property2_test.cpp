@@ -1,0 +1,158 @@
+// Second property-test batch: max-min invariants under random rate caps,
+// dynamic-run determinism, fluid-model consistency, and strict-fairness
+// relations on random networks.
+#include <gtest/gtest.h>
+
+#include <algorithm>
+#include <cmath>
+
+#include "alloc/centralized.hpp"
+#include "alloc/maxmin.hpp"
+#include "alloc/strict_fair.hpp"
+#include "net/fluid.hpp"
+#include "net/runner.hpp"
+#include "net/scenarios.hpp"
+#include "route/routing.hpp"
+#include "topology/builders.hpp"
+
+namespace e2efa {
+namespace {
+
+constexpr double kTol = 1e-6;
+
+struct RandomCase {
+  explicit RandomCase(std::uint64_t seed) : rng(seed) {
+    const int nodes = 9 + static_cast<int>(rng.uniform_u64(6));
+    const double side = 200.0 * std::sqrt(static_cast<double>(nodes));
+    topo = std::make_unique<Topology>(make_random(nodes, side, side, rng));
+    const int nf = 2 + static_cast<int>(rng.uniform_u64(3));
+    std::vector<Flow> specs;
+    for (int i = 0; i < nf; ++i) {
+      NodeId a, b;
+      do {
+        a = static_cast<NodeId>(rng.uniform_u64(static_cast<std::uint64_t>(nodes)));
+        b = static_cast<NodeId>(rng.uniform_u64(static_cast<std::uint64_t>(nodes)));
+      } while (a == b);
+      specs.push_back(make_routed_flow(*topo, a, b, 0.5 + rng.uniform01()));
+    }
+    flows = std::make_unique<FlowSet>(*topo, specs);
+    graph = std::make_unique<ContentionGraph>(*topo, *flows);
+  }
+  Rng rng;
+  std::unique_ptr<Topology> topo;
+  std::unique_ptr<FlowSet> flows;
+  std::unique_ptr<ContentionGraph> graph;
+};
+
+class MaxMinProperty : public ::testing::TestWithParam<std::uint64_t> {};
+
+TEST_P(MaxMinProperty, CapsAreRespectedAndFeasible) {
+  RandomCase c(GetParam());
+  std::vector<double> caps;
+  for (FlowId f = 0; f < c.flows->flow_count(); ++f)
+    caps.push_back(c.rng.uniform(0.05, 0.6));
+  const auto r = maxmin_allocate(*c.graph, caps);
+  for (FlowId f = 0; f < c.flows->flow_count(); ++f) {
+    EXPECT_LE(r.allocation.flow_share[f], caps[static_cast<std::size_t>(f)] + kTol);
+    EXPECT_GE(r.allocation.flow_share[f], -kTol);
+  }
+  EXPECT_TRUE(satisfies_clique_capacity(*c.graph, r.allocation.subflow_share, 1e-5));
+}
+
+TEST_P(MaxMinProperty, SlackCapsAreNoOps) {
+  // Caps above the whole channel cannot bind: the allocation must match
+  // the uncapped one exactly. (Note: *binding* caps can raise other flows'
+  // shares — capping a clique hog frees capacity — so no pointwise
+  // monotonicity is asserted for tight caps.)
+  RandomCase c(GetParam());
+  const auto uncapped = maxmin_allocate(*c.graph);
+  const std::vector<double> slack(static_cast<std::size_t>(c.flows->flow_count()), 2.0);
+  const auto capped = maxmin_allocate(*c.graph, slack);
+  for (FlowId f = 0; f < c.flows->flow_count(); ++f) {
+    EXPECT_NEAR(capped.allocation.flow_share[f], uncapped.allocation.flow_share[f],
+                1e-5);
+    EXPECT_FALSE(capped.capped[static_cast<std::size_t>(f)]);
+  }
+}
+
+TEST_P(MaxMinProperty, UncappedLexicographicallyDominatesBasic) {
+  RandomCase c(GetParam());
+  const auto r = maxmin_allocate(*c.graph);
+  const auto basic = basic_shares(*c.graph);
+  for (FlowId f = 0; f < c.flows->flow_count(); ++f)
+    EXPECT_GE(r.allocation.flow_share[f], basic[f] - kTol);
+}
+
+TEST_P(MaxMinProperty, FrozenLevelsAreNonDecreasingInWeightOrder) {
+  // All flows frozen at the same water level or above the first one: the
+  // minimum normalized level equals the first freeze level.
+  RandomCase c(GetParam());
+  const auto r = maxmin_allocate(*c.graph);
+  double min_level = 1e300;
+  for (double l : r.level) min_level = std::min(min_level, l);
+  for (FlowId f = 0; f < c.flows->flow_count(); ++f) {
+    const double norm =
+        r.allocation.flow_share[f] / c.flows->flow(f).weight;
+    EXPECT_GE(norm, min_level - kTol);
+  }
+}
+
+TEST_P(MaxMinProperty, StrictFairMatchesPropOneOnRandomNets) {
+  RandomCase c(GetParam());
+  const auto r = strict_fair_allocate(*c.graph);
+  EXPECT_NEAR(r.per_unit_share, 1.0 / weighted_clique_number(*c.graph), kTol);
+  // Strict-fair total <= centralized basic-fair total.
+  const auto ce = centralized_allocate(*c.graph);
+  ASSERT_EQ(ce.status, LpStatus::kOptimal);
+  EXPECT_LE(r.allocation.total_effective, ce.allocation.total_effective + 1e-5);
+  // κ scaling is always in (0, 1].
+  EXPECT_GT(r.schedulable_fraction, 0.0);
+  EXPECT_LE(r.schedulable_fraction, 1.0 + kTol);
+}
+
+TEST_P(MaxMinProperty, FluidPredictionInternallyConsistent) {
+  RandomCase c(GetParam());
+  const auto ce = centralized_allocate(*c.graph);
+  ASSERT_EQ(ce.status, LpStatus::kOptimal);
+  MacConfig mac;
+  const auto p = fluid_predict(*c.flows, ce.allocation, 150.0, 512, mac, 2'000'000, 31);
+  double total = 0.0;
+  for (FlowId f = 0; f < c.flows->flow_count(); ++f) {
+    // Flow rate equals its last subflow's rate and is the min over hops.
+    const int last = c.flows->subflow_index(f, c.flows->flow(f).length() - 1);
+    EXPECT_NEAR(p.flow_rate[f], p.subflow_rate[static_cast<std::size_t>(last)], 1e-9);
+    for (int h = 0; h < c.flows->flow(f).length(); ++h)
+      EXPECT_LE(p.flow_rate[f],
+                p.subflow_rate[static_cast<std::size_t>(c.flows->subflow_index(f, h))] + 1e-9);
+    EXPECT_LE(p.flow_rate[f], 150.0 + 1e-9);
+    total += p.flow_rate[f];
+  }
+  EXPECT_NEAR(p.total_flow_rate, total, 1e-9);
+  // Equalized 2PA shares produce zero predicted in-network loss.
+  EXPECT_NEAR(p.loss_rate, 0.0, 1e-9);
+}
+
+INSTANTIATE_TEST_SUITE_P(Seeds, MaxMinProperty,
+                         ::testing::Values(101, 202, 303, 404, 505, 606));
+
+// ---------- dynamic-run determinism ----------
+
+class DynamicDeterminism : public ::testing::TestWithParam<std::uint64_t> {};
+
+TEST_P(DynamicDeterminism, IdenticalConfigsIdenticalResults) {
+  const Scenario sc = scenario1();
+  SimConfig cfg;
+  cfg.sim_seconds = 15.0;
+  cfg.seed = GetParam();
+  const std::vector<FlowActivity> act{{0.0, 1e300}, {5.0, 12.0}};
+  const RunResult a = run_scenario(sc, Protocol::k2paDistributed, cfg, act);
+  const RunResult b = run_scenario(sc, Protocol::k2paDistributed, cfg, act);
+  EXPECT_EQ(a.delivered_per_subflow, b.delivered_per_subflow);
+  EXPECT_EQ(a.lost_packets, b.lost_packets);
+  EXPECT_EQ(a.epoch_flow_share, b.epoch_flow_share);
+}
+
+INSTANTIATE_TEST_SUITE_P(Seeds, DynamicDeterminism, ::testing::Values(1, 42, 777));
+
+}  // namespace
+}  // namespace e2efa

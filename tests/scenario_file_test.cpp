@@ -1,0 +1,130 @@
+#include <gtest/gtest.h>
+
+#include <cstdio>
+#include <fstream>
+
+#include "alloc/centralized.hpp"
+#include "net/scenario_file.hpp"
+#include "util/assert.hpp"
+
+namespace e2efa {
+namespace {
+
+constexpr const char* kFig1Text = R"(
+# Fig. 1 topology
+range 250
+node A 0 0
+node B 200 0
+node C 400 0
+node D 800 0
+node E 600 0
+node F 600 -200
+flow A C
+flow D F
+)";
+
+TEST(ScenarioFile, ParsesFig1Equivalent) {
+  const Scenario sc = parse_scenario_text(kFig1Text, "fig1");
+  EXPECT_EQ(sc.topo.node_count(), 6);
+  EXPECT_EQ(sc.topo.label(0), "A");
+  ASSERT_EQ(sc.flow_specs.size(), 2u);
+  // Routed flows found the 2-hop paths.
+  EXPECT_EQ(sc.flow_specs[0].path, (std::vector<NodeId>{0, 1, 2}));
+  EXPECT_EQ(sc.flow_specs[1].path, (std::vector<NodeId>{3, 4, 5}));
+
+  // And the allocation machinery gives the paper's Fig.-1 answer.
+  FlowSet flows(sc.topo, sc.flow_specs);
+  ContentionGraph graph(sc.topo, flows);
+  const auto r = centralized_allocate(graph);
+  ASSERT_EQ(r.status, LpStatus::kOptimal);
+  EXPECT_NEAR(r.allocation.flow_share[0], 0.5, 1e-6);
+  EXPECT_NEAR(r.allocation.flow_share[1], 0.25, 1e-6);
+}
+
+TEST(ScenarioFile, ExplicitPathAndWeight) {
+  const Scenario sc = parse_scenario_text(R"(
+node X 0 0
+node Y 200 0
+node Z 400 0
+flow X Y Z weight 2.5
+flow Z X weight 0.5
+)");
+  ASSERT_EQ(sc.flow_specs.size(), 2u);
+  EXPECT_EQ(sc.flow_specs[0].path, (std::vector<NodeId>{0, 1, 2}));
+  EXPECT_DOUBLE_EQ(sc.flow_specs[0].weight, 2.5);
+  EXPECT_DOUBLE_EQ(sc.flow_specs[1].weight, 0.5);
+}
+
+TEST(ScenarioFile, CustomRanges) {
+  const Scenario sc = parse_scenario_text(R"(
+range 100
+irange 300
+node A 0 0
+node B 90 0
+node C 200 0
+flow A B
+)");
+  EXPECT_TRUE(sc.topo.has_link(0, 1));
+  EXPECT_FALSE(sc.topo.has_link(1, 2));   // 110 m > 100 m tx range
+  EXPECT_TRUE(sc.topo.interferes(1, 2));  // < 300 m interference
+}
+
+TEST(ScenarioFile, CommentsAndBlanksIgnored) {
+  const Scenario sc = parse_scenario_text(R"(
+# header comment
+
+node A 0 0   # inline comment
+node B 100 0
+flow A B     # routed
+)");
+  EXPECT_EQ(sc.topo.node_count(), 2);
+}
+
+TEST(ScenarioFile, ErrorsCarryLineNumbers) {
+  try {
+    parse_scenario_text("node A 0 0\nnode A 1 1\n");
+    FAIL() << "should have thrown";
+  } catch (const ContractViolation& e) {
+    EXPECT_NE(std::string(e.what()).find("line 2"), std::string::npos);
+    EXPECT_NE(std::string(e.what()).find("duplicate"), std::string::npos);
+  }
+}
+
+TEST(ScenarioFile, RejectsMalformedInput) {
+  EXPECT_THROW(parse_scenario_text("bogus A\n"), ContractViolation);
+  EXPECT_THROW(parse_scenario_text("node A 0 0\nflow A\n"), ContractViolation);
+  EXPECT_THROW(parse_scenario_text("node A 0 0\nnode B 10 0\nflow A Q\n"),
+               ContractViolation);
+  EXPECT_THROW(parse_scenario_text("range -1\nnode A 0 0\nflow A A\n"),
+               ContractViolation);
+  EXPECT_THROW(parse_scenario_text("node A 0 0\n"), ContractViolation);  // no flows
+  EXPECT_THROW(parse_scenario_text("flow A B\n"), ContractViolation);    // no nodes
+  // Unreachable routed flow.
+  EXPECT_THROW(parse_scenario_text("node A 0 0\nnode B 9999 0\nflow A B\n"),
+               ContractViolation);
+  // Explicit path over a non-link.
+  EXPECT_THROW(
+      parse_scenario_text("node A 0 0\nnode B 100 0\nnode C 9999 0\nflow A B C\n"),
+      ContractViolation);
+  // Weight without value / extra token.
+  EXPECT_THROW(parse_scenario_text("node A 0 0\nnode B 10 0\nflow A B weight\n"),
+               ContractViolation);
+  EXPECT_THROW(parse_scenario_text("node A 0 0\nnode B 10 0\nflow A B weight 1 x\n"),
+               ContractViolation);
+}
+
+TEST(ScenarioFile, LoadFromDisk) {
+  const std::string path = "/tmp/e2efa_scenario_test.txt";
+  {
+    std::ofstream out(path);
+    out << kFig1Text;
+  }
+  const Scenario sc = load_scenario_file(path);
+  EXPECT_EQ(sc.topo.node_count(), 6);
+  EXPECT_EQ(sc.name, path);
+  std::remove(path.c_str());
+  EXPECT_THROW(load_scenario_file(path), ContractViolation);  // now gone
+}
+
+}  // namespace
+}  // namespace e2efa

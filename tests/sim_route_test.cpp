@@ -1,0 +1,192 @@
+#include <gtest/gtest.h>
+
+#include <vector>
+
+#include "net/scenarios.hpp"
+#include "route/routing.hpp"
+#include "sim/simulator.hpp"
+#include "topology/builders.hpp"
+#include "util/assert.hpp"
+
+namespace e2efa {
+namespace {
+
+// ---------- event engine ----------
+
+TEST(Simulator, FiresInTimeOrder) {
+  Simulator sim;
+  std::vector<int> order;
+  sim.schedule_at(30, [&] { order.push_back(3); });
+  sim.schedule_at(10, [&] { order.push_back(1); });
+  sim.schedule_at(20, [&] { order.push_back(2); });
+  sim.run();
+  EXPECT_EQ(order, (std::vector<int>{1, 2, 3}));
+  EXPECT_EQ(sim.now(), 30);
+}
+
+TEST(Simulator, SameTimeFifo) {
+  Simulator sim;
+  std::vector<int> order;
+  for (int i = 0; i < 5; ++i) sim.schedule_at(100, [&order, i] { order.push_back(i); });
+  sim.run();
+  EXPECT_EQ(order, (std::vector<int>{0, 1, 2, 3, 4}));
+}
+
+TEST(Simulator, HandlersMaySchedule) {
+  Simulator sim;
+  int fired = 0;
+  std::function<void()> chain = [&] {
+    ++fired;
+    if (fired < 10) sim.schedule_in(5, chain);
+  };
+  sim.schedule_in(5, chain);
+  sim.run();
+  EXPECT_EQ(fired, 10);
+  EXPECT_EQ(sim.now(), 50);
+}
+
+TEST(Simulator, ScheduleAtCurrentTimeRuns) {
+  Simulator sim;
+  bool inner = false;
+  sim.schedule_at(10, [&] { sim.schedule_at(sim.now(), [&] { inner = true; }); });
+  sim.run();
+  EXPECT_TRUE(inner);
+}
+
+TEST(Simulator, RunUntilStopsAndAdvancesClock) {
+  Simulator sim;
+  int fired = 0;
+  sim.schedule_at(10, [&] { ++fired; });
+  sim.schedule_at(100, [&] { ++fired; });
+  sim.run_until(50);
+  EXPECT_EQ(fired, 1);
+  EXPECT_EQ(sim.now(), 50);
+  EXPECT_EQ(sim.pending(), 1u);
+  sim.run_until(200);
+  EXPECT_EQ(fired, 2);
+}
+
+TEST(Simulator, CancelPreventsExecution) {
+  Simulator sim;
+  bool fired = false;
+  const auto id = sim.schedule_at(10, [&] { fired = true; });
+  EXPECT_TRUE(sim.cancel(id));
+  sim.run();
+  EXPECT_FALSE(fired);
+  EXPECT_EQ(sim.pending(), 0u);
+}
+
+TEST(Simulator, CancelTwiceIsNoop) {
+  Simulator sim;
+  const auto id = sim.schedule_at(10, [] {});
+  EXPECT_TRUE(sim.cancel(id));
+  EXPECT_FALSE(sim.cancel(id));
+  EXPECT_FALSE(sim.cancel(Simulator::kInvalidEvent));
+}
+
+TEST(Simulator, CancelFiredIsNoop) {
+  Simulator sim;
+  const auto id = sim.schedule_at(10, [] {});
+  sim.run();
+  EXPECT_FALSE(sim.cancel(id));
+}
+
+TEST(Simulator, PastSchedulingThrows) {
+  Simulator sim;
+  sim.schedule_at(10, [] {});
+  sim.run();
+  EXPECT_THROW(sim.schedule_at(5, [] {}), ContractViolation);
+  EXPECT_THROW(sim.schedule_in(-1, [] {}), ContractViolation);
+}
+
+TEST(Simulator, EventCountTracked) {
+  Simulator sim;
+  for (int i = 0; i < 7; ++i) sim.schedule_at(i, [] {});
+  sim.run();
+  EXPECT_EQ(sim.events_processed(), 7u);
+}
+
+// ---------- routing ----------
+
+TEST(Routing, ChainPath) {
+  Topology t = make_chain(5);
+  const auto p = shortest_path(t, 0, 4);
+  ASSERT_TRUE(p.has_value());
+  EXPECT_EQ(*p, (std::vector<NodeId>{0, 1, 2, 3, 4}));
+}
+
+TEST(Routing, TrivialPath) {
+  Topology t = make_chain(3);
+  const auto p = shortest_path(t, 1, 1);
+  ASSERT_TRUE(p.has_value());
+  EXPECT_EQ(*p, (std::vector<NodeId>{1}));
+}
+
+TEST(Routing, UnreachableReturnsNullopt) {
+  Topology t({{0, 0}, {100, 0}, {10'000, 0}}, 250.0);
+  EXPECT_FALSE(shortest_path(t, 0, 2).has_value());
+  EXPECT_THROW(make_routed_flow(t, 0, 2), ContractViolation);
+}
+
+TEST(Routing, PrefersFewestHops) {
+  // Grid: 0-1-2 / 3-4-5; direct diagonal absent, min-hop 0->5 is 3 hops.
+  Topology t = make_grid(2, 3, 200.0, 250.0);
+  const auto p = shortest_path(t, 0, 5);
+  ASSERT_TRUE(p.has_value());
+  EXPECT_EQ(p->size(), 4u);
+}
+
+TEST(Routing, DeterministicTieBreak) {
+  Topology t = make_grid(2, 2, 200.0, 250.0);  // square 0-1 / 2-3
+  // Two 2-hop routes 0->3 (via 1 or 2); BFS must pick via 1 (smaller id).
+  const auto p = shortest_path(t, 0, 3);
+  ASSERT_TRUE(p.has_value());
+  EXPECT_EQ(*p, (std::vector<NodeId>{0, 1, 3}));
+}
+
+TEST(Routing, MakeRoutedFlowCarriesWeight) {
+  Topology t = make_chain(4);
+  const Flow f = make_routed_flow(t, 0, 3, 2.5);
+  EXPECT_EQ(f.path, (std::vector<NodeId>{0, 1, 2, 3}));
+  EXPECT_EQ(f.weight, 2.5);
+}
+
+TEST(Routing, MinHopRoutesAreShortcutFree) {
+  // A min-hop route never has a shortcut: if path[i] and path[j] (j>i+1)
+  // were in range, the route would not be minimal.
+  Rng rng(777);
+  for (int trial = 0; trial < 10; ++trial) {
+    Topology t = make_random(16, 800, 800, rng);
+    FlowSet fs(t, {make_routed_flow(t, 0, t.node_count() - 1)});
+    EXPECT_TRUE(fs.all_shortcut_free());
+  }
+}
+
+TEST(Routing, HopDistanceMatrix) {
+  Topology t = make_chain(5);
+  const auto d = hop_distances(t);
+  EXPECT_EQ(d[0][4], 4);
+  EXPECT_EQ(d[2][2], 0);
+  EXPECT_EQ(d[4][1], 3);
+}
+
+TEST(Routing, HopDistanceUnreachable) {
+  Topology t({{0, 0}, {10'000, 0}}, 250.0);
+  const auto d = hop_distances(t);
+  EXPECT_EQ(d[0][1], -1);
+}
+
+TEST(Routing, PaperScenarioRoutesMatchSpecs) {
+  // The flow paths hard-coded in the scenarios are exactly the min-hop
+  // routes DSR would find.
+  for (Scenario sc : {scenario1(), scenario2()}) {
+    for (const Flow& f : sc.flow_specs) {
+      const auto p = shortest_path(sc.topo, f.path.front(), f.path.back());
+      ASSERT_TRUE(p.has_value());
+      EXPECT_EQ(p->size(), f.path.size()) << sc.name;
+    }
+  }
+}
+
+}  // namespace
+}  // namespace e2efa
