@@ -1,0 +1,11 @@
+file(REMOVE_RECURSE
+  "CMakeFiles/ablation_backoff_mechanism.dir/ablation_backoff_mechanism.cpp.o"
+  "CMakeFiles/ablation_backoff_mechanism.dir/ablation_backoff_mechanism.cpp.o.d"
+  "ablation_backoff_mechanism"
+  "ablation_backoff_mechanism.pdb"
+)
+
+# Per-language clean rules from dependency scanning.
+foreach(lang CXX)
+  include(CMakeFiles/ablation_backoff_mechanism.dir/cmake_clean_${lang}.cmake OPTIONAL)
+endforeach()

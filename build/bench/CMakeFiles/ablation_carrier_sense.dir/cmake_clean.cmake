@@ -1,0 +1,11 @@
+file(REMOVE_RECURSE
+  "CMakeFiles/ablation_carrier_sense.dir/ablation_carrier_sense.cpp.o"
+  "CMakeFiles/ablation_carrier_sense.dir/ablation_carrier_sense.cpp.o.d"
+  "ablation_carrier_sense"
+  "ablation_carrier_sense.pdb"
+)
+
+# Per-language clean rules from dependency scanning.
+foreach(lang CXX)
+  include(CMakeFiles/ablation_carrier_sense.dir/cmake_clean_${lang}.cmake OPTIONAL)
+endforeach()

@@ -1,0 +1,11 @@
+file(REMOVE_RECURSE
+  "CMakeFiles/ablation_cwmin.dir/ablation_cwmin.cpp.o"
+  "CMakeFiles/ablation_cwmin.dir/ablation_cwmin.cpp.o.d"
+  "ablation_cwmin"
+  "ablation_cwmin.pdb"
+)
+
+# Per-language clean rules from dependency scanning.
+foreach(lang CXX)
+  include(CMakeFiles/ablation_cwmin.dir/cmake_clean_${lang}.cmake OPTIONAL)
+endforeach()

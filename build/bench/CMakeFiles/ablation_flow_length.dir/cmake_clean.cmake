@@ -1,0 +1,11 @@
+file(REMOVE_RECURSE
+  "CMakeFiles/ablation_flow_length.dir/ablation_flow_length.cpp.o"
+  "CMakeFiles/ablation_flow_length.dir/ablation_flow_length.cpp.o.d"
+  "ablation_flow_length"
+  "ablation_flow_length.pdb"
+)
+
+# Per-language clean rules from dependency scanning.
+foreach(lang CXX)
+  include(CMakeFiles/ablation_flow_length.dir/cmake_clean_${lang}.cmake OPTIONAL)
+endforeach()

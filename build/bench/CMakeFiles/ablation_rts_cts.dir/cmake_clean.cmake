@@ -1,0 +1,11 @@
+file(REMOVE_RECURSE
+  "CMakeFiles/ablation_rts_cts.dir/ablation_rts_cts.cpp.o"
+  "CMakeFiles/ablation_rts_cts.dir/ablation_rts_cts.cpp.o.d"
+  "ablation_rts_cts"
+  "ablation_rts_cts.pdb"
+)
+
+# Per-language clean rules from dependency scanning.
+foreach(lang CXX)
+  include(CMakeFiles/ablation_rts_cts.dir/cmake_clean_${lang}.cmake OPTIONAL)
+endforeach()

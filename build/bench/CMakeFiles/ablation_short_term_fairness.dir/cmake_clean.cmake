@@ -1,0 +1,11 @@
+file(REMOVE_RECURSE
+  "CMakeFiles/ablation_short_term_fairness.dir/ablation_short_term_fairness.cpp.o"
+  "CMakeFiles/ablation_short_term_fairness.dir/ablation_short_term_fairness.cpp.o.d"
+  "ablation_short_term_fairness"
+  "ablation_short_term_fairness.pdb"
+)
+
+# Per-language clean rules from dependency scanning.
+foreach(lang CXX)
+  include(CMakeFiles/ablation_short_term_fairness.dir/cmake_clean_${lang}.cmake OPTIONAL)
+endforeach()

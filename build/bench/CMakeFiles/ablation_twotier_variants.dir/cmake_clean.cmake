@@ -1,0 +1,11 @@
+file(REMOVE_RECURSE
+  "CMakeFiles/ablation_twotier_variants.dir/ablation_twotier_variants.cpp.o"
+  "CMakeFiles/ablation_twotier_variants.dir/ablation_twotier_variants.cpp.o.d"
+  "ablation_twotier_variants"
+  "ablation_twotier_variants.pdb"
+)
+
+# Per-language clean rules from dependency scanning.
+foreach(lang CXX)
+  include(CMakeFiles/ablation_twotier_variants.dir/cmake_clean_${lang}.cmake OPTIONAL)
+endforeach()

@@ -1,0 +1,11 @@
+file(REMOVE_RECURSE
+  "CMakeFiles/fig2_fairness_definitions.dir/fig2_fairness_definitions.cpp.o"
+  "CMakeFiles/fig2_fairness_definitions.dir/fig2_fairness_definitions.cpp.o.d"
+  "fig2_fairness_definitions"
+  "fig2_fairness_definitions.pdb"
+)
+
+# Per-language clean rules from dependency scanning.
+foreach(lang CXX)
+  include(CMakeFiles/fig2_fairness_definitions.dir/cmake_clean_${lang}.cmake OPTIONAL)
+endforeach()

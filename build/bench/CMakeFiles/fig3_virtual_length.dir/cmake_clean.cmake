@@ -1,0 +1,11 @@
+file(REMOVE_RECURSE
+  "CMakeFiles/fig3_virtual_length.dir/fig3_virtual_length.cpp.o"
+  "CMakeFiles/fig3_virtual_length.dir/fig3_virtual_length.cpp.o.d"
+  "fig3_virtual_length"
+  "fig3_virtual_length.pdb"
+)
+
+# Per-language clean rules from dependency scanning.
+foreach(lang CXX)
+  include(CMakeFiles/fig3_virtual_length.dir/cmake_clean_${lang}.cmake OPTIONAL)
+endforeach()

@@ -1,0 +1,33 @@
+
+# Consider dependencies only in project.
+set(CMAKE_DEPENDS_IN_PROJECT_ONLY OFF)
+
+# The set of languages for which implicit dependencies are needed:
+set(CMAKE_DEPENDS_LANGUAGES
+  )
+
+# The set of dependency files which are needed:
+set(CMAKE_DEPENDS_DEPENDENCY_FILES
+  "/root/repo/bench/fig4_weighted_allocation.cpp" "bench/CMakeFiles/fig4_weighted_allocation.dir/fig4_weighted_allocation.cpp.o" "gcc" "bench/CMakeFiles/fig4_weighted_allocation.dir/fig4_weighted_allocation.cpp.o.d"
+  )
+
+# Targets to which this target links.
+set(CMAKE_TARGET_LINKED_INFO_FILES
+  "/root/repo/build/src/net/CMakeFiles/e2efa_net.dir/DependInfo.cmake"
+  "/root/repo/build/src/alloc/CMakeFiles/e2efa_alloc.dir/DependInfo.cmake"
+  "/root/repo/build/src/contention/CMakeFiles/e2efa_contention.dir/DependInfo.cmake"
+  "/root/repo/build/src/lp/CMakeFiles/e2efa_lp.dir/DependInfo.cmake"
+  "/root/repo/build/src/route/CMakeFiles/e2efa_route.dir/DependInfo.cmake"
+  "/root/repo/build/src/mac/CMakeFiles/e2efa_mac.dir/DependInfo.cmake"
+  "/root/repo/build/src/sched/CMakeFiles/e2efa_sched.dir/DependInfo.cmake"
+  "/root/repo/build/src/traffic/CMakeFiles/e2efa_traffic.dir/DependInfo.cmake"
+  "/root/repo/build/src/flow/CMakeFiles/e2efa_flow.dir/DependInfo.cmake"
+  "/root/repo/build/src/phy/CMakeFiles/e2efa_phy.dir/DependInfo.cmake"
+  "/root/repo/build/src/topology/CMakeFiles/e2efa_topology.dir/DependInfo.cmake"
+  "/root/repo/build/src/geom/CMakeFiles/e2efa_geom.dir/DependInfo.cmake"
+  "/root/repo/build/src/sim/CMakeFiles/e2efa_sim.dir/DependInfo.cmake"
+  "/root/repo/build/src/util/CMakeFiles/e2efa_util.dir/DependInfo.cmake"
+  )
+
+# Fortran module output directory.
+set(CMAKE_Fortran_TARGET_MODULE_DIR "")

@@ -1,0 +1,11 @@
+file(REMOVE_RECURSE
+  "CMakeFiles/fig4_weighted_allocation.dir/fig4_weighted_allocation.cpp.o"
+  "CMakeFiles/fig4_weighted_allocation.dir/fig4_weighted_allocation.cpp.o.d"
+  "fig4_weighted_allocation"
+  "fig4_weighted_allocation.pdb"
+)
+
+# Per-language clean rules from dependency scanning.
+foreach(lang CXX)
+  include(CMakeFiles/fig4_weighted_allocation.dir/cmake_clean_${lang}.cmake OPTIONAL)
+endforeach()

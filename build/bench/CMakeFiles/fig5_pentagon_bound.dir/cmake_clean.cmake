@@ -1,0 +1,11 @@
+file(REMOVE_RECURSE
+  "CMakeFiles/fig5_pentagon_bound.dir/fig5_pentagon_bound.cpp.o"
+  "CMakeFiles/fig5_pentagon_bound.dir/fig5_pentagon_bound.cpp.o.d"
+  "fig5_pentagon_bound"
+  "fig5_pentagon_bound.pdb"
+)
+
+# Per-language clean rules from dependency scanning.
+foreach(lang CXX)
+  include(CMakeFiles/fig5_pentagon_bound.dir/cmake_clean_${lang}.cmake OPTIONAL)
+endforeach()

@@ -1,0 +1,11 @@
+file(REMOVE_RECURSE
+  "CMakeFiles/fig6_first_phase.dir/fig6_first_phase.cpp.o"
+  "CMakeFiles/fig6_first_phase.dir/fig6_first_phase.cpp.o.d"
+  "fig6_first_phase"
+  "fig6_first_phase.pdb"
+)
+
+# Per-language clean rules from dependency scanning.
+foreach(lang CXX)
+  include(CMakeFiles/fig6_first_phase.dir/cmake_clean_${lang}.cmake OPTIONAL)
+endforeach()

@@ -1,0 +1,11 @@
+file(REMOVE_RECURSE
+  "CMakeFiles/fluid_vs_packet.dir/fluid_vs_packet.cpp.o"
+  "CMakeFiles/fluid_vs_packet.dir/fluid_vs_packet.cpp.o.d"
+  "fluid_vs_packet"
+  "fluid_vs_packet.pdb"
+)
+
+# Per-language clean rules from dependency scanning.
+foreach(lang CXX)
+  include(CMakeFiles/fluid_vs_packet.dir/cmake_clean_${lang}.cmake OPTIONAL)
+endforeach()

@@ -1,0 +1,11 @@
+file(REMOVE_RECURSE
+  "CMakeFiles/micro_cliques.dir/micro_cliques.cpp.o"
+  "CMakeFiles/micro_cliques.dir/micro_cliques.cpp.o.d"
+  "micro_cliques"
+  "micro_cliques.pdb"
+)
+
+# Per-language clean rules from dependency scanning.
+foreach(lang CXX)
+  include(CMakeFiles/micro_cliques.dir/cmake_clean_${lang}.cmake OPTIONAL)
+endforeach()

@@ -1,0 +1,11 @@
+file(REMOVE_RECURSE
+  "CMakeFiles/table1_distributed_local_lp.dir/table1_distributed_local_lp.cpp.o"
+  "CMakeFiles/table1_distributed_local_lp.dir/table1_distributed_local_lp.cpp.o.d"
+  "table1_distributed_local_lp"
+  "table1_distributed_local_lp.pdb"
+)
+
+# Per-language clean rules from dependency scanning.
+foreach(lang CXX)
+  include(CMakeFiles/table1_distributed_local_lp.dir/cmake_clean_${lang}.cmake OPTIONAL)
+endforeach()

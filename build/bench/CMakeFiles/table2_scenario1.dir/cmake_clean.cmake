@@ -1,0 +1,11 @@
+file(REMOVE_RECURSE
+  "CMakeFiles/table2_scenario1.dir/table2_scenario1.cpp.o"
+  "CMakeFiles/table2_scenario1.dir/table2_scenario1.cpp.o.d"
+  "table2_scenario1"
+  "table2_scenario1.pdb"
+)
+
+# Per-language clean rules from dependency scanning.
+foreach(lang CXX)
+  include(CMakeFiles/table2_scenario1.dir/cmake_clean_${lang}.cmake OPTIONAL)
+endforeach()

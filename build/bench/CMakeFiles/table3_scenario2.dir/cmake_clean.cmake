@@ -1,0 +1,11 @@
+file(REMOVE_RECURSE
+  "CMakeFiles/table3_scenario2.dir/table3_scenario2.cpp.o"
+  "CMakeFiles/table3_scenario2.dir/table3_scenario2.cpp.o.d"
+  "table3_scenario2"
+  "table3_scenario2.pdb"
+)
+
+# Per-language clean rules from dependency scanning.
+foreach(lang CXX)
+  include(CMakeFiles/table3_scenario2.dir/cmake_clean_${lang}.cmake OPTIONAL)
+endforeach()

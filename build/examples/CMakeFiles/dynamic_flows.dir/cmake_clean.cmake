@@ -1,0 +1,11 @@
+file(REMOVE_RECURSE
+  "CMakeFiles/dynamic_flows.dir/dynamic_flows.cpp.o"
+  "CMakeFiles/dynamic_flows.dir/dynamic_flows.cpp.o.d"
+  "dynamic_flows"
+  "dynamic_flows.pdb"
+)
+
+# Per-language clean rules from dependency scanning.
+foreach(lang CXX)
+  include(CMakeFiles/dynamic_flows.dir/cmake_clean_${lang}.cmake OPTIONAL)
+endforeach()

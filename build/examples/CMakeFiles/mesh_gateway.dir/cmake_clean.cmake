@@ -1,0 +1,11 @@
+file(REMOVE_RECURSE
+  "CMakeFiles/mesh_gateway.dir/mesh_gateway.cpp.o"
+  "CMakeFiles/mesh_gateway.dir/mesh_gateway.cpp.o.d"
+  "mesh_gateway"
+  "mesh_gateway.pdb"
+)
+
+# Per-language clean rules from dependency scanning.
+foreach(lang CXX)
+  include(CMakeFiles/mesh_gateway.dir/cmake_clean_${lang}.cmake OPTIONAL)
+endforeach()

@@ -1,0 +1,11 @@
+file(REMOVE_RECURSE
+  "CMakeFiles/random_network.dir/random_network.cpp.o"
+  "CMakeFiles/random_network.dir/random_network.cpp.o.d"
+  "random_network"
+  "random_network.pdb"
+)
+
+# Per-language clean rules from dependency scanning.
+foreach(lang CXX)
+  include(CMakeFiles/random_network.dir/cmake_clean_${lang}.cmake OPTIONAL)
+endforeach()

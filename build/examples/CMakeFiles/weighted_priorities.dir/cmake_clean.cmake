@@ -1,0 +1,11 @@
+file(REMOVE_RECURSE
+  "CMakeFiles/weighted_priorities.dir/weighted_priorities.cpp.o"
+  "CMakeFiles/weighted_priorities.dir/weighted_priorities.cpp.o.d"
+  "weighted_priorities"
+  "weighted_priorities.pdb"
+)
+
+# Per-language clean rules from dependency scanning.
+foreach(lang CXX)
+  include(CMakeFiles/weighted_priorities.dir/cmake_clean_${lang}.cmake OPTIONAL)
+endforeach()

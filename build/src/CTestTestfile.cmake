@@ -1,0 +1,20 @@
+# CMake generated Testfile for 
+# Source directory: /root/repo/src
+# Build directory: /root/repo/build/src
+# 
+# This file includes the relevant testing commands required for 
+# testing this directory and lists subdirectories to be tested as well.
+subdirs("util")
+subdirs("geom")
+subdirs("topology")
+subdirs("flow")
+subdirs("contention")
+subdirs("lp")
+subdirs("alloc")
+subdirs("sim")
+subdirs("route")
+subdirs("phy")
+subdirs("sched")
+subdirs("mac")
+subdirs("traffic")
+subdirs("net")

@@ -1,0 +1,32 @@
+
+# Consider dependencies only in project.
+set(CMAKE_DEPENDS_IN_PROJECT_ONLY OFF)
+
+# The set of languages for which implicit dependencies are needed:
+set(CMAKE_DEPENDS_LANGUAGES
+  )
+
+# The set of dependency files which are needed:
+set(CMAKE_DEPENDS_DEPENDENCY_FILES
+  "/root/repo/src/alloc/allocation.cpp" "src/alloc/CMakeFiles/e2efa_alloc.dir/allocation.cpp.o" "gcc" "src/alloc/CMakeFiles/e2efa_alloc.dir/allocation.cpp.o.d"
+  "/root/repo/src/alloc/centralized.cpp" "src/alloc/CMakeFiles/e2efa_alloc.dir/centralized.cpp.o" "gcc" "src/alloc/CMakeFiles/e2efa_alloc.dir/centralized.cpp.o.d"
+  "/root/repo/src/alloc/distributed.cpp" "src/alloc/CMakeFiles/e2efa_alloc.dir/distributed.cpp.o" "gcc" "src/alloc/CMakeFiles/e2efa_alloc.dir/distributed.cpp.o.d"
+  "/root/repo/src/alloc/maxmin.cpp" "src/alloc/CMakeFiles/e2efa_alloc.dir/maxmin.cpp.o" "gcc" "src/alloc/CMakeFiles/e2efa_alloc.dir/maxmin.cpp.o.d"
+  "/root/repo/src/alloc/refine.cpp" "src/alloc/CMakeFiles/e2efa_alloc.dir/refine.cpp.o" "gcc" "src/alloc/CMakeFiles/e2efa_alloc.dir/refine.cpp.o.d"
+  "/root/repo/src/alloc/schedulability.cpp" "src/alloc/CMakeFiles/e2efa_alloc.dir/schedulability.cpp.o" "gcc" "src/alloc/CMakeFiles/e2efa_alloc.dir/schedulability.cpp.o.d"
+  "/root/repo/src/alloc/strict_fair.cpp" "src/alloc/CMakeFiles/e2efa_alloc.dir/strict_fair.cpp.o" "gcc" "src/alloc/CMakeFiles/e2efa_alloc.dir/strict_fair.cpp.o.d"
+  "/root/repo/src/alloc/two_tier.cpp" "src/alloc/CMakeFiles/e2efa_alloc.dir/two_tier.cpp.o" "gcc" "src/alloc/CMakeFiles/e2efa_alloc.dir/two_tier.cpp.o.d"
+  )
+
+# Targets to which this target links.
+set(CMAKE_TARGET_LINKED_INFO_FILES
+  "/root/repo/build/src/contention/CMakeFiles/e2efa_contention.dir/DependInfo.cmake"
+  "/root/repo/build/src/lp/CMakeFiles/e2efa_lp.dir/DependInfo.cmake"
+  "/root/repo/build/src/flow/CMakeFiles/e2efa_flow.dir/DependInfo.cmake"
+  "/root/repo/build/src/util/CMakeFiles/e2efa_util.dir/DependInfo.cmake"
+  "/root/repo/build/src/topology/CMakeFiles/e2efa_topology.dir/DependInfo.cmake"
+  "/root/repo/build/src/geom/CMakeFiles/e2efa_geom.dir/DependInfo.cmake"
+  )
+
+# Fortran module output directory.
+set(CMAKE_Fortran_TARGET_MODULE_DIR "")

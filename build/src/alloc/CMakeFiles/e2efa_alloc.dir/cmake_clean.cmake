@@ -1,0 +1,25 @@
+file(REMOVE_RECURSE
+  "CMakeFiles/e2efa_alloc.dir/allocation.cpp.o"
+  "CMakeFiles/e2efa_alloc.dir/allocation.cpp.o.d"
+  "CMakeFiles/e2efa_alloc.dir/centralized.cpp.o"
+  "CMakeFiles/e2efa_alloc.dir/centralized.cpp.o.d"
+  "CMakeFiles/e2efa_alloc.dir/distributed.cpp.o"
+  "CMakeFiles/e2efa_alloc.dir/distributed.cpp.o.d"
+  "CMakeFiles/e2efa_alloc.dir/maxmin.cpp.o"
+  "CMakeFiles/e2efa_alloc.dir/maxmin.cpp.o.d"
+  "CMakeFiles/e2efa_alloc.dir/refine.cpp.o"
+  "CMakeFiles/e2efa_alloc.dir/refine.cpp.o.d"
+  "CMakeFiles/e2efa_alloc.dir/schedulability.cpp.o"
+  "CMakeFiles/e2efa_alloc.dir/schedulability.cpp.o.d"
+  "CMakeFiles/e2efa_alloc.dir/strict_fair.cpp.o"
+  "CMakeFiles/e2efa_alloc.dir/strict_fair.cpp.o.d"
+  "CMakeFiles/e2efa_alloc.dir/two_tier.cpp.o"
+  "CMakeFiles/e2efa_alloc.dir/two_tier.cpp.o.d"
+  "libe2efa_alloc.a"
+  "libe2efa_alloc.pdb"
+)
+
+# Per-language clean rules from dependency scanning.
+foreach(lang CXX)
+  include(CMakeFiles/e2efa_alloc.dir/cmake_clean_${lang}.cmake OPTIONAL)
+endforeach()

@@ -1,0 +1,25 @@
+
+# Consider dependencies only in project.
+set(CMAKE_DEPENDS_IN_PROJECT_ONLY OFF)
+
+# The set of languages for which implicit dependencies are needed:
+set(CMAKE_DEPENDS_LANGUAGES
+  )
+
+# The set of dependency files which are needed:
+set(CMAKE_DEPENDS_DEPENDENCY_FILES
+  "/root/repo/src/contention/cliques.cpp" "src/contention/CMakeFiles/e2efa_contention.dir/cliques.cpp.o" "gcc" "src/contention/CMakeFiles/e2efa_contention.dir/cliques.cpp.o.d"
+  "/root/repo/src/contention/coloring.cpp" "src/contention/CMakeFiles/e2efa_contention.dir/coloring.cpp.o" "gcc" "src/contention/CMakeFiles/e2efa_contention.dir/coloring.cpp.o.d"
+  "/root/repo/src/contention/contention_graph.cpp" "src/contention/CMakeFiles/e2efa_contention.dir/contention_graph.cpp.o" "gcc" "src/contention/CMakeFiles/e2efa_contention.dir/contention_graph.cpp.o.d"
+  )
+
+# Targets to which this target links.
+set(CMAKE_TARGET_LINKED_INFO_FILES
+  "/root/repo/build/src/flow/CMakeFiles/e2efa_flow.dir/DependInfo.cmake"
+  "/root/repo/build/src/topology/CMakeFiles/e2efa_topology.dir/DependInfo.cmake"
+  "/root/repo/build/src/util/CMakeFiles/e2efa_util.dir/DependInfo.cmake"
+  "/root/repo/build/src/geom/CMakeFiles/e2efa_geom.dir/DependInfo.cmake"
+  )
+
+# Fortran module output directory.
+set(CMAKE_Fortran_TARGET_MODULE_DIR "")

@@ -1,0 +1,15 @@
+file(REMOVE_RECURSE
+  "CMakeFiles/e2efa_contention.dir/cliques.cpp.o"
+  "CMakeFiles/e2efa_contention.dir/cliques.cpp.o.d"
+  "CMakeFiles/e2efa_contention.dir/coloring.cpp.o"
+  "CMakeFiles/e2efa_contention.dir/coloring.cpp.o.d"
+  "CMakeFiles/e2efa_contention.dir/contention_graph.cpp.o"
+  "CMakeFiles/e2efa_contention.dir/contention_graph.cpp.o.d"
+  "libe2efa_contention.a"
+  "libe2efa_contention.pdb"
+)
+
+# Per-language clean rules from dependency scanning.
+foreach(lang CXX)
+  include(CMakeFiles/e2efa_contention.dir/cmake_clean_${lang}.cmake OPTIONAL)
+endforeach()

@@ -1,0 +1,11 @@
+file(REMOVE_RECURSE
+  "CMakeFiles/e2efa_flow.dir/flow.cpp.o"
+  "CMakeFiles/e2efa_flow.dir/flow.cpp.o.d"
+  "libe2efa_flow.a"
+  "libe2efa_flow.pdb"
+)
+
+# Per-language clean rules from dependency scanning.
+foreach(lang CXX)
+  include(CMakeFiles/e2efa_flow.dir/cmake_clean_${lang}.cmake OPTIONAL)
+endforeach()

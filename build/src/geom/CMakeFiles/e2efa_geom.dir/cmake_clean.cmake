@@ -1,0 +1,11 @@
+file(REMOVE_RECURSE
+  "CMakeFiles/e2efa_geom.dir/geom.cpp.o"
+  "CMakeFiles/e2efa_geom.dir/geom.cpp.o.d"
+  "libe2efa_geom.a"
+  "libe2efa_geom.pdb"
+)
+
+# Per-language clean rules from dependency scanning.
+foreach(lang CXX)
+  include(CMakeFiles/e2efa_geom.dir/cmake_clean_${lang}.cmake OPTIONAL)
+endforeach()

@@ -1,0 +1,13 @@
+file(REMOVE_RECURSE
+  "CMakeFiles/e2efa_lp.dir/problem.cpp.o"
+  "CMakeFiles/e2efa_lp.dir/problem.cpp.o.d"
+  "CMakeFiles/e2efa_lp.dir/simplex.cpp.o"
+  "CMakeFiles/e2efa_lp.dir/simplex.cpp.o.d"
+  "libe2efa_lp.a"
+  "libe2efa_lp.pdb"
+)
+
+# Per-language clean rules from dependency scanning.
+foreach(lang CXX)
+  include(CMakeFiles/e2efa_lp.dir/cmake_clean_${lang}.cmake OPTIONAL)
+endforeach()

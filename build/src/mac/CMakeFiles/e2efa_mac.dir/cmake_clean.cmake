@@ -1,0 +1,13 @@
+file(REMOVE_RECURSE
+  "CMakeFiles/e2efa_mac.dir/backoff.cpp.o"
+  "CMakeFiles/e2efa_mac.dir/backoff.cpp.o.d"
+  "CMakeFiles/e2efa_mac.dir/dcf_mac.cpp.o"
+  "CMakeFiles/e2efa_mac.dir/dcf_mac.cpp.o.d"
+  "libe2efa_mac.a"
+  "libe2efa_mac.pdb"
+)
+
+# Per-language clean rules from dependency scanning.
+foreach(lang CXX)
+  include(CMakeFiles/e2efa_mac.dir/cmake_clean_${lang}.cmake OPTIONAL)
+endforeach()

@@ -1,0 +1,21 @@
+file(REMOVE_RECURSE
+  "CMakeFiles/e2efa_net.dir/cli.cpp.o"
+  "CMakeFiles/e2efa_net.dir/cli.cpp.o.d"
+  "CMakeFiles/e2efa_net.dir/fluid.cpp.o"
+  "CMakeFiles/e2efa_net.dir/fluid.cpp.o.d"
+  "CMakeFiles/e2efa_net.dir/node_stack.cpp.o"
+  "CMakeFiles/e2efa_net.dir/node_stack.cpp.o.d"
+  "CMakeFiles/e2efa_net.dir/runner.cpp.o"
+  "CMakeFiles/e2efa_net.dir/runner.cpp.o.d"
+  "CMakeFiles/e2efa_net.dir/scenario_file.cpp.o"
+  "CMakeFiles/e2efa_net.dir/scenario_file.cpp.o.d"
+  "CMakeFiles/e2efa_net.dir/scenarios.cpp.o"
+  "CMakeFiles/e2efa_net.dir/scenarios.cpp.o.d"
+  "libe2efa_net.a"
+  "libe2efa_net.pdb"
+)
+
+# Per-language clean rules from dependency scanning.
+foreach(lang CXX)
+  include(CMakeFiles/e2efa_net.dir/cmake_clean_${lang}.cmake OPTIONAL)
+endforeach()

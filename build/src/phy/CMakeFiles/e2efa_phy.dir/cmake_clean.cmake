@@ -1,0 +1,13 @@
+file(REMOVE_RECURSE
+  "CMakeFiles/e2efa_phy.dir/channel.cpp.o"
+  "CMakeFiles/e2efa_phy.dir/channel.cpp.o.d"
+  "CMakeFiles/e2efa_phy.dir/frame.cpp.o"
+  "CMakeFiles/e2efa_phy.dir/frame.cpp.o.d"
+  "libe2efa_phy.a"
+  "libe2efa_phy.pdb"
+)
+
+# Per-language clean rules from dependency scanning.
+foreach(lang CXX)
+  include(CMakeFiles/e2efa_phy.dir/cmake_clean_${lang}.cmake OPTIONAL)
+endforeach()

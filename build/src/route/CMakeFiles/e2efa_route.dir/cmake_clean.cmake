@@ -1,0 +1,11 @@
+file(REMOVE_RECURSE
+  "CMakeFiles/e2efa_route.dir/routing.cpp.o"
+  "CMakeFiles/e2efa_route.dir/routing.cpp.o.d"
+  "libe2efa_route.a"
+  "libe2efa_route.pdb"
+)
+
+# Per-language clean rules from dependency scanning.
+foreach(lang CXX)
+  include(CMakeFiles/e2efa_route.dir/cmake_clean_${lang}.cmake OPTIONAL)
+endforeach()

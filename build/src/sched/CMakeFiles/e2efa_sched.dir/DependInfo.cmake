@@ -1,0 +1,25 @@
+
+# Consider dependencies only in project.
+set(CMAKE_DEPENDS_IN_PROJECT_ONLY OFF)
+
+# The set of languages for which implicit dependencies are needed:
+set(CMAKE_DEPENDS_LANGUAGES
+  )
+
+# The set of dependency files which are needed:
+set(CMAKE_DEPENDS_DEPENDENCY_FILES
+  "/root/repo/src/sched/fifo_queue.cpp" "src/sched/CMakeFiles/e2efa_sched.dir/fifo_queue.cpp.o" "gcc" "src/sched/CMakeFiles/e2efa_sched.dir/fifo_queue.cpp.o.d"
+  "/root/repo/src/sched/tag_scheduler.cpp" "src/sched/CMakeFiles/e2efa_sched.dir/tag_scheduler.cpp.o" "gcc" "src/sched/CMakeFiles/e2efa_sched.dir/tag_scheduler.cpp.o.d"
+  )
+
+# Targets to which this target links.
+set(CMAKE_TARGET_LINKED_INFO_FILES
+  "/root/repo/build/src/phy/CMakeFiles/e2efa_phy.dir/DependInfo.cmake"
+  "/root/repo/build/src/util/CMakeFiles/e2efa_util.dir/DependInfo.cmake"
+  "/root/repo/build/src/sim/CMakeFiles/e2efa_sim.dir/DependInfo.cmake"
+  "/root/repo/build/src/topology/CMakeFiles/e2efa_topology.dir/DependInfo.cmake"
+  "/root/repo/build/src/geom/CMakeFiles/e2efa_geom.dir/DependInfo.cmake"
+  )
+
+# Fortran module output directory.
+set(CMAKE_Fortran_TARGET_MODULE_DIR "")

@@ -1,0 +1,13 @@
+file(REMOVE_RECURSE
+  "CMakeFiles/e2efa_sched.dir/fifo_queue.cpp.o"
+  "CMakeFiles/e2efa_sched.dir/fifo_queue.cpp.o.d"
+  "CMakeFiles/e2efa_sched.dir/tag_scheduler.cpp.o"
+  "CMakeFiles/e2efa_sched.dir/tag_scheduler.cpp.o.d"
+  "libe2efa_sched.a"
+  "libe2efa_sched.pdb"
+)
+
+# Per-language clean rules from dependency scanning.
+foreach(lang CXX)
+  include(CMakeFiles/e2efa_sched.dir/cmake_clean_${lang}.cmake OPTIONAL)
+endforeach()

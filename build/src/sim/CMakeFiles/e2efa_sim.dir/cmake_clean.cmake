@@ -1,0 +1,11 @@
+file(REMOVE_RECURSE
+  "CMakeFiles/e2efa_sim.dir/simulator.cpp.o"
+  "CMakeFiles/e2efa_sim.dir/simulator.cpp.o.d"
+  "libe2efa_sim.a"
+  "libe2efa_sim.pdb"
+)
+
+# Per-language clean rules from dependency scanning.
+foreach(lang CXX)
+  include(CMakeFiles/e2efa_sim.dir/cmake_clean_${lang}.cmake OPTIONAL)
+endforeach()

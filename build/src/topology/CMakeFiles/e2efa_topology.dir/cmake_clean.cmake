@@ -1,0 +1,13 @@
+file(REMOVE_RECURSE
+  "CMakeFiles/e2efa_topology.dir/builders.cpp.o"
+  "CMakeFiles/e2efa_topology.dir/builders.cpp.o.d"
+  "CMakeFiles/e2efa_topology.dir/topology.cpp.o"
+  "CMakeFiles/e2efa_topology.dir/topology.cpp.o.d"
+  "libe2efa_topology.a"
+  "libe2efa_topology.pdb"
+)
+
+# Per-language clean rules from dependency scanning.
+foreach(lang CXX)
+  include(CMakeFiles/e2efa_topology.dir/cmake_clean_${lang}.cmake OPTIONAL)
+endforeach()

@@ -1,0 +1,26 @@
+
+# Consider dependencies only in project.
+set(CMAKE_DEPENDS_IN_PROJECT_ONLY OFF)
+
+# The set of languages for which implicit dependencies are needed:
+set(CMAKE_DEPENDS_LANGUAGES
+  )
+
+# The set of dependency files which are needed:
+set(CMAKE_DEPENDS_DEPENDENCY_FILES
+  "/root/repo/src/traffic/cbr_source.cpp" "src/traffic/CMakeFiles/e2efa_traffic.dir/cbr_source.cpp.o" "gcc" "src/traffic/CMakeFiles/e2efa_traffic.dir/cbr_source.cpp.o.d"
+  "/root/repo/src/traffic/stats.cpp" "src/traffic/CMakeFiles/e2efa_traffic.dir/stats.cpp.o" "gcc" "src/traffic/CMakeFiles/e2efa_traffic.dir/stats.cpp.o.d"
+  )
+
+# Targets to which this target links.
+set(CMAKE_TARGET_LINKED_INFO_FILES
+  "/root/repo/build/src/phy/CMakeFiles/e2efa_phy.dir/DependInfo.cmake"
+  "/root/repo/build/src/flow/CMakeFiles/e2efa_flow.dir/DependInfo.cmake"
+  "/root/repo/build/src/sim/CMakeFiles/e2efa_sim.dir/DependInfo.cmake"
+  "/root/repo/build/src/util/CMakeFiles/e2efa_util.dir/DependInfo.cmake"
+  "/root/repo/build/src/topology/CMakeFiles/e2efa_topology.dir/DependInfo.cmake"
+  "/root/repo/build/src/geom/CMakeFiles/e2efa_geom.dir/DependInfo.cmake"
+  )
+
+# Fortran module output directory.
+set(CMAKE_Fortran_TARGET_MODULE_DIR "")

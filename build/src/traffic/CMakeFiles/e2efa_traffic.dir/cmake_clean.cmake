@@ -1,0 +1,13 @@
+file(REMOVE_RECURSE
+  "CMakeFiles/e2efa_traffic.dir/cbr_source.cpp.o"
+  "CMakeFiles/e2efa_traffic.dir/cbr_source.cpp.o.d"
+  "CMakeFiles/e2efa_traffic.dir/stats.cpp.o"
+  "CMakeFiles/e2efa_traffic.dir/stats.cpp.o.d"
+  "libe2efa_traffic.a"
+  "libe2efa_traffic.pdb"
+)
+
+# Per-language clean rules from dependency scanning.
+foreach(lang CXX)
+  include(CMakeFiles/e2efa_traffic.dir/cmake_clean_${lang}.cmake OPTIONAL)
+endforeach()

@@ -1,0 +1,17 @@
+file(REMOVE_RECURSE
+  "CMakeFiles/e2efa_util.dir/rng.cpp.o"
+  "CMakeFiles/e2efa_util.dir/rng.cpp.o.d"
+  "CMakeFiles/e2efa_util.dir/stats.cpp.o"
+  "CMakeFiles/e2efa_util.dir/stats.cpp.o.d"
+  "CMakeFiles/e2efa_util.dir/strings.cpp.o"
+  "CMakeFiles/e2efa_util.dir/strings.cpp.o.d"
+  "CMakeFiles/e2efa_util.dir/table.cpp.o"
+  "CMakeFiles/e2efa_util.dir/table.cpp.o.d"
+  "libe2efa_util.a"
+  "libe2efa_util.pdb"
+)
+
+# Per-language clean rules from dependency scanning.
+foreach(lang CXX)
+  include(CMakeFiles/e2efa_util.dir/cmake_clean_${lang}.cmake OPTIONAL)
+endforeach()

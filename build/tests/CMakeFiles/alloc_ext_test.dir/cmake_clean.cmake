@@ -1,0 +1,12 @@
+file(REMOVE_RECURSE
+  "CMakeFiles/alloc_ext_test.dir/alloc_ext_test.cpp.o"
+  "CMakeFiles/alloc_ext_test.dir/alloc_ext_test.cpp.o.d"
+  "alloc_ext_test"
+  "alloc_ext_test.pdb"
+  "alloc_ext_test[1]_tests.cmake"
+)
+
+# Per-language clean rules from dependency scanning.
+foreach(lang CXX)
+  include(CMakeFiles/alloc_ext_test.dir/cmake_clean_${lang}.cmake OPTIONAL)
+endforeach()

@@ -1,0 +1,12 @@
+file(REMOVE_RECURSE
+  "CMakeFiles/geom_topology_test.dir/geom_topology_test.cpp.o"
+  "CMakeFiles/geom_topology_test.dir/geom_topology_test.cpp.o.d"
+  "geom_topology_test"
+  "geom_topology_test.pdb"
+  "geom_topology_test[1]_tests.cmake"
+)
+
+# Per-language clean rules from dependency scanning.
+foreach(lang CXX)
+  include(CMakeFiles/geom_topology_test.dir/cmake_clean_${lang}.cmake OPTIONAL)
+endforeach()

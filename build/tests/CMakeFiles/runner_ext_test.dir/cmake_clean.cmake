@@ -1,0 +1,12 @@
+file(REMOVE_RECURSE
+  "CMakeFiles/runner_ext_test.dir/runner_ext_test.cpp.o"
+  "CMakeFiles/runner_ext_test.dir/runner_ext_test.cpp.o.d"
+  "runner_ext_test"
+  "runner_ext_test.pdb"
+  "runner_ext_test[1]_tests.cmake"
+)
+
+# Per-language clean rules from dependency scanning.
+foreach(lang CXX)
+  include(CMakeFiles/runner_ext_test.dir/cmake_clean_${lang}.cmake OPTIONAL)
+endforeach()

@@ -1,0 +1,12 @@
+file(REMOVE_RECURSE
+  "CMakeFiles/sim_route_test.dir/sim_route_test.cpp.o"
+  "CMakeFiles/sim_route_test.dir/sim_route_test.cpp.o.d"
+  "sim_route_test"
+  "sim_route_test.pdb"
+  "sim_route_test[1]_tests.cmake"
+)
+
+# Per-language clean rules from dependency scanning.
+foreach(lang CXX)
+  include(CMakeFiles/sim_route_test.dir/cmake_clean_${lang}.cmake OPTIONAL)
+endforeach()

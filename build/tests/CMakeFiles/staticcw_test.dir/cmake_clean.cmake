@@ -1,0 +1,12 @@
+file(REMOVE_RECURSE
+  "CMakeFiles/staticcw_test.dir/staticcw_test.cpp.o"
+  "CMakeFiles/staticcw_test.dir/staticcw_test.cpp.o.d"
+  "staticcw_test"
+  "staticcw_test.pdb"
+  "staticcw_test[1]_tests.cmake"
+)
+
+# Per-language clean rules from dependency scanning.
+foreach(lang CXX)
+  include(CMakeFiles/staticcw_test.dir/cmake_clean_${lang}.cmake OPTIONAL)
+endforeach()

@@ -1,0 +1,11 @@
+file(REMOVE_RECURSE
+  "CMakeFiles/e2efa_cli.dir/e2efa_sim.cpp.o"
+  "CMakeFiles/e2efa_cli.dir/e2efa_sim.cpp.o.d"
+  "e2efa-sim"
+  "e2efa-sim.pdb"
+)
+
+# Per-language clean rules from dependency scanning.
+foreach(lang CXX)
+  include(CMakeFiles/e2efa_cli.dir/cmake_clean_${lang}.cmake OPTIONAL)
+endforeach()
