@@ -2,6 +2,8 @@
 // simulation speed (simulated seconds per wall second).
 #include <benchmark/benchmark.h>
 
+#include <functional>
+
 #include "net/runner.hpp"
 #include "net/scenarios.hpp"
 #include "sim/simulator.hpp"

@@ -18,6 +18,7 @@
 #include <iostream>
 
 #include "bench_util.hpp"
+#include "net/batch.hpp"
 #include "net/scenarios.hpp"
 
 using namespace e2efa;
@@ -34,10 +35,10 @@ int main(int argc, char** argv) {
   std::cout << "Table II — simulation results, topology as in Fig. 1 (T = "
             << args.seconds << " s)\n\n";
 
-  const Protocol protos[] = {Protocol::k80211, Protocol::kTwoTier,
-                             Protocol::k2paCentralized};
-  std::vector<RunResult> results;
-  for (Protocol p : protos) results.push_back(run_scenario(sc, p, cfg));
+  const std::vector<Protocol> protos = {Protocol::k80211, Protocol::kTwoTier,
+                                        Protocol::k2paCentralized};
+  const std::vector<RunResult> results =
+      BatchRunner(args.jobs).run_protocols(sc, protos, cfg);
 
   TextTable t({"Parameters", "802.11", "two-tier", "2PA"});
   auto row = [&](const std::string& name, auto getter) {

@@ -22,6 +22,7 @@
 #include <iostream>
 
 #include "bench_util.hpp"
+#include "net/batch.hpp"
 #include "net/scenarios.hpp"
 
 using namespace e2efa;
@@ -38,10 +39,11 @@ int main(int argc, char** argv) {
   std::cout << "Table III — simulation results, topology as in Fig. 6 (T = "
             << args.seconds << " s)\n\n";
 
-  const Protocol protos[] = {Protocol::k80211, Protocol::kTwoTier,
-                             Protocol::k2paCentralized, Protocol::k2paDistributed};
-  std::vector<RunResult> results;
-  for (Protocol p : protos) results.push_back(run_scenario(sc, p, cfg));
+  const std::vector<Protocol> protos = {
+      Protocol::k80211, Protocol::kTwoTier, Protocol::k2paCentralized,
+      Protocol::k2paDistributed};
+  const std::vector<RunResult> results =
+      BatchRunner(args.jobs).run_protocols(sc, protos, cfg);
 
   TextTable t({"Parameters", "802.11", "two-tier", "2PA-C", "2PA-D"});
   const char* labels[] = {"r1.1 T", "r1.2 T", "r1.3 T", "r1.4 T (r1^ T)",

@@ -59,6 +59,21 @@ void Channel::update_busy(NodeId n) {
   }
 }
 
+std::uint32_t Channel::acquire_tx_slot() {
+  if (tx_free_ != kNilTxSlot) {
+    const std::uint32_t slot = tx_free_;
+    tx_free_ = tx_pool_[slot].next_free;
+    return slot;
+  }
+  tx_pool_.emplace_back();
+  return static_cast<std::uint32_t>(tx_pool_.size() - 1);
+}
+
+void Channel::release_tx_slot(std::uint32_t slot) {
+  tx_pool_[slot].next_free = tx_free_;
+  tx_free_ = slot;
+}
+
 TimeNs Channel::transmit(NodeId sender, Frame frame) {
   E2EFA_ASSERT_MSG(!transmitting(sender), "node is already transmitting");
   E2EFA_ASSERT(frame.bytes > 0);
@@ -75,7 +90,6 @@ TimeNs Channel::transmit(NodeId sender, Frame frame) {
     if (s.decoding) s.decode_corrupted = true;
     s.tx_end = end;
     update_busy(sender);
-    sim_.schedule_at(end, [this, sender] { update_busy(sender); });
   }
 
   for (NodeId r : topo_.interference_neighbors(sender)) {
@@ -90,27 +104,47 @@ TimeNs Channel::transmit(NodeId sender, Frame frame) {
     }
     ++s.interferers;
     update_busy(r);
-
-    sim_.schedule_at(end, [this, r, tx_id, frame, end] {
-      NodeState& s = state(r);
-      --s.interferers;
-      E2EFA_ASSERT(s.interferers >= 0);
-      if (s.decoding && s.decode_tx_id == tx_id) {
-        const bool ok = !s.decode_corrupted && !transmitting(r);
-        s.decoding = false;
-        if (ok) {
-          ++stats_.frames_delivered;
-          if (s.listener) s.listener->on_frame_received(frame);
-        } else {
-          ++stats_.frames_corrupted;
-          stats_.bytes_corrupted += static_cast<std::uint64_t>(frame.bytes);
-          if (s.listener) s.listener->on_frame_corrupted(end);
-        }
-      }
-      update_busy(r);
-    });
   }
+
+  // One end-of-frame event for the whole transmission; it visits the sender
+  // and then the neighbors in the same order the per-neighbor events fired.
+  const std::uint32_t slot = acquire_tx_slot();
+  Transmission& t = tx_pool_[slot];
+  t.frame = std::move(frame);
+  t.end = end;
+  t.tx_id = tx_id;
+  sim_.schedule_at(end, [this, slot] { finish_transmission(slot); });
   return end;
+}
+
+void Channel::finish_transmission(std::uint32_t slot) {
+  // Move the record out before any listener runs: a listener could (in
+  // principle) transmit, growing the pool and invalidating references.
+  const Frame frame = std::move(tx_pool_[slot].frame);
+  const std::uint64_t tx_id = tx_pool_[slot].tx_id;
+  const TimeNs end = tx_pool_[slot].end;
+  release_tx_slot(slot);
+  const NodeId sender = frame.tx;
+
+  update_busy(sender);
+  for (NodeId r : topo_.interference_neighbors(sender)) {
+    NodeState& s = state(r);
+    --s.interferers;
+    E2EFA_ASSERT(s.interferers >= 0);
+    if (s.decoding && s.decode_tx_id == tx_id) {
+      const bool ok = !s.decode_corrupted && !transmitting(r);
+      s.decoding = false;
+      if (ok) {
+        ++stats_.frames_delivered;
+        if (s.listener) s.listener->on_frame_received(frame);
+      } else {
+        ++stats_.frames_corrupted;
+        stats_.bytes_corrupted += static_cast<std::uint64_t>(frame.bytes);
+        if (s.listener) s.listener->on_frame_corrupted(end);
+      }
+    }
+    update_busy(r);
+  }
 }
 
 }  // namespace e2efa

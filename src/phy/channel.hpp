@@ -89,15 +89,32 @@ class Channel {
     std::uint64_t decode_tx_id = 0;  ///< Which transmission is being decoded.
   };
 
+  /// An in-flight frame, pooled so the end-of-frame event only captures a
+  /// slot index. One event per transmission walks the sender and every
+  /// interference neighbor at end-of-frame (instead of one closure per
+  /// neighbor), in the exact order the per-neighbor events used to fire.
+  struct Transmission {
+    Frame frame;
+    TimeNs end = 0;
+    std::uint64_t tx_id = 0;
+    std::uint32_t next_free = 0;
+  };
+
   void update_busy(NodeId n);
   NodeState& state(NodeId n);
   const NodeState& state(NodeId n) const;
+  std::uint32_t acquire_tx_slot();
+  void release_tx_slot(std::uint32_t slot);
+  void finish_transmission(std::uint32_t slot);
 
   Simulator& sim_;
   const Topology& topo_;
   std::int64_t bps_;
   std::vector<NodeState> nodes_;
   std::uint64_t next_tx_id_ = 1;
+  std::vector<Transmission> tx_pool_;
+  std::uint32_t tx_free_ = kNilTxSlot;
+  static constexpr std::uint32_t kNilTxSlot = 0xffffffffu;
   ChannelStats stats_;
 };
 

@@ -1,0 +1,149 @@
+// Small-buffer-optimized move-only callable for the event engine.
+//
+// Event handlers are almost always lambdas capturing a `this` pointer plus a
+// few scalars (MAC timers, backoff steps, CBR ticks) or, at worst, a Frame
+// (~112 bytes, the deferred-ACK path). `std::function` heap-allocates most
+// of these; `Callback` stores anything up to kInlineCapacity bytes inline in
+// the event record itself, so steady-state simulation schedules zero
+// allocations. Larger or over-aligned callables fall back to the heap.
+#pragma once
+
+#include <cstddef>
+#include <memory>
+#include <new>
+#include <type_traits>
+#include <utility>
+
+namespace e2efa {
+
+class Callback {
+ public:
+  /// Inline storage: sized for the hot-path captures (a `this` pointer plus
+  /// a handful of scalars) while keeping the event slab record at exactly
+  /// one cache line. Anything bigger — e.g. a closure holding a whole Frame —
+  /// takes the heap fallback, which is no worse than `std::function` was.
+  static constexpr std::size_t kInlineCapacity = 48;
+  static_assert(kInlineCapacity >= 48, "inline storage contract");
+
+  Callback() noexcept = default;
+  Callback(std::nullptr_t) noexcept {}  // NOLINT(google-explicit-constructor)
+
+  template <typename F,
+            typename = std::enable_if_t<
+                !std::is_same_v<std::decay_t<F>, Callback> &&
+                std::is_invocable_r_v<void, std::decay_t<F>&>>>
+  Callback(F&& f) {  // NOLINT(google-explicit-constructor)
+    using T = std::decay_t<F>;
+    if constexpr (sizeof(T) <= kInlineCapacity && alignof(T) <= alignof(void*) &&
+                  std::is_nothrow_move_constructible_v<T>) {
+      ::new (static_cast<void*>(buf_)) T(std::forward<F>(f));
+      ops_ = &inline_ops<T>;
+    } else {
+      ::new (static_cast<void*>(buf_)) T*(new T(std::forward<F>(f)));
+      ops_ = &heap_ops<T>;
+    }
+  }
+
+  Callback(Callback&& o) noexcept : ops_(o.ops_) {
+    if (ops_ != nullptr) {
+      ops_->relocate(o.buf_, buf_);
+      o.ops_ = nullptr;
+    }
+  }
+
+  Callback& operator=(Callback&& o) noexcept {
+    if (this != &o) {
+      reset();
+      ops_ = o.ops_;
+      if (ops_ != nullptr) {
+        ops_->relocate(o.buf_, buf_);
+        o.ops_ = nullptr;
+      }
+    }
+    return *this;
+  }
+
+  Callback(const Callback&) = delete;
+  Callback& operator=(const Callback&) = delete;
+
+  ~Callback() { reset(); }
+
+  void reset() noexcept {
+    if (ops_ != nullptr) {
+      ops_->destroy(buf_);
+      ops_ = nullptr;
+    }
+  }
+
+  /// Constructs the callable directly in this callback's storage (no
+  /// intermediate Callback, no relocate).
+  template <typename F>
+  void emplace(F&& f) {
+    using T = std::decay_t<F>;
+    reset();
+    if constexpr (sizeof(T) <= kInlineCapacity && alignof(T) <= alignof(void*) &&
+                  std::is_nothrow_move_constructible_v<T>) {
+      ::new (static_cast<void*>(buf_)) T(std::forward<F>(f));
+      ops_ = &inline_ops<T>;
+    } else {
+      ::new (static_cast<void*>(buf_)) T*(new T(std::forward<F>(f)));
+      ops_ = &heap_ops<T>;
+    }
+  }
+
+  explicit operator bool() const noexcept { return ops_ != nullptr; }
+
+  void operator()() { ops_->invoke(buf_); }
+
+  /// Single-indirect-call fire path: moves the callable to the stack,
+  /// destroys the stored copy, empties *this, then invokes. Safe against
+  /// *this being reused or relocated by the invoked code.
+  void consume_invoke() {
+    const Ops* o = ops_;
+    ops_ = nullptr;
+    o->consume(buf_);
+  }
+
+ private:
+  struct Ops {
+    void (*invoke)(void* self);
+    void (*relocate)(void* src, void* dst) noexcept;  // move into dst, destroy src
+    void (*destroy)(void* self) noexcept;
+    void (*consume)(void* self);  // move out, destroy stored copy, invoke
+  };
+
+  template <typename T>
+  static constexpr Ops inline_ops = {
+      [](void* self) { (*std::launder(static_cast<T*>(self)))(); },
+      [](void* src, void* dst) noexcept {
+        T* s = std::launder(static_cast<T*>(src));
+        ::new (dst) T(std::move(*s));
+        s->~T();
+      },
+      [](void* self) noexcept { std::launder(static_cast<T*>(self))->~T(); },
+      [](void* self) {
+        T* s = std::launder(static_cast<T*>(self));
+        T local(std::move(*s));
+        s->~T();
+        local();
+      },
+  };
+
+  template <typename T>
+  static constexpr Ops heap_ops = {
+      [](void* self) { (**std::launder(static_cast<T**>(self)))(); },
+      [](void* src, void* dst) noexcept {
+        ::new (dst) T*(*std::launder(static_cast<T**>(src)));
+      },
+      [](void* self) noexcept { delete *std::launder(static_cast<T**>(self)); },
+      [](void* self) {
+        std::unique_ptr<T> p(*std::launder(static_cast<T**>(self)));
+        (*p)();
+      },
+  };
+
+  alignas(void*) unsigned char buf_[kInlineCapacity];
+  const Ops* ops_ = nullptr;
+};
+
+}  // namespace e2efa

@@ -1,61 +1,121 @@
 #include "sim/simulator.hpp"
 
+#include <algorithm>
+#include <limits>
+
 #include "util/assert.hpp"
 
 namespace e2efa {
 
-Simulator::EventId Simulator::schedule_at(TimeNs t, std::function<void()> fn) {
-  E2EFA_ASSERT_MSG(t >= now_, "cannot schedule in the past");
-  E2EFA_ASSERT(fn != nullptr);
-  const EventId id = next_id_++;
-  heap_.push({t, id});
-  handlers_.emplace(id, std::move(fn));
-  return id;
+std::uint32_t Simulator::acquire_slot() {
+  if (free_head_ != kNilSlot) {
+    const std::uint32_t slot = free_head_;
+    free_head_ = slab_[slot].next_free;
+    slab_[slot].next_free = kNilSlot;
+    return slot;
+  }
+  E2EFA_ASSERT_MSG(slab_.size() < kNilSlot, "event slab exhausted");
+  slab_.emplace_back();
+  return static_cast<std::uint32_t>(slab_.size() - 1);
 }
 
-Simulator::EventId Simulator::schedule_in(TimeNs delay, std::function<void()> fn) {
+void Simulator::release_slot(std::uint32_t slot) {
+  slab_[slot].next_free = free_head_;
+  free_head_ = slot;
+}
+
+void Simulator::heap_push(HeapEntry e) {
+  heap_.push_back(e);
+  std::size_t i = heap_.size() - 1;
+  while (i > 0) {
+    const std::size_t p = (i - 1) >> 2;
+    if (!earlier(e, heap_[p])) break;
+    heap_[i] = heap_[p];
+    i = p;
+  }
+  heap_[i] = e;
+}
+
+Simulator::HeapEntry Simulator::heap_pop() {
+  const HeapEntry top = heap_.front();
+  const HeapEntry last = heap_.back();
+  heap_.pop_back();
+  const std::size_t n = heap_.size();
+  if (n > 0) {
+    std::size_t i = 0;
+    for (;;) {
+      const std::size_t c = 4 * i + 1;
+      if (c >= n) break;
+      std::size_t m = c;
+      const std::size_t end = std::min(c + 4, n);
+      for (std::size_t k = c + 1; k < end; ++k)
+        if (earlier(heap_[k], heap_[m])) m = k;
+      if (!earlier(heap_[m], last)) break;
+      heap_[i] = heap_[m];
+      i = m;
+    }
+    heap_[i] = last;
+  }
+  return top;
+}
+
+std::uint32_t Simulator::prepare(TimeNs t) {
+  E2EFA_ASSERT_MSG(t >= now_, "cannot schedule in the past");
+  const std::uint32_t slot = acquire_slot();
+  ++slab_[slot].gen;  // even -> odd: armed
+  heap_push({t, next_seq_++, slot});
+  ++live_;
+  return slot;
+}
+
+void Simulator::check_delay(TimeNs delay) const {
   E2EFA_ASSERT_MSG(delay >= 0, "negative delay");
-  return schedule_at(now_ + delay, std::move(fn));
 }
 
 bool Simulator::cancel(EventId id) {
-  const auto it = handlers_.find(id);
-  if (it == handlers_.end()) return false;
-  handlers_.erase(it);
-  cancelled_.insert(id);
+  if (id == kInvalidEvent) return false;
+  const std::uint64_t slot64 = (id & 0xffffffffu) - 1;
+  if (slot64 >= slab_.size()) return false;
+  Event& ev = slab_[static_cast<std::uint32_t>(slot64)];
+  if ((ev.gen & 1u) == 0 || ev.gen != static_cast<std::uint32_t>(id >> 32))
+    return false;
+  // Lazy cancel: disarm and release the closure now (O(1)); the heap entry
+  // is skipped and the slot recycled when it reaches the top.
+  ++ev.gen;  // odd -> even: retired; stale handles now mismatch
+  ev.fn.reset();
+  --live_;
   return true;
 }
 
-std::uint64_t Simulator::run_until(TimeNs t_end) {
+std::uint64_t Simulator::drain(TimeNs t_end) {
   std::uint64_t count = 0;
-  while (!heap_.empty() && heap_.top().time <= t_end) {
-    const Entry e = heap_.top();
-    heap_.pop();
-    const auto c = cancelled_.find(e.id);
-    if (c != cancelled_.end()) {
-      cancelled_.erase(c);
+  while (!heap_.empty() && heap_.front().time <= t_end) {
+    __builtin_prefetch(&slab_[heap_.front().slot]);
+    const HeapEntry e = heap_pop();
+    Event& ev = slab_[e.slot];
+    if ((ev.gen & 1u) == 0) {  // lazily cancelled; recycle and move on
+      release_slot(e.slot);
       continue;
     }
-    const auto h = handlers_.find(e.id);
-    E2EFA_ASSERT(h != handlers_.end());
-    auto fn = std::move(h->second);
-    handlers_.erase(h);
+    ++ev.gen;  // odd -> even: retire the handle before callbacks reuse it
+    release_slot(e.slot);
+    --live_;
     now_ = e.time;
-    fn();
+    ev.fn.consume_invoke();
     ++count;
     ++processed_;
   }
-  if (heap_.empty() || now_ < t_end) now_ = std::max(now_, t_end);
+  return count;
+}
+
+std::uint64_t Simulator::run_until(TimeNs t_end) {
+  const std::uint64_t count = drain(t_end);
+  now_ = std::max(now_, t_end);
   return count;
 }
 
 std::uint64_t Simulator::run() {
-  std::uint64_t count = 0;
-  while (!heap_.empty()) {
-    // Delegate in chunks; run_until handles cancellation bookkeeping.
-    count += run_until(heap_.top().time);
-  }
-  return count;
+  return drain(std::numeric_limits<TimeNs>::max());
 }
 
 }  // namespace e2efa

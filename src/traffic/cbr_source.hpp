@@ -3,6 +3,7 @@
 // allocated shares).
 #pragma once
 
+#include <atomic>
 #include <cstdint>
 #include <functional>
 
@@ -36,7 +37,9 @@ class CbrSource {
   TimeNs phase_ = 0;
   TimeNs until_ = 0;
   std::int64_t seq_ = 0;
-  static std::uint64_t next_uid_;
+  /// Atomic so concurrent BatchRunner workers stay race-free; the uid feeds
+  /// tracing only, so cross-run numbering does not affect results.
+  static std::atomic<std::uint64_t> next_uid_;
 };
 
 }  // namespace e2efa

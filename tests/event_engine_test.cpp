@@ -1,0 +1,280 @@
+// Unit and stress coverage for the pooled event engine: FIFO ordering at
+// equal timestamps, generation-tagged handle safety across slot reuse,
+// exact pending() under lazy cancellation, and the Callback small-buffer
+// machinery (inline vs heap storage, move-only semantics).
+#include <gtest/gtest.h>
+
+#include <cstdint>
+#include <memory>
+#include <string>
+#include <vector>
+
+#include "sim/callback.hpp"
+#include "sim/simulator.hpp"
+#include "util/assert.hpp"
+
+namespace e2efa {
+namespace {
+
+TEST(EventEngine, FifoAtEqualTimestamps) {
+  Simulator sim;
+  std::vector<int> order;
+  for (int i = 0; i < 100; ++i) sim.schedule_at(42, [&order, i] { order.push_back(i); });
+  sim.run();
+  ASSERT_EQ(order.size(), 100u);
+  for (int i = 0; i < 100; ++i) EXPECT_EQ(order[i], i);
+  EXPECT_EQ(sim.now(), 42);
+}
+
+TEST(EventEngine, InterleavedScheduleCancelRescheduleSameTime) {
+  Simulator sim;
+  std::vector<int> order;
+  // Schedule ten events at t=10, cancel the odd ones, then schedule five
+  // more at the same time: survivors fire in scheduling order 0,2,4,6,8,
+  // then 10..14.
+  std::vector<Simulator::EventId> ids;
+  for (int i = 0; i < 10; ++i)
+    ids.push_back(sim.schedule_at(10, [&order, i] { order.push_back(i); }));
+  for (int i = 1; i < 10; i += 2) EXPECT_TRUE(sim.cancel(ids[i]));
+  for (int i = 10; i < 15; ++i)
+    sim.schedule_at(10, [&order, i] { order.push_back(i); });
+  sim.run();
+  EXPECT_EQ(order, (std::vector<int>{0, 2, 4, 6, 8, 10, 11, 12, 13, 14}));
+}
+
+TEST(EventEngine, CancelSemantics) {
+  Simulator sim;
+  bool fired = false;
+  const auto id = sim.schedule_at(5, [&fired] { fired = true; });
+  EXPECT_FALSE(sim.cancel(Simulator::kInvalidEvent));
+  EXPECT_TRUE(sim.cancel(id));
+  EXPECT_FALSE(sim.cancel(id));  // double-cancel is a no-op
+  sim.run();
+  EXPECT_FALSE(fired);
+
+  const auto id2 = sim.schedule_at(sim.now() + 1, [] {});
+  sim.run();
+  EXPECT_FALSE(sim.cancel(id2));  // already fired
+}
+
+TEST(EventEngine, StaleHandleDoesNotCancelRecycledSlot) {
+  Simulator sim;
+  // Arrange for slot reuse: cancel an event, then schedule another — the
+  // freed slot is recycled only after the dead heap entry surfaces, so
+  // drive the clock past it first.
+  const auto stale = sim.schedule_at(1, [] {});
+  EXPECT_TRUE(sim.cancel(stale));
+  sim.run_until(2);  // dead entry popped; slot back on the free list
+
+  bool fired = false;
+  const auto fresh = sim.schedule_at(3, [&fired] { fired = true; });
+  EXPECT_NE(stale, fresh);
+  EXPECT_FALSE(sim.cancel(stale));  // stale generation must not match
+  sim.run();
+  EXPECT_TRUE(fired);
+}
+
+TEST(EventEngine, HandleReuseAcrossManyGenerations) {
+  Simulator sim;
+  // Repeatedly schedule+cancel; with a single slot cycling through
+  // generations, every stale id must stay dead.
+  std::vector<Simulator::EventId> history;
+  for (int i = 0; i < 50; ++i) {
+    const auto id = sim.schedule_at(sim.now() + 1, [] {});
+    for (const auto old : history) EXPECT_FALSE(sim.cancel(old));
+    EXPECT_TRUE(sim.cancel(id));
+    history.push_back(id);
+    sim.run_until(sim.now() + 1);
+  }
+  EXPECT_EQ(sim.pending(), 0u);
+  EXPECT_EQ(sim.events_processed(), 0u);
+}
+
+TEST(EventEngine, PendingIsExactUnderLazyCancellation) {
+  Simulator sim;
+  std::vector<Simulator::EventId> ids;
+  for (int i = 0; i < 20; ++i) ids.push_back(sim.schedule_at(100 + i, [] {}));
+  EXPECT_EQ(sim.pending(), 20u);
+  for (int i = 0; i < 20; i += 2) sim.cancel(ids[i]);
+  // The ten dead heap entries still exist internally; pending() must not
+  // count them.
+  EXPECT_EQ(sim.pending(), 10u);
+  sim.run_until(104);
+  EXPECT_EQ(sim.pending(), 8u);  // 101 and 103 fired
+  sim.run();
+  EXPECT_EQ(sim.pending(), 0u);
+  EXPECT_EQ(sim.events_processed(), 10u);
+}
+
+TEST(EventEngine, CallbacksMayScheduleAtCurrentTime) {
+  Simulator sim;
+  std::vector<int> order;
+  sim.schedule_at(5, [&] {
+    order.push_back(0);
+    sim.schedule_at(5, [&] { order.push_back(2); });
+    sim.schedule_at(sim.now(), [&] { order.push_back(3); });
+  });
+  sim.schedule_at(5, [&] { order.push_back(1); });
+  sim.run();
+  EXPECT_EQ(order, (std::vector<int>{0, 1, 2, 3}));
+  EXPECT_EQ(sim.now(), 5);
+}
+
+TEST(EventEngine, RunUntilAdvancesClockRunStopsAtLastEvent) {
+  Simulator sim;
+  int fired = 0;
+  sim.schedule_at(10, [&fired] { ++fired; });
+  EXPECT_EQ(sim.run_until(3), 0u);
+  EXPECT_EQ(sim.now(), 3);
+  EXPECT_EQ(sim.run_until(100), 1u);
+  EXPECT_EQ(sim.now(), 100);
+
+  sim.schedule_at(150, [&fired] { ++fired; });
+  sim.schedule_at(120, [&fired] { ++fired; });
+  EXPECT_EQ(sim.run(), 2u);
+  EXPECT_EQ(sim.now(), 150);  // run() ends at the last executed event
+  EXPECT_EQ(fired, 3);
+}
+
+TEST(EventEngine, SchedulingInThePastIsRejected) {
+  Simulator sim;
+  sim.schedule_at(10, [] {});
+  sim.run();
+  EXPECT_THROW(sim.schedule_at(5, [] {}), ContractViolation);
+  EXPECT_THROW(sim.schedule_in(-1, [] {}), ContractViolation);
+}
+
+// Deterministic stress: a pseudo-random interleaving of schedules, cancels
+// and reschedules (many at equal timestamps) checked against engine
+// invariants — non-decreasing firing time, FIFO among same-time events,
+// exact bookkeeping of fired vs cancelled.
+TEST(EventEngine, StressInterleavedScheduleCancelReschedule) {
+  Simulator sim;
+  std::uint64_t rng = 0x9e3779b97f4a7c15ull;
+  auto next = [&rng] {
+    rng ^= rng << 13;
+    rng ^= rng >> 7;
+    rng ^= rng << 17;
+    return rng;
+  };
+
+  struct Live {
+    Simulator::EventId id;
+    std::uint64_t seq;
+  };
+  std::vector<Live> live;
+  std::uint64_t seq = 0, scheduled = 0, cancelled = 0, fired = 0;
+  TimeNs last_time = 0;
+  std::uint64_t last_seq = 0;
+
+  // Fired events check global (time, seq) order; same-time events must
+  // come out FIFO.
+  auto on_fire = [&](TimeNs t, std::uint64_t s) {
+    EXPECT_GE(t, last_time);
+    if (t == last_time) {
+      EXPECT_GT(s, last_seq);
+    }
+    last_time = t;
+    last_seq = s;
+    ++fired;
+  };
+
+  for (int step = 0; step < 20'000; ++step) {
+    const std::uint64_t r = next();
+    const int op = static_cast<int>(r % 100);
+    if (op < 55 || live.empty()) {
+      // Schedule at now + one of only 8 distinct offsets, forcing heavy
+      // same-time pileups.
+      const TimeNs t = sim.now() + static_cast<TimeNs>((r >> 8) % 8);
+      const std::uint64_t s = seq++;
+      const auto id = sim.schedule_at(t, [&, t, s] { on_fire(t, s); });
+      live.push_back({id, s});
+      ++scheduled;
+    } else if (op < 80) {
+      const std::size_t i = static_cast<std::size_t>((r >> 8) % live.size());
+      if (sim.cancel(live[i].id)) ++cancelled;
+      live[i] = live.back();
+      live.pop_back();
+    } else {
+      // Drain a little, letting events fire and slots recycle.
+      sim.run_until(sim.now() + static_cast<TimeNs>((r >> 8) % 4));
+      live.clear();  // ids may have fired; drop tracking (cancels above
+                     // tolerate stale ids by checking cancel()'s result)
+    }
+    ASSERT_EQ(sim.pending(), scheduled - cancelled - fired);
+  }
+  sim.run();
+  EXPECT_EQ(sim.pending(), 0u);
+  EXPECT_EQ(fired, scheduled - cancelled);
+}
+
+// ---- Callback (SBO) unit coverage ----
+
+TEST(CallbackSbo, InlineAndHeapStorageBothInvoke) {
+  int hits = 0;
+  Callback small([&hits] { ++hits; });  // 8 bytes: inline
+  small();
+  EXPECT_EQ(hits, 1);
+
+  struct Big {
+    int* hits;
+    char pad[120];  // > kInlineCapacity: heap fallback
+    void operator()() const { ++*hits; }
+  };
+  Callback big(Big{&hits, {}});
+  big();
+  EXPECT_EQ(hits, 2);
+}
+
+TEST(CallbackSbo, MoveTransfersOwnership) {
+  auto counter = std::make_shared<int>(0);
+  Callback a([counter] { ++*counter; });
+  EXPECT_EQ(counter.use_count(), 2);
+  Callback b(std::move(a));
+  EXPECT_FALSE(static_cast<bool>(a));
+  EXPECT_TRUE(static_cast<bool>(b));
+  b();
+  EXPECT_EQ(*counter, 1);
+  b.reset();
+  EXPECT_EQ(counter.use_count(), 1);  // capture destroyed exactly once
+}
+
+TEST(CallbackSbo, MoveOnlyCapturesWork) {
+  auto value = std::make_unique<int>(41);
+  Callback cb([v = std::move(value)] { ++*v; });
+  Callback moved(std::move(cb));
+  moved();
+  EXPECT_TRUE(static_cast<bool>(moved));
+}
+
+TEST(CallbackSbo, SchedulingACallbackObjectWorks) {
+  // The engine accepts a pre-built Callback (moved in as-is, not wrapped).
+  Simulator sim;
+  int hits = 0;
+  Callback cb([&hits] { ++hits; });
+  sim.schedule_at(1, std::move(cb));
+  sim.run();
+  EXPECT_EQ(hits, 1);
+}
+
+TEST(CallbackSbo, LargeCapturesSurviveSlotRecycling) {
+  // Heap-fallback callbacks must stay valid while the slab slot cycles.
+  Simulator sim;
+  std::string out;
+  struct Big {
+    std::string text;
+    std::string* out;
+    char pad[64];
+    void operator()() const { *out += text; }
+  };
+  sim.schedule_at(1, Big{"a", &out, {}});
+  sim.schedule_at(1, Big{"b", &out, {}});
+  const auto dead = sim.schedule_at(2, Big{"X", &out, {}});
+  sim.cancel(dead);
+  sim.schedule_at(3, Big{"c", &out, {}});
+  sim.run();
+  EXPECT_EQ(out, "abc");
+}
+
+}  // namespace
+}  // namespace e2efa
