@@ -33,6 +33,7 @@ std::string cli_usage() {
       "  --alpha A       2PA tag-backoff strictness (default 1e-4)\n"
       "  --seed N        RNG seed (default 1)\n"
       "  --queue N       per-queue capacity (default 50)\n"
+      "  --loss P        default per-link packet-error rate in [0,1] (default 0)\n"
       "  --shares        also print phase-1 target shares\n"
       "  --help          this text\n";
 }
@@ -98,6 +99,12 @@ std::optional<CliOptions> parse_cli(int argc, const char* const* argv,
         *error = "--queue must be >= 1";
         return std::nullopt;
       }
+    } else if (arg == "--loss") {
+      opt.default_loss = std::atof(value->c_str());
+      if (opt.default_loss < 0.0 || opt.default_loss > 1.0) {
+        *error = "--loss must be within [0, 1]";
+        return std::nullopt;
+      }
     } else {
       *error = "unknown option: " + arg;
       return std::nullopt;
@@ -126,7 +133,7 @@ Scenario make_named_scenario(const std::string& spec, Rng& rng) {
   if (kind == "chain") {
     const int hops = std::atoi(param.c_str());
     E2EFA_ASSERT_MSG(hops >= 1 && hops <= 64, "chain:N needs 1 <= N <= 64");
-    Scenario sc{spec, make_chain(hops + 1), {}};
+    Scenario sc{spec, make_chain(hops + 1), {}, {}};
     sc.flow_specs.push_back(make_routed_flow(sc.topo, 0, hops));
     return sc;
   }
@@ -137,7 +144,7 @@ Scenario make_named_scenario(const std::string& spec, Rng& rng) {
     const int cols = std::atoi(param.substr(x + 1).c_str());
     E2EFA_ASSERT_MSG(rows >= 2 && cols >= 2 && rows <= 16 && cols <= 16,
                      "grid:RxC needs 2..16 per side");
-    Scenario sc{spec, make_grid(rows, cols), {}};
+    Scenario sc{spec, make_grid(rows, cols), {}, {}};
     const NodeId n = static_cast<NodeId>(rows * cols);
     // Four corner-crossing flows.
     sc.flow_specs.push_back(make_routed_flow(sc.topo, 0, n - 1));
@@ -150,7 +157,7 @@ Scenario make_named_scenario(const std::string& spec, Rng& rng) {
     const int nodes = std::atoi(param.c_str());
     E2EFA_ASSERT_MSG(nodes >= 4 && nodes <= 128, "random:N needs 4 <= N <= 128");
     const double side = 200.0 * std::sqrt(static_cast<double>(nodes));
-    Scenario sc{spec, make_random(nodes, side, side, rng), {}};
+    Scenario sc{spec, make_random(nodes, side, side, rng), {}, {}};
     const int nf = std::max(2, nodes / 3);
     for (int i = 0; i < nf; ++i) {
       NodeId a, b;
@@ -180,10 +187,13 @@ std::string format_run_result(const Scenario& sc, const RunResult& r,
     const Flow& fl = flows.flow(f);
     std::vector<std::string> hops;
     for (NodeId n : fl.path) hops.push_back(sc.topo.label(n));
-    const int last = flows.subflow_index(f, fl.length() - 1);
+    // End-to-end goodput share; aggregates every repair route the flow used
+    // (identical to the last provisioned hop's share in fault-free runs).
+    const double share =
+        static_cast<double>(r.end_to_end_per_flow[f]) * 8.0 * cfg.payload_bytes /
+        (cfg.sim_seconds * static_cast<double>(cfg.channel_bps));
     t.add_row({fl.name(), join(hops, "-"), std::to_string(r.end_to_end_per_flow[f]),
-               strformat("%.3fB", r.measured_subflow_share(last, cfg.channel_bps,
-                                                           cfg.payload_bytes)),
+               strformat("%.3fB", share),
                r.has_target ? format_share_of_b(r.target_flow_share[f]) : "-",
                strformat("%.1f", r.mean_delay_s[f] * 1e3)});
   }
@@ -192,6 +202,28 @@ std::string format_run_result(const Scenario& sc, const RunResult& r,
      << r.lost_packets << " (ratio " << strformat("%.4f", r.loss_ratio) << "), "
      << r.channel.frames_transmitted << " frames on air, "
      << r.channel.frames_corrupted << " corrupted\n";
+
+  if (!sc.faults.empty()) {
+    os << "\nfaults: " << r.link_failures << " link-layer failures, "
+       << r.channel.frames_faulted << " frames faulted, " << r.suspended_packets
+       << " packets suppressed while suspended\n";
+    for (const RunResult::Recovery& rec : r.recoveries) {
+      os << "  " << flows.flow(rec.flow).name() << " disrupted at "
+         << strformat("%.2f", rec.fault_s) << " s, healed at "
+         << strformat("%.2f", rec.recovered_s) << " s (+"
+         << strformat("%.2f", rec.recovered_s - rec.fault_s) << " s)\n";
+    }
+    if (!r.epoch_end_to_end.empty()) {
+      os << "  per-epoch goodput (pkts):\n";
+      for (std::size_t e = 0; e < r.epoch_end_to_end.size(); ++e) {
+        os << "    epoch " << e << " @" << strformat("%.1f", r.epoch_starts_s[e])
+           << " s:";
+        for (FlowId f = 0; f < flows.flow_count(); ++f)
+          os << " " << r.epoch_end_to_end[e][static_cast<std::size_t>(f)];
+        os << "\n";
+      }
+    }
+  }
 
   if (list_shares && r.has_target) {
     os << "\nphase-1 subflow shares:\n";

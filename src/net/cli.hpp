@@ -21,6 +21,9 @@ struct CliOptions {
   Protocol protocol = Protocol::k2paCentralized;
   SimConfig config;
   bool list_shares = false;  ///< Also print phase-1 target shares.
+  /// --loss P: default packet-error rate applied to every link of the
+  /// scenario (on top of any loss/fault directives a scenario file sets).
+  double default_loss = 0.0;
 };
 
 /// Parses argv. On error returns nullopt and fills *error with a message

@@ -1,0 +1,142 @@
+#include "net/faults.hpp"
+
+#include <algorithm>
+
+#include "util/assert.hpp"
+
+namespace e2efa {
+namespace {
+
+// Salt folded into the run seed for the loss-draw stream. Deriving the
+// stream directly from the seed (instead of splitting the runner's master
+// Rng) keeps every pre-existing stream — per-node backoff, jitter — exactly
+// where it was before fault injection existed.
+constexpr std::uint64_t kLossStreamSalt = 0x9d8f3a2bc45e17f1ULL;
+
+std::pair<NodeId, NodeId> norm(NodeId a, NodeId b) { return std::minmax(a, b); }
+
+}  // namespace
+
+void FaultPlan::node_down(NodeId n, double at_s) {
+  events_.push_back({FaultEvent::Kind::kNodeDown, at_s, n, kInvalidNode});
+}
+
+void FaultPlan::node_up(NodeId n, double at_s) {
+  events_.push_back({FaultEvent::Kind::kNodeUp, at_s, n, kInvalidNode});
+}
+
+void FaultPlan::link_down(NodeId a, NodeId b, double at_s) {
+  events_.push_back({FaultEvent::Kind::kLinkDown, at_s, a, b});
+}
+
+void FaultPlan::link_up(NodeId a, NodeId b, double at_s) {
+  events_.push_back({FaultEvent::Kind::kLinkUp, at_s, a, b});
+}
+
+void FaultPlan::set_loss(NodeId a, NodeId b, double per) {
+  loss_rules_.push_back({a, b, per});
+}
+
+void FaultPlan::set_default_loss(double per) { default_loss_ = per; }
+
+bool FaultPlan::has_loss() const {
+  if (default_loss_ > 0.0) return true;
+  return std::any_of(loss_rules_.begin(), loss_rules_.end(),
+                     [](const LossRule& r) { return r.per > 0.0; });
+}
+
+std::vector<double> FaultPlan::event_times() const {
+  std::vector<double> times;
+  times.reserve(events_.size());
+  for (const FaultEvent& e : events_) times.push_back(e.at_s);
+  std::sort(times.begin(), times.end());
+  times.erase(std::unique(times.begin(), times.end()), times.end());
+  return times;
+}
+
+TopologyMask FaultPlan::mask_at(double at_s, int node_count) const {
+  // Apply every event with time <= at_s in schedule order (stable within a
+  // time: later directives in the scenario win ties, as a reader expects).
+  std::vector<FaultEvent> ordered = events_;
+  std::stable_sort(ordered.begin(), ordered.end(),
+                   [](const FaultEvent& x, const FaultEvent& y) { return x.at_s < y.at_s; });
+
+  std::vector<bool> up(static_cast<std::size_t>(node_count), true);
+  std::vector<std::pair<NodeId, NodeId>> down;
+  for (const FaultEvent& e : ordered) {
+    if (e.at_s > at_s) break;
+    switch (e.kind) {
+      case FaultEvent::Kind::kNodeDown:
+        up[static_cast<std::size_t>(e.node)] = false;
+        break;
+      case FaultEvent::Kind::kNodeUp:
+        up[static_cast<std::size_t>(e.node)] = true;
+        break;
+      case FaultEvent::Kind::kLinkDown: {
+        const auto key = norm(e.node, e.peer);
+        if (std::find(down.begin(), down.end(), key) == down.end()) down.push_back(key);
+        break;
+      }
+      case FaultEvent::Kind::kLinkUp: {
+        const auto key = norm(e.node, e.peer);
+        down.erase(std::remove(down.begin(), down.end(), key), down.end());
+        break;
+      }
+    }
+  }
+
+  TopologyMask mask;
+  if (std::find(up.begin(), up.end(), false) != up.end()) mask.node_up = std::move(up);
+  std::sort(down.begin(), down.end());  // canonical form so masks compare ==
+  mask.down_links = std::move(down);
+  return mask;
+}
+
+double FaultPlan::loss(NodeId a, NodeId b) const {
+  const auto key = norm(a, b);
+  // Most recently added specific rule wins.
+  for (auto it = loss_rules_.rbegin(); it != loss_rules_.rend(); ++it) {
+    if (norm(it->a, it->b) == key) return it->per;
+  }
+  return default_loss_;
+}
+
+void FaultPlan::validate(int node_count) const {
+  auto check_node = [node_count](NodeId n) {
+    E2EFA_ASSERT_MSG(n >= 0 && n < node_count, "fault plan references unknown node");
+  };
+  for (const FaultEvent& e : events_) {
+    E2EFA_ASSERT_MSG(e.at_s >= 0.0, "fault event scheduled at negative time");
+    check_node(e.node);
+    const bool link_event = e.kind == FaultEvent::Kind::kLinkDown ||
+                            e.kind == FaultEvent::Kind::kLinkUp;
+    if (link_event) {
+      check_node(e.peer);
+      E2EFA_ASSERT_MSG(e.node != e.peer, "link fault with identical endpoints");
+    }
+  }
+  for (const LossRule& r : loss_rules_) {
+    check_node(r.a);
+    check_node(r.b);
+    E2EFA_ASSERT_MSG(r.a != r.b, "loss rule with identical endpoints");
+    E2EFA_ASSERT_MSG(r.per >= 0.0 && r.per <= 1.0,
+                     "packet-error rate outside [0, 1]");
+  }
+  E2EFA_ASSERT_MSG(default_loss_ >= 0.0 && default_loss_ <= 1.0,
+                   "packet-error rate outside [0, 1]");
+}
+
+FaultRuntime::FaultRuntime(const FaultPlan& plan, int node_count, std::uint64_t seed)
+    : plan_(plan), rng_(seed ^ kLossStreamSalt), any_loss_(plan.has_loss()) {
+  mask_ = plan.mask_at(0.0, node_count);
+}
+
+bool FaultRuntime::lossy(NodeId a, NodeId b) const {
+  return any_loss_ && plan_.loss(a, b) > 0.0;
+}
+
+bool FaultRuntime::draw_loss(NodeId a, NodeId b) {
+  return rng_.bernoulli(plan_.loss(a, b));
+}
+
+}  // namespace e2efa

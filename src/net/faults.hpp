@@ -1,0 +1,124 @@
+// Deterministic fault injection: scheduled node/link failures and lossy
+// channels, plus the runtime object that feeds them to the PHY.
+//
+// A FaultPlan is part of the scenario, not the engine: it lists *when* each
+// node crashes or recovers, when each link is forced down or back up, and
+// which links suffer a packet-error rate. Because the whole plan is known at
+// setup, the runner can precompute the surviving topology (a TopologyMask)
+// for every fault epoch, pre-route every flow's repair path, and schedule
+// the epoch transitions as ordinary simulator events — faults cost nothing
+// at steady state and the whole run stays bit-reproducible from its seed.
+//
+// FaultRuntime is the live counterpart: it holds the *current* mask (the
+// runner applies the precomputed mask at each epoch boundary) and the
+// loss-model RNG, and implements the phy::FaultModel interface the Channel
+// consults per frame. The RNG stream is derived from the run seed but
+// independent of every other stream in the run, so adding a loss-free fault
+// plan perturbs nothing.
+#pragma once
+
+#include <cstdint>
+#include <utility>
+#include <vector>
+
+#include "topology/topology.hpp"
+#include "phy/channel.hpp"
+#include "util/rng.hpp"
+#include "util/time.hpp"
+
+namespace e2efa {
+
+/// One scheduled state change of a node or link.
+struct FaultEvent {
+  enum class Kind : std::uint8_t {
+    kNodeDown,  ///< Node crashes: radio off (RF-silent and deaf).
+    kNodeUp,    ///< Node recovers.
+    kLinkDown,  ///< Link fades out: frames between the pair undecodable.
+    kLinkUp,    ///< Link recovers.
+  };
+  Kind kind;
+  double at_s = 0.0;     ///< Simulation time of the change, seconds.
+  NodeId node = kInvalidNode;  ///< Target node (node events) or endpoint a.
+  NodeId peer = kInvalidNode;  ///< Endpoint b (link events only).
+};
+
+/// A static per-link packet-error rate (applied in both directions).
+struct LossRule {
+  NodeId a = kInvalidNode;  ///< kInvalidNode on both endpoints = all links.
+  NodeId b = kInvalidNode;
+  double per = 0.0;  ///< Probability a clean reception is lost, in [0, 1].
+};
+
+/// The scenario's complete fault schedule. Times are in seconds because the
+/// scenario layer speaks seconds; the runner converts to TimeNs when it
+/// schedules the epoch transitions.
+class FaultPlan {
+ public:
+  /// Node `n` crashes at `at_s` / recovers at `at_s`.
+  void node_down(NodeId n, double at_s);
+  void node_up(NodeId n, double at_s);
+  /// Link a<->b goes down at `at_s` / recovers at `at_s`.
+  void link_down(NodeId a, NodeId b, double at_s);
+  void link_up(NodeId a, NodeId b, double at_s);
+  /// Sets the packet-error rate of link a<->b (both directions).
+  void set_loss(NodeId a, NodeId b, double per);
+  /// Sets the default packet-error rate of every link without its own rule.
+  void set_default_loss(double per);
+
+  const std::vector<FaultEvent>& events() const { return events_; }
+  const std::vector<LossRule>& loss_rules() const { return loss_rules_; }
+  double default_loss() const { return default_loss_; }
+
+  /// True when the plan changes nothing: no scheduled events and no loss.
+  bool empty() const { return events_.empty() && !has_loss(); }
+  /// True when any link has a nonzero packet-error rate.
+  bool has_loss() const;
+
+  /// Distinct event times in ascending order (the fault epochs).
+  std::vector<double> event_times() const;
+
+  /// The surviving topology at time `at_s`: every event with at_s <= t
+  /// applied, in order. `node_count` sizes the node-up vector.
+  TopologyMask mask_at(double at_s, int node_count) const;
+
+  /// Packet-error rate of link a->b under the loss rules (symmetric; the
+  /// most recently added matching specific rule wins, else the default).
+  double loss(NodeId a, NodeId b) const;
+
+  /// Validates every event and rule against a topology of `node_count`
+  /// nodes; throws ContractViolation on out-of-range nodes, self-links,
+  /// negative times, or rates outside [0, 1].
+  void validate(int node_count) const;
+
+ private:
+  std::vector<FaultEvent> events_;
+  std::vector<LossRule> loss_rules_;
+  double default_loss_ = 0.0;
+};
+
+/// Live fault state consulted by the Channel. The runner applies the
+/// precomputed TopologyMask of each epoch at its boundary; loss draws come
+/// from an Rng stream derived from (seed, fixed salt) so they are
+/// independent of the per-node MAC streams.
+class FaultRuntime final : public FaultModel {
+ public:
+  FaultRuntime(const FaultPlan& plan, int node_count, std::uint64_t seed);
+
+  /// Installs the surviving topology of the epoch that just started.
+  void apply(const TopologyMask& mask) { mask_ = mask; }
+  const TopologyMask& mask() const { return mask_; }
+
+  // FaultModel:
+  bool node_up(NodeId n) const override { return mask_.node_alive(n); }
+  bool link_up(NodeId a, NodeId b) const override { return mask_.link_alive(a, b); }
+  bool lossy(NodeId a, NodeId b) const override;
+  bool draw_loss(NodeId a, NodeId b) override;
+
+ private:
+  const FaultPlan& plan_;
+  TopologyMask mask_;
+  Rng rng_;
+  bool any_loss_ = false;
+};
+
+}  // namespace e2efa

@@ -53,6 +53,7 @@ void NodeStack::on_packet_delivered(const Packet& p) {
   if (p.hop + 1 >= f.length()) {
     if (stats_.measuring(sim_.now()))
       stats_.record_delay(p.flow, sim_.now() - p.created);
+    stats_.notify_end_to_end(p.flow, sim_.now());
     return;  // reached the destination
   }
   Packet fwd = p;
@@ -67,6 +68,7 @@ void NodeStack::on_packet_sent(const Packet&) {}
 
 void NodeStack::on_packet_dropped(const Packet& p) {
   if (stats_.measuring(sim_.now())) ++stats_.subflow(p.subflow).dropped_mac;
+  if (on_link_failure_) on_link_failure_(p, sim_.now());
 }
 
 }  // namespace e2efa

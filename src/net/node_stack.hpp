@@ -2,6 +2,7 @@
 // plus the forwarding plane (deliver / relay / count).
 #pragma once
 
+#include <functional>
 #include <memory>
 #include <unordered_map>
 
@@ -32,6 +33,15 @@ class NodeStack : public MacCallbacks {
   NodeId self() const { return self_; }
   int backlog() const { return queue_->backlog(); }
 
+  /// Observer for link-layer delivery failure: invoked whenever the MAC
+  /// exhausts its retry limit and drops a packet at this node — the
+  /// upstream signal ("link to next hop is not delivering") that route
+  /// repair and fault accounting key off. Fires regardless of warm-up.
+  using LinkFailureListener = std::function<void(const Packet&, TimeNs)>;
+  void set_link_failure_listener(LinkFailureListener fn) {
+    on_link_failure_ = std::move(fn);
+  }
+
  private:
   void enqueue_and_notify(Packet p);
 
@@ -45,6 +55,7 @@ class NodeStack : public MacCallbacks {
   /// Duplicate suppression: highest sequence delivered per incoming subflow
   /// (per-subflow queues are FIFO, so sequences arrive in order).
   std::unordered_map<std::int32_t, std::int64_t> last_seq_;
+  LinkFailureListener on_link_failure_;
 };
 
 }  // namespace e2efa

@@ -10,6 +10,7 @@
 #include "alloc/two_tier.hpp"
 #include "contention/contention_graph.hpp"
 #include "net/node_stack.hpp"
+#include "route/routing.hpp"
 #include "sched/fifo_queue.hpp"
 #include "sched/tag_scheduler.hpp"
 #include "sim/simulator.hpp"
@@ -45,48 +46,61 @@ namespace {
 /// traffic; a tiny positive value keeps the scheduler's invariants).
 constexpr double kInactiveShare = 1e-6;
 
-/// Phase-1 dispatch over an arbitrary flow set. Returns false for plain
-/// 802.11 (no allocation).
-bool compute_allocation(Protocol proto, const Topology& topo, const FlowSet& flows,
-                        Allocation* out) {
-  if (proto == Protocol::k80211) return false;
+/// Phase-1 dispatch over an arbitrary flow set. Sets *has_target false for
+/// plain 802.11 (no allocation). For the centralized family a solve whose
+/// basic-share floors had to be relaxed (min_relaxation < 1: the clique
+/// rows cannot carry every flow's basic share) reports kInfeasible — the
+/// distributed form keeps its by-design local relaxations.
+LpStatus compute_allocation(Protocol proto, const Topology& topo, const FlowSet& flows,
+                            Allocation* out, bool* has_target) {
+  *has_target = false;
+  if (proto == Protocol::k80211) return LpStatus::kOptimal;
   ContentionGraph graph(topo, flows);
   switch (proto) {
     case Protocol::kTwoTier: {
       const TwoTierResult r = two_tier_allocate(graph);
-      E2EFA_ASSERT_MSG(r.status == LpStatus::kOptimal, "two-tier allocation failed");
+      if (r.status != LpStatus::kOptimal) return r.status;
+      if (r.min_relaxation < 1.0 - 1e-9) return LpStatus::kInfeasible;
       *out = r.allocation;
-      return true;
+      *has_target = true;
+      return LpStatus::kOptimal;
     }
     case Protocol::kTwoTierBalanced:
       *out = maxmin_allocate_subflows(graph).allocation;
-      return true;
+      *has_target = true;
+      return LpStatus::kOptimal;
     case Protocol::kMaxMin:
       *out = maxmin_allocate(graph).allocation;
-      return true;
+      *has_target = true;
+      return LpStatus::kOptimal;
     case Protocol::k2paCentralized:
     case Protocol::k2paStaticCw: {
       const CentralizedResult r = centralized_allocate(graph);
-      E2EFA_ASSERT_MSG(r.status == LpStatus::kOptimal, "centralized allocation failed");
+      if (r.status != LpStatus::kOptimal) return r.status;
+      if (r.min_relaxation < 1.0 - 1e-9) return LpStatus::kInfeasible;
       *out = r.allocation;
-      return true;
+      *has_target = true;
+      return LpStatus::kOptimal;
     }
     case Protocol::k2paDistributed:
       *out = distributed_allocate(topo, flows, graph).allocation;
-      return true;
+      *has_target = true;
+      return LpStatus::kOptimal;
     case Protocol::k80211:
       break;
   }
-  return false;
+  return LpStatus::kOptimal;
 }
 
 /// Global-index allocation for one epoch: flows inactive in the epoch get
-/// share 0 (lanes get kInactiveShare).
+/// share 0 (lanes get kInactiveShare). Indices are over the *sim* flow set
+/// (provisioned flows plus repair-route variants).
 struct EpochAllocation {
   double start_s = 0.0;
   bool has_target = false;
-  std::vector<double> flow_share;     ///< Global flow ids; 0 when inactive.
-  std::vector<double> subflow_share;  ///< Global subflow ids; kInactiveShare
+  LpStatus status = LpStatus::kOptimal;
+  std::vector<double> flow_share;     ///< Sim flow ids; 0 when inactive.
+  std::vector<double> subflow_share;  ///< Sim subflow ids; kInactiveShare
                                       ///< when inactive.
 };
 
@@ -105,7 +119,9 @@ EpochAllocation allocate_epoch(Protocol proto, const Topology& topo,
   for (FlowId f : active) specs.push_back(all_flows.flow(f));
   FlowSet sub(topo, specs);
   Allocation a;
-  out.has_target = compute_allocation(proto, topo, sub, &a);
+  out.status = compute_allocation(proto, topo, sub, &a, &out.has_target);
+  E2EFA_ASSERT_MSG(out.status == LpStatus::kOptimal,
+                   "phase-1 allocation infeasible: basic shares exceed clique capacity");
   if (!out.has_target) return out;
   for (std::size_t i = 0; i < active.size(); ++i) {
     const FlowId g = active[i];
@@ -118,6 +134,15 @@ EpochAllocation allocate_epoch(Protocol proto, const Topology& topo,
   return out;
 }
 
+/// True when every node and link of `path` survives under `mask`.
+bool path_alive(const std::vector<NodeId>& path, const TopologyMask& mask) {
+  for (std::size_t i = 0; i < path.size(); ++i) {
+    if (!mask.node_alive(path[i])) return false;
+    if (i + 1 < path.size() && !mask.link_alive(path[i], path[i + 1])) return false;
+  }
+  return true;
+}
+
 }  // namespace
 
 RunResult run_scenario(const Scenario& sc, Protocol proto, const SimConfig& cfg) {
@@ -126,9 +151,22 @@ RunResult run_scenario(const Scenario& sc, Protocol proto, const SimConfig& cfg)
 
 RunResult run_scenario(const Scenario& sc, Protocol proto, const SimConfig& cfg,
                        const std::vector<FlowActivity>& activity) {
-  FlowSet flows(sc.topo, sc.flow_specs);
+  // Structural validation up front, with messages naming the actual defect
+  // (FlowSet would reject these too, but less helpfully).
+  for (const Flow& spec : sc.flow_specs) {
+    E2EFA_ASSERT_MSG(spec.path.size() >= 2, "flow path needs at least two nodes");
+    E2EFA_ASSERT_MSG(spec.path.front() != spec.path.back(),
+                     "flow source equals destination");
+  }
+  const FaultPlan& plan = sc.faults;
+  plan.validate(sc.topo.node_count());
+
+  // The scenario's own flows ("logical" flows: what the caller asked for and
+  // what the RunResult reports on).
+  FlowSet logical(sc.topo, sc.flow_specs);
+  const FlowId F = logical.flow_count();
   const bool dynamic = !activity.empty();
-  E2EFA_ASSERT_MSG(!dynamic || static_cast<int>(activity.size()) == flows.flow_count(),
+  E2EFA_ASSERT_MSG(!dynamic || static_cast<FlowId>(activity.size()) == F,
                    "one FlowActivity per flow required");
 
   RunResult out;
@@ -142,33 +180,134 @@ RunResult run_scenario(const Scenario& sc, Protocol proto, const SimConfig& cfg,
                    : FlowActivity{0.0, 1e300};
   };
 
-  // ---- Epoch boundaries and per-epoch phase-1 allocations. ----
+  // ---- Epoch boundaries: activity changes ∪ fault event times. ----
   std::set<double> boundary_set{0.0};
-  for (FlowId f = 0; f < flows.flow_count(); ++f) {
+  for (FlowId f = 0; f < F; ++f) {
     const FlowActivity w = window_of(f);
     E2EFA_ASSERT_MSG(w.start_s >= 0.0 && w.stop_s > w.start_s, "bad activity window");
     if (w.start_s > 0.0 && w.start_s < total_s) boundary_set.insert(w.start_s);
     if (w.stop_s > 0.0 && w.stop_s < total_s) boundary_set.insert(w.stop_s);
   }
+  for (double t : plan.event_times()) {
+    // Events at t == 0 fold into the initial mask; events past the horizon
+    // never fire.
+    if (t > 0.0 && t < total_s) boundary_set.insert(t);
+  }
+  const std::vector<double> boundaries(boundary_set.begin(), boundary_set.end());
+  const int E = static_cast<int>(boundaries.size());
+
+  // ---- Per-epoch surviving topology and route repair. ----
+  std::vector<TopologyMask> masks;
+  masks.reserve(static_cast<std::size_t>(E));
+  for (double t : boundaries) masks.push_back(plan.mask_at(t, sc.topo.node_count()));
+
+  // Route variants per logical flow; variant 0 is the provisioned path.
+  // Repair keeps the provisioned route whenever it is still alive (route
+  // stability) and otherwise re-runs min-hop routing on the surviving graph.
+  std::vector<std::vector<std::vector<NodeId>>> variants(static_cast<std::size_t>(F));
+  for (FlowId f = 0; f < F; ++f)
+    variants[static_cast<std::size_t>(f)].push_back(logical.flow(f).path);
+  // epoch_variant[e][f]: variant index active in epoch e, -1 = suspended.
+  std::vector<std::vector<int>> epoch_variant(
+      static_cast<std::size_t>(E), std::vector<int>(static_cast<std::size_t>(F), 0));
+  for (int e = 0; e < E; ++e) {
+    const TopologyMask& mask = masks[static_cast<std::size_t>(e)];
+    if (mask.all_up()) continue;  // everything on its provisioned route
+    for (FlowId f = 0; f < F; ++f) {
+      auto& vars = variants[static_cast<std::size_t>(f)];
+      if (path_alive(vars[0], mask)) continue;
+      auto repaired = shortest_path(sc.topo, vars[0].front(), vars[0].back(), mask);
+      if (!repaired.has_value()) {
+        epoch_variant[static_cast<std::size_t>(e)][static_cast<std::size_t>(f)] = -1;
+        continue;
+      }
+      auto it = std::find(vars.begin(), vars.end(), *repaired);
+      if (it == vars.end()) {
+        vars.push_back(std::move(*repaired));
+        it = vars.end() - 1;
+      }
+      epoch_variant[static_cast<std::size_t>(e)][static_cast<std::size_t>(f)] =
+          static_cast<int>(it - vars.begin());
+    }
+  }
+
+  // ---- The sim flow set: one flow per (logical flow, route variant). All
+  // provisioned variants come first, so sim flow/subflow ids are a prefix
+  // extension of the logical ids (fault-free runs: identical sets). ----
+  std::vector<Flow> sim_specs;
+  std::vector<FlowId> logical_of;                 // sim flow -> logical flow
+  std::vector<std::vector<FlowId>> sim_flow_of(   // [logical][variant] -> sim
+      static_cast<std::size_t>(F));
+  for (FlowId f = 0; f < F; ++f) {
+    sim_specs.push_back(logical.flow(f));
+    logical_of.push_back(f);
+    sim_flow_of[static_cast<std::size_t>(f)].push_back(f);
+  }
+  for (FlowId f = 0; f < F; ++f) {
+    const auto& vars = variants[static_cast<std::size_t>(f)];
+    for (std::size_t v = 1; v < vars.size(); ++v) {
+      Flow repaired;
+      repaired.path = vars[v];
+      repaired.weight = logical.flow(f).weight;
+      sim_flow_of[static_cast<std::size_t>(f)].push_back(
+          static_cast<FlowId>(sim_specs.size()));
+      sim_specs.push_back(std::move(repaired));
+      logical_of.push_back(f);
+    }
+  }
+  FlowSet flows(sc.topo, sim_specs);
+
+  // active_of[e][f]: sim flow carrying logical flow f in epoch e (-1 when
+  // suspended — the destination is unreachable under the epoch's mask).
+  std::vector<std::vector<FlowId>> active_of(
+      static_cast<std::size_t>(E), std::vector<FlowId>(static_cast<std::size_t>(F)));
+  for (int e = 0; e < E; ++e) {
+    for (FlowId f = 0; f < F; ++f) {
+      const int v = epoch_variant[static_cast<std::size_t>(e)][static_cast<std::size_t>(f)];
+      active_of[static_cast<std::size_t>(e)][static_cast<std::size_t>(f)] =
+          v < 0 ? -1 : sim_flow_of[static_cast<std::size_t>(f)][static_cast<std::size_t>(v)];
+    }
+  }
+
+  // ---- Per-epoch phase-1 allocations over the reachable active flows. ----
   std::vector<EpochAllocation> epochs;
-  for (double t : boundary_set) {
+  for (int e = 0; e < E; ++e) {
+    const double t = boundaries[static_cast<std::size_t>(e)];
     std::vector<FlowId> active;
-    for (FlowId f = 0; f < flows.flow_count(); ++f) {
+    for (FlowId f = 0; f < F; ++f) {
       const FlowActivity w = window_of(f);
-      if (w.start_s <= t && t < w.stop_s) active.push_back(f);
+      if (!(w.start_s <= t && t < w.stop_s)) continue;
+      const FlowId g = active_of[static_cast<std::size_t>(e)][static_cast<std::size_t>(f)];
+      if (g >= 0) active.push_back(g);
     }
     epochs.push_back(allocate_epoch(proto, sc.topo, flows, active, t));
+    if (proto != Protocol::k80211) out.epoch_lp_status.push_back(epochs.back().status);
   }
 
   out.has_target = epochs.front().has_target;
   if (out.has_target) {
-    out.target_flow_share = epochs.front().flow_share;
     out.target_subflow_share = epochs.front().subflow_share;
+    out.target_flow_share.assign(static_cast<std::size_t>(F), 0.0);
+    for (FlowId f = 0; f < F; ++f) {
+      const FlowId g = active_of[0][static_cast<std::size_t>(f)];
+      if (g >= 0)
+        out.target_flow_share[static_cast<std::size_t>(f)] =
+            epochs.front().flow_share[static_cast<std::size_t>(g)];
+    }
   }
-  if (dynamic) {
-    for (const EpochAllocation& e : epochs) {
-      out.epoch_starts_s.push_back(e.start_s);
-      out.epoch_flow_share.push_back(e.flow_share);
+  const bool multi = dynamic || E > 1;
+  if (multi) {
+    for (int e = 0; e < E; ++e) {
+      out.epoch_starts_s.push_back(boundaries[static_cast<std::size_t>(e)]);
+      std::vector<double> share(static_cast<std::size_t>(F), 0.0);
+      for (FlowId f = 0; f < F; ++f) {
+        const FlowId g =
+            active_of[static_cast<std::size_t>(e)][static_cast<std::size_t>(f)];
+        if (g >= 0)
+          share[static_cast<std::size_t>(f)] =
+              epochs[static_cast<std::size_t>(e)].flow_share[static_cast<std::size_t>(g)];
+      }
+      out.epoch_flow_share.push_back(std::move(share));
     }
   }
 
@@ -179,6 +318,14 @@ RunResult run_scenario(const Scenario& sc, Protocol proto, const SimConfig& cfg,
   stats.set_warmup(from_seconds(cfg.warmup_seconds));
   Rng master(cfg.seed);
 
+  // Live fault state for the PHY. Installed only when the plan does
+  // anything, so fault-free runs keep the exact pre-fault channel path.
+  std::unique_ptr<FaultRuntime> faults;
+  if (!plan.empty()) {
+    faults = std::make_unique<FaultRuntime>(plan, sc.topo.node_count(), cfg.seed);
+    channel.set_faults(faults.get());
+  }
+
   MacConfig mac_cfg;
   mac_cfg.retry_limit = cfg.retry_limit;
   mac_cfg.use_rts_cts = cfg.use_rts_cts;
@@ -186,6 +333,7 @@ RunResult run_scenario(const Scenario& sc, Protocol proto, const SimConfig& cfg,
   std::vector<std::unique_ptr<NodeStack>> stacks;
   std::vector<TagScheduler*> tag_scheds(static_cast<std::size_t>(sc.topo.node_count()),
                                         nullptr);
+  std::int64_t link_failures = 0;
   stacks.reserve(static_cast<std::size_t>(sc.topo.node_count()));
   for (NodeId n = 0; n < sc.topo.node_count(); ++n) {
     std::unique_ptr<TxQueue> queue;
@@ -216,28 +364,99 @@ RunResult run_scenario(const Scenario& sc, Protocol proto, const SimConfig& cfg,
     stacks.push_back(std::make_unique<NodeStack>(sim, channel, n, flows, stats, mac_cfg,
                                                  std::move(queue), std::move(backoff),
                                                  master.split(), tags));
+    stacks.back()->set_link_failure_listener(
+        [&link_failures](const Packet&, TimeNs) { ++link_failures; });
   }
 
-  // Re-allocation pushes at every later epoch boundary.
-  for (std::size_t e = 1; e < epochs.size(); ++e) {
-    const EpochAllocation* epoch = &epochs[e];
-    sim.schedule_at(from_seconds(epoch->start_s), [&flows, &tag_scheds, epoch] {
+  // ---- Fault bookkeeping shared by the scheduled epoch events. ----
+  // Which sim flow carries each logical flow *right now* (-1 = suspended);
+  // read by the traffic sources at injection time.
+  std::vector<FlowId> active_now = active_of[0];
+  // Earliest unhealed disruption per logical flow (-1 = none pending).
+  std::vector<double> pending_fault_s(static_cast<std::size_t>(F), -1.0);
+  for (FlowId f = 0; f < F; ++f)
+    if (active_now[static_cast<std::size_t>(f)] < 0)
+      pending_fault_s[static_cast<std::size_t>(f)] = 0.0;
+  std::vector<RunResult::Recovery> recoveries;
+  std::vector<std::vector<std::int64_t>> epoch_e2e;
+  std::vector<std::int64_t> epoch_prev(static_cast<std::size_t>(F), 0);
+
+  auto logical_e2e = [&](FlowId f) {
+    std::int64_t sum = 0;
+    for (FlowId g : sim_flow_of[static_cast<std::size_t>(f)]) sum += stats.end_to_end(g);
+    return sum;
+  };
+  auto snapshot_epoch = [&] {
+    std::vector<std::int64_t> row(static_cast<std::size_t>(F));
+    for (FlowId f = 0; f < F; ++f) {
+      const std::int64_t cur = logical_e2e(f);
+      row[static_cast<std::size_t>(f)] = cur - epoch_prev[static_cast<std::size_t>(f)];
+      epoch_prev[static_cast<std::size_t>(f)] = cur;
+    }
+    epoch_e2e.push_back(std::move(row));
+  };
+
+  // Recovery detection: the first end-to-end delivery on the *current*
+  // route of a disrupted flow heals it (stale in-flight packets on a
+  // pre-fault route do not count).
+  if (!plan.events().empty()) {
+    stats.set_delivery_listener([&](FlowId g, TimeNs now) {
+      const FlowId f = logical_of[static_cast<std::size_t>(g)];
+      if (pending_fault_s[static_cast<std::size_t>(f)] < 0.0) return;
+      if (active_now[static_cast<std::size_t>(f)] != g) return;
+      recoveries.push_back(
+          {f, pending_fault_s[static_cast<std::size_t>(f)], to_seconds(now)});
+      pending_fault_s[static_cast<std::size_t>(f)] = -1.0;
+    });
+  }
+
+  // One event per later epoch boundary: close the ending epoch's goodput
+  // window, apply the new surviving topology, push the re-converged shares
+  // into the live schedulers, and switch every flow to its epoch route.
+  // Scheduled at setup, so it precedes all same-instant packet events.
+  for (int e = 1; e < E; ++e) {
+    sim.schedule_at(from_seconds(boundaries[static_cast<std::size_t>(e)]), [&, e] {
+      if (multi) snapshot_epoch();
+      if (faults) faults->apply(masks[static_cast<std::size_t>(e)]);
+      const EpochAllocation& epoch = epochs[static_cast<std::size_t>(e)];
       for (int s = 0; s < flows.subflow_count(); ++s) {
-        TagScheduler* sched =
-            tag_scheds[static_cast<std::size_t>(flows.subflow(s).src)];
+        TagScheduler* sched = tag_scheds[static_cast<std::size_t>(flows.subflow(s).src)];
         if (sched != nullptr)
-          sched->update_share(s, epoch->subflow_share[static_cast<std::size_t>(s)]);
+          sched->update_share(s, epoch.subflow_share[static_cast<std::size_t>(s)]);
+      }
+      for (FlowId f = 0; f < F; ++f) {
+        const FlowId prev = active_now[static_cast<std::size_t>(f)];
+        const FlowId next =
+            active_of[static_cast<std::size_t>(e)][static_cast<std::size_t>(f)];
+        if (next == prev) continue;
+        active_now[static_cast<std::size_t>(f)] = next;
+        // A reroute or suspension is a disruption; a resume keeps the
+        // original fault time so the recovery spans the whole outage.
+        if (pending_fault_s[static_cast<std::size_t>(f)] < 0.0 &&
+            (next < 0 || prev >= 0))
+          pending_fault_s[static_cast<std::size_t>(f)] =
+              boundaries[static_cast<std::size_t>(e)];
       }
     });
   }
 
   // Traffic sources at each flow's origin, gated by the activity windows.
+  // Packets of a suspended flow are suppressed at the source (and counted):
+  // there is no route to put them on.
   std::vector<std::unique_ptr<CbrSource>> sources;
-  for (FlowId f = 0; f < flows.flow_count(); ++f) {
-    NodeStack* stack = stacks[static_cast<std::size_t>(flows.flow(f).source())].get();
+  for (FlowId f = 0; f < F; ++f) {
+    NodeStack* stack = stacks[static_cast<std::size_t>(logical.flow(f).source())].get();
     auto src = std::make_unique<CbrSource>(
         sim, cfg.cbr_pps, cfg.payload_bytes,
-        [stack, f](Packet p) { stack->inject_from_source(p, f); }, master);
+        [stack, f, &active_now, &stats](Packet p) {
+          const FlowId g = active_now[static_cast<std::size_t>(f)];
+          if (g < 0) {
+            stats.count_suspended(f);
+            return;
+          }
+          stack->inject_from_source(p, g);
+        },
+        master);
     const FlowActivity w = window_of(f);
     const TimeNs until = std::min(horizon, from_seconds(std::min(w.stop_s, total_s)));
     CbrSource* raw = src.get();
@@ -251,16 +470,16 @@ RunResult run_scenario(const Scenario& sc, Protocol proto, const SimConfig& cfg,
   // lives at function scope: the scheduled events reference it while
   // run_until executes below.
   std::vector<std::vector<std::int64_t>> windows;
-  std::vector<std::int64_t> window_prev(static_cast<std::size_t>(flows.flow_count()), 0);
+  std::vector<std::int64_t> window_prev(static_cast<std::size_t>(F), 0);
   std::function<void()> sample;
   if (cfg.sample_interval_seconds > 0.0) {
     const TimeNs interval = from_seconds(cfg.sample_interval_seconds);
     E2EFA_ASSERT(interval > 0);
-    sample = [&sim, &stats, &flows, &windows, &window_prev, &sample, interval,
-              horizon] {
-      std::vector<std::int64_t> now(static_cast<std::size_t>(flows.flow_count()));
-      for (FlowId f = 0; f < flows.flow_count(); ++f) {
-        const std::int64_t total = stats.end_to_end(f);
+    sample = [&sim, &logical_e2e, &windows, &window_prev, &sample, interval, horizon,
+              F] {
+      std::vector<std::int64_t> now(static_cast<std::size_t>(F));
+      for (FlowId f = 0; f < F; ++f) {
+        const std::int64_t total = logical_e2e(f);
         now[static_cast<std::size_t>(f)] = total - window_prev[static_cast<std::size_t>(f)];
         window_prev[static_cast<std::size_t>(f)] = total;
       }
@@ -271,14 +490,17 @@ RunResult run_scenario(const Scenario& sc, Protocol proto, const SimConfig& cfg,
   }
 
   sim.run_until(horizon);
+  if (multi) snapshot_epoch();  // close the final epoch
 
-  // ---- Collect. ----
+  // ---- Collect. Per-flow figures aggregate every route variant back onto
+  // the scenario flow; per-subflow figures stay at sim granularity (their
+  // logical prefix matches the scenario's own subflows). ----
   out.delivered_per_subflow.resize(static_cast<std::size_t>(flows.subflow_count()));
   for (int s = 0; s < flows.subflow_count(); ++s)
     out.delivered_per_subflow[static_cast<std::size_t>(s)] = stats.subflow(s).delivered;
-  out.end_to_end_per_flow.resize(static_cast<std::size_t>(flows.flow_count()));
-  for (FlowId f = 0; f < flows.flow_count(); ++f)
-    out.end_to_end_per_flow[static_cast<std::size_t>(f)] = stats.end_to_end(f);
+  out.end_to_end_per_flow.resize(static_cast<std::size_t>(F));
+  for (FlowId f = 0; f < F; ++f)
+    out.end_to_end_per_flow[static_cast<std::size_t>(f)] = logical_e2e(f);
   out.total_end_to_end = stats.total_end_to_end();
   for (int s = 0; s < flows.subflow_count(); ++s) {
     out.dropped_queue += stats.subflow(s).dropped_queue;
@@ -287,13 +509,35 @@ RunResult run_scenario(const Scenario& sc, Protocol proto, const SimConfig& cfg,
   out.lost_packets = stats.total_lost();
   out.loss_ratio = stats.loss_ratio();
   out.channel = channel.stats();
-  out.mean_delay_s.resize(static_cast<std::size_t>(flows.flow_count()));
-  out.max_delay_s.resize(static_cast<std::size_t>(flows.flow_count()));
-  for (FlowId f = 0; f < flows.flow_count(); ++f) {
-    out.mean_delay_s[static_cast<std::size_t>(f)] = stats.delay(f).mean();
-    out.max_delay_s[static_cast<std::size_t>(f)] = stats.delay(f).max();
+  out.mean_delay_s.resize(static_cast<std::size_t>(F));
+  out.max_delay_s.resize(static_cast<std::size_t>(F));
+  for (FlowId f = 0; f < F; ++f) {
+    const auto& vs = sim_flow_of[static_cast<std::size_t>(f)];
+    if (vs.size() == 1) {
+      out.mean_delay_s[static_cast<std::size_t>(f)] = stats.delay(f).mean();
+      out.max_delay_s[static_cast<std::size_t>(f)] = stats.delay(f).max();
+      continue;
+    }
+    double sum = 0.0, mx = 0.0;
+    std::int64_t n = 0;
+    for (FlowId g : vs) {
+      const RunningStat& d = stats.delay(g);
+      sum += d.sum();
+      n += d.count();
+      mx = std::max(mx, d.max());
+    }
+    out.mean_delay_s[static_cast<std::size_t>(f)] = n > 0 ? sum / static_cast<double>(n) : 0.0;
+    out.max_delay_s[static_cast<std::size_t>(f)] = mx;
   }
   out.window_end_to_end = std::move(windows);
+  out.suspended_per_flow.resize(static_cast<std::size_t>(F));
+  for (FlowId f = 0; f < F; ++f) {
+    out.suspended_per_flow[static_cast<std::size_t>(f)] = stats.suspended(f);
+    out.suspended_packets += stats.suspended(f);
+  }
+  out.link_failures = link_failures;
+  out.epoch_end_to_end = std::move(epoch_e2e);
+  out.recoveries = std::move(recoveries);
   return out;
 }
 

@@ -7,6 +7,7 @@
 #include <vector>
 
 #include "alloc/allocation.hpp"
+#include "lp/simplex.hpp"
 #include "mac/dcf_mac.hpp"
 #include "net/scenarios.hpp"
 #include "phy/channel.hpp"
@@ -85,10 +86,42 @@ struct RunResult {
   /// SimConfig::sample_interval_seconds > 0.
   std::vector<std::vector<std::int64_t>> window_end_to_end;
 
-  /// Dynamic runs only: epoch start times (seconds) and the per-epoch
-  /// re-computed flow shares (0 for flows inactive in that epoch).
+  /// Multi-epoch runs (dynamic flow sets and/or fault plans): epoch start
+  /// times (seconds) and the per-epoch re-computed flow shares (0 for flows
+  /// inactive or suspended in that epoch). Indexed by *scenario* flow.
   std::vector<double> epoch_starts_s;
   std::vector<std::vector<double>> epoch_flow_share;
+
+  /// Phase-1 solver status of every epoch's solve, in epoch order (empty
+  /// for plain 802.11, which solves nothing; kOptimal for epochs with no
+  /// active flows). A solve that comes back infeasible/unbounded — or whose
+  /// basic-share floors had to be relaxed, for the centralized family —
+  /// throws ContractViolation instead of completing the run, so surfaced
+  /// entries are an audit trail of successful solves.
+  std::vector<LpStatus> epoch_lp_status;
+
+  // ---- Fault injection (populated when the scenario has a FaultPlan). ----
+  /// Source packets suppressed per flow while the flow was suspended
+  /// (destination unreachable on the surviving topology).
+  std::vector<std::int64_t> suspended_per_flow;
+  std::int64_t suspended_packets = 0;  ///< Σ suspended_per_flow.
+  /// Link-layer delivery failures: MAC retry-limit drops over the whole run
+  /// (warm-up included) — the upstream failure signal route repair keys off.
+  std::int64_t link_failures = 0;
+  /// Per-epoch end-to-end deliveries: epoch_end_to_end[e][f] = packets
+  /// scenario-flow f completed during epoch e (measurement window only).
+  /// Filled for multi-epoch runs; empty otherwise.
+  std::vector<std::vector<std::int64_t>> epoch_end_to_end;
+  /// One record per healed disruption: the flow was disrupted (rerouted or
+  /// suspended) at fault_s and completed its first post-repair delivery on
+  /// the then-current route at recovered_s.
+  struct Recovery {
+    FlowId flow = -1;
+    double fault_s = 0.0;
+    double recovered_s = 0.0;
+    bool operator==(const Recovery&) const = default;
+  };
+  std::vector<Recovery> recoveries;
 
   /// Measured share of subflow s in units of B:
   /// delivered · payload_bits / (T · B).
@@ -102,7 +135,22 @@ struct FlowActivity {
   double stop_s = 1e300;
 };
 
-/// Runs phase 1 + phase 2 on the scenario. Deterministic given cfg.seed.
+/// Runs phase 1 + phase 2 on the scenario. Deterministic given cfg.seed —
+/// including under fault injection: the same seed and FaultPlan reproduce
+/// the identical RunResult bit for bit.
+///
+/// When the scenario carries a FaultPlan, the runner precomputes the
+/// surviving topology of every fault epoch, re-routes each flow around dead
+/// nodes/links (min-hop on the surviving graph; the provisioned route is
+/// kept whenever it is still alive), suspends flows whose destination is
+/// unreachable (resuming them on recovery), and re-solves phase 1 over the
+/// epoch's reachable flow set, pushing the fresh shares into the live
+/// schedulers at the epoch boundary.
+///
+/// Throws ContractViolation for structurally invalid inputs: a flow with
+/// src == dst or fewer than two path nodes, a fault plan referencing
+/// unknown nodes / negative times / loss rates outside [0, 1], or a
+/// phase-1 solve with infeasible basic shares (over-constrained clique).
 RunResult run_scenario(const Scenario& sc, Protocol proto, const SimConfig& cfg);
 
 /// Dynamic variant: flows come and go per `activity` (one entry per flow).

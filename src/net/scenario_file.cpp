@@ -22,6 +22,22 @@ struct FlowSpec {
   int line = 0;
 };
 
+// fault/recover directives, with labels still unresolved.
+struct FaultSpec {
+  bool recover = false;  ///< false: fault (down), true: recover (up).
+  bool link = false;     ///< false: node event, true: link event.
+  std::string a, b;      ///< Node label(s); b only for link events.
+  double at_s = 0.0;
+  int line = 0;
+};
+
+struct LossSpec {
+  bool is_default = false;
+  std::string a, b;
+  double per = 0.0;
+  int line = 0;
+};
+
 }  // namespace
 
 Scenario parse_scenario_text(const std::string& text, std::string name) {
@@ -29,6 +45,8 @@ Scenario parse_scenario_text(const std::string& text, std::string name) {
   std::vector<std::string> labels;
   std::map<std::string, NodeId> by_label;
   std::vector<FlowSpec> flow_specs;
+  std::vector<FaultSpec> fault_specs;
+  std::vector<LossSpec> loss_specs;
   double range = 250.0;
   double irange = -1.0;
 
@@ -71,6 +89,40 @@ Scenario parse_scenario_text(const std::string& text, std::string name) {
       }
       if (spec.nodes.size() < 2) fail(lineno, "flow needs at least two nodes");
       flow_specs.push_back(std::move(spec));
+    } else if (cmd == "fault" || cmd == "recover") {
+      FaultSpec spec;
+      spec.recover = cmd == "recover";
+      spec.line = lineno;
+      std::string kind;
+      if (!(line >> kind) || (kind != "node" && kind != "link"))
+        fail(lineno, cmd + " needs: " + cmd + " node|link ...");
+      spec.link = kind == "link";
+      const std::string usage =
+          cmd + (spec.link ? " link needs: two node labels and a time"
+                           : " node needs: a node label and a time");
+      if (!(line >> spec.a)) fail(lineno, usage);
+      if (spec.link && !(line >> spec.b)) fail(lineno, usage);
+      if (!(line >> spec.at_s)) fail(lineno, usage);
+      if (spec.at_s < 0) fail(lineno, cmd + " time must not be negative");
+      std::string extra;
+      if (line >> extra) fail(lineno, "unexpected token after " + cmd);
+      fault_specs.push_back(std::move(spec));
+    } else if (cmd == "loss") {
+      LossSpec spec;
+      spec.line = lineno;
+      if (!(line >> spec.a)) fail(lineno, "loss needs: a b rate, or: default rate");
+      if (spec.a == "default") {
+        spec.is_default = true;
+        if (!(line >> spec.per)) fail(lineno, "loss default needs a rate");
+      } else {
+        if (!(line >> spec.b >> spec.per))
+          fail(lineno, "loss needs: a b rate, or: default rate");
+      }
+      if (spec.per < 0.0 || spec.per > 1.0)
+        fail(lineno, "loss rate must be within [0, 1]");
+      std::string extra;
+      if (line >> extra) fail(lineno, "unexpected token after loss");
+      loss_specs.push_back(std::move(spec));
     } else {
       fail(lineno, "unknown directive '" + cmd + "'");
     }
@@ -82,7 +134,7 @@ Scenario parse_scenario_text(const std::string& text, std::string name) {
                 irange > 0 ? std::optional<double>(irange) : std::nullopt);
   topo.set_labels(labels);
 
-  Scenario sc{std::move(name), std::move(topo), {}};
+  Scenario sc{std::move(name), std::move(topo), {}, {}};
   for (const FlowSpec& spec : flow_specs) {
     std::vector<NodeId> ids;
     for (const std::string& label : spec.nodes) {
@@ -109,6 +161,36 @@ Scenario parse_scenario_text(const std::string& text, std::string name) {
       }
       sc.flow_specs.push_back(std::move(f));
     }
+  }
+
+  // Resolve fault/loss directives (labels may be defined anywhere in the
+  // file, so this has to run after all nodes are known).
+  auto resolve = [&](const std::string& label, int line) {
+    const auto it = by_label.find(label);
+    if (it == by_label.end()) fail(line, "unknown node label " + label);
+    return it->second;
+  };
+  for (const FaultSpec& spec : fault_specs) {
+    const NodeId a = resolve(spec.a, spec.line);
+    if (!spec.link) {
+      spec.recover ? sc.faults.node_up(a, spec.at_s)
+                   : sc.faults.node_down(a, spec.at_s);
+      continue;
+    }
+    const NodeId b = resolve(spec.b, spec.line);
+    if (a == b) fail(spec.line, "link fault endpoints must differ");
+    spec.recover ? sc.faults.link_up(a, b, spec.at_s)
+                 : sc.faults.link_down(a, b, spec.at_s);
+  }
+  for (const LossSpec& spec : loss_specs) {
+    if (spec.is_default) {
+      sc.faults.set_default_loss(spec.per);
+      continue;
+    }
+    const NodeId a = resolve(spec.a, spec.line);
+    const NodeId b = resolve(spec.b, spec.line);
+    if (a == b) fail(spec.line, "loss endpoints must differ");
+    sc.faults.set_loss(a, b, spec.per);
   }
   return sc;
 }

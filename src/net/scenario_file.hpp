@@ -11,9 +11,20 @@
 //   flow C A weight 2.5     # optional weight
 //   flow A B C              # or an explicit multi-node path
 //
+// Fault injection (all optional; times in seconds from simulation start):
+//
+//   fault node B 10         # node B crashes at t = 10
+//   recover node B 30       # ... and comes back at t = 30
+//   fault link A B 15       # link A<->B fades out at t = 15
+//   recover link A B 25
+//   loss A B 0.05           # link A<->B loses 5% of clean receptions
+//   loss default 0.01       # every other link loses 1%
+//
 // Node labels are arbitrary tokens without whitespace; flows may mix
 // routed (2 endpoints) and explicit-path (>= 3 nodes) forms. Flows with an
-// explicit `weight` suffix apply it to either form.
+// explicit `weight` suffix apply it to either form. Fault directives may
+// reference nodes defined later in the file; all labels are resolved after
+// the whole file is read.
 #pragma once
 
 #include <string>

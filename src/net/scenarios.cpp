@@ -19,7 +19,7 @@ Scenario scenario1() {
   };
   Topology topo(std::move(pos), /*tx_range_m=*/250.0);
   topo.set_labels({"A", "B", "C", "D", "E", "F"});
-  Scenario sc{"scenario1 (Fig. 1)", std::move(topo), {}};
+  Scenario sc{"scenario1 (Fig. 1)", std::move(topo), {}, {}};
   Flow f1;
   f1.path = {0, 1, 2};  // A -> B -> C
   Flow f2;
@@ -51,7 +51,7 @@ Scenario scenario2() {
   };
   Topology topo(std::move(pos), /*tx_range_m=*/250.0);
   topo.set_labels({"A", "B", "C", "D", "E", "F", "G", "H", "I", "J", "K", "L", "M", "N"});
-  Scenario sc{"scenario2 (Fig. 6)", std::move(topo), {}};
+  Scenario sc{"scenario2 (Fig. 6)", std::move(topo), {}, {}};
   Flow f1;
   f1.path = {0, 1, 2, 3, 4};  // A -> B -> C -> D -> E
   Flow f2;
@@ -89,7 +89,7 @@ Scenario make_abstract_scenario(const std::vector<int>& hop_counts,
   }
   Topology topo(std::move(pos), /*tx_range_m=*/250.0);
   topo.set_labels(std::move(labels));
-  return Scenario{std::move(name), std::move(topo), std::move(specs)};
+  return Scenario{std::move(name), std::move(topo), std::move(specs), {}};
 }
 
 AbstractExample fig4_example() {

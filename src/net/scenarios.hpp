@@ -20,15 +20,18 @@
 
 #include "contention/contention_graph.hpp"
 #include "flow/flow.hpp"
+#include "net/faults.hpp"
 #include "topology/topology.hpp"
 
 namespace e2efa {
 
-/// A named topology plus flow specifications (paths and weights).
+/// A named topology plus flow specifications (paths and weights) and an
+/// optional fault schedule (default: no faults, lossless links).
 struct Scenario {
   std::string name;
   Topology topo;
   std::vector<Flow> flow_specs;
+  FaultPlan faults;
 };
 
 /// Fig. 1: the motivating two-flow topology.

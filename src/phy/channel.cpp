@@ -82,7 +82,16 @@ TimeNs Channel::transmit(NodeId sender, Frame frame) {
   const TimeNs duration = frame_duration(frame.bytes);
   const TimeNs end = now + duration;
   const std::uint64_t tx_id = next_tx_id_++;
-  ++stats_.frames_transmitted;
+
+  // A crashed sender's radio deposits no energy anywhere: the frame occupies
+  // the node's own transmitter (so its MAC state machine runs as usual and
+  // the backlog drains through retry-limit drops) but is invisible on air.
+  const bool silent = faults_ != nullptr && !faults_->node_up(sender);
+  if (silent) {
+    ++stats_.frames_faulted;
+  } else {
+    ++stats_.frames_transmitted;
+  }
 
   // Half-duplex: transmitting kills any reception in progress at the sender.
   {
@@ -92,18 +101,27 @@ TimeNs Channel::transmit(NodeId sender, Frame frame) {
     update_busy(sender);
   }
 
-  for (NodeId r : topo_.interference_neighbors(sender)) {
-    NodeState& s = state(r);
-    const bool decodable = topo_.has_link(sender, r);
-    if (s.interferers == 0 && !transmitting(r) && !s.decoding && decodable) {
-      s.decoding = true;
-      s.decode_corrupted = false;
-      s.decode_tx_id = tx_id;
-    } else if (s.decoding) {
-      s.decode_corrupted = true;  // overlap ruins the in-progress decode
+  if (!silent) {
+    for (NodeId r : topo_.interference_neighbors(sender)) {
+      NodeState& s = state(r);
+      bool decodable = topo_.has_link(sender, r);
+      if (decodable && faults_ != nullptr &&
+          (!faults_->node_up(r) || !faults_->link_up(sender, r))) {
+        // Dead receiver or downed link: the frame is energy without frame
+        // sync — it can interfere but never starts a decode.
+        decodable = false;
+        ++stats_.frames_faulted;
+      }
+      if (s.interferers == 0 && !transmitting(r) && !s.decoding && decodable) {
+        s.decoding = true;
+        s.decode_corrupted = false;
+        s.decode_tx_id = tx_id;
+      } else if (s.decoding) {
+        s.decode_corrupted = true;  // overlap ruins the in-progress decode
+      }
+      ++s.interferers;
+      update_busy(r);
     }
-    ++s.interferers;
-    update_busy(r);
   }
 
   // One end-of-frame event for the whole transmission; it visits the sender
@@ -113,6 +131,7 @@ TimeNs Channel::transmit(NodeId sender, Frame frame) {
   t.frame = std::move(frame);
   t.end = end;
   t.tx_id = tx_id;
+  t.silent = silent;
   sim_.schedule_at(end, [this, slot] { finish_transmission(slot); });
   return end;
 }
@@ -123,10 +142,12 @@ void Channel::finish_transmission(std::uint32_t slot) {
   const Frame frame = std::move(tx_pool_[slot].frame);
   const std::uint64_t tx_id = tx_pool_[slot].tx_id;
   const TimeNs end = tx_pool_[slot].end;
+  const bool silent = tx_pool_[slot].silent;
   release_tx_slot(slot);
   const NodeId sender = frame.tx;
 
   update_busy(sender);
+  if (silent) return;  // no energy was deposited; nothing to undo
   for (NodeId r : topo_.interference_neighbors(sender)) {
     NodeState& s = state(r);
     --s.interferers;
@@ -134,6 +155,24 @@ void Channel::finish_transmission(std::uint32_t slot) {
     if (s.decoding && s.decode_tx_id == tx_id) {
       const bool ok = !s.decode_corrupted && !transmitting(r);
       s.decoding = false;
+      // Faults may have landed mid-frame (the receiver crashed or the link
+      // went down while the frame was in flight), and clean receptions on
+      // lossy links are subject to a per-frame error draw.
+      if (ok && faults_ != nullptr) {
+        if (!faults_->node_up(r) || !faults_->link_up(sender, r)) {
+          ++stats_.frames_faulted;
+          update_busy(r);
+          continue;  // deaf: the crashed/cut receiver sees nothing at all
+        }
+        if (faults_->lossy(sender, r) && faults_->draw_loss(sender, r)) {
+          // Channel-error checksum failure: the receiver reacts exactly as
+          // to a collision (EIFS), but the loss is accounted separately.
+          ++stats_.frames_faulted;
+          if (s.listener) s.listener->on_frame_corrupted(end);
+          update_busy(r);
+          continue;
+        }
+      }
       if (ok) {
         ++stats_.frames_delivered;
         if (s.listener) s.listener->on_frame_received(frame);

@@ -37,11 +37,36 @@ class PhyListener {
   virtual void on_medium_idle() = 0;
 };
 
+/// Runtime fault model the channel consults per frame (fault injection).
+/// Implemented by net-layer FaultRuntime; null means a healthy network and
+/// the channel takes the exact pre-fault code path (no queries, no RNG).
+class FaultModel {
+ public:
+  virtual ~FaultModel() = default;
+  /// False while node n is crashed: its radio neither transmits (frames from
+  /// it deposit no energy anywhere) nor decodes (it receives nothing).
+  virtual bool node_up(NodeId n) const = 0;
+  /// False while the a<->b link is forced down (fading): frames between the
+  /// pair are never decodable, though interference energy still propagates.
+  virtual bool link_up(NodeId a, NodeId b) const = 0;
+  /// True when the a->b link has a nonzero packet-error rate. Lets the
+  /// channel skip the RNG entirely on loss-free links, keeping trajectories
+  /// of loss-free fault runs identical to runs without a loss model.
+  virtual bool lossy(NodeId a, NodeId b) const = 0;
+  /// Draws whether an otherwise-clean a->b reception is lost to channel
+  /// errors. Called once per decodable frame on lossy links (mutates the
+  /// model's RNG stream — deterministic given the run seed).
+  virtual bool draw_loss(NodeId a, NodeId b) = 0;
+};
+
 struct ChannelStats {
   std::uint64_t frames_transmitted = 0;
   std::uint64_t frames_delivered = 0;   ///< Clean receptions (all hearers).
   std::uint64_t frames_corrupted = 0;   ///< Collision-lost receptions.
   std::uint64_t bytes_corrupted = 0;    ///< Airtime lost to collisions, bytes.
+  /// Fault-injection losses: receptions killed by a dead node, a downed
+  /// link, or a loss-model draw (not counted in frames_corrupted).
+  std::uint64_t frames_faulted = 0;
 };
 
 class Channel {
@@ -51,6 +76,11 @@ class Channel {
   /// Registers the MAC of node n. Must be called once per node before any
   /// transmission reaches it.
   void attach(NodeId n, PhyListener* listener);
+
+  /// Installs (or clears, with nullptr) the fault model. Not owned; must
+  /// outlive the channel. With no model installed the channel behaves — and
+  /// draws randomness — exactly as before fault injection existed.
+  void set_faults(FaultModel* faults) { faults_ = faults; }
 
   std::int64_t bps() const { return bps_; }
 
@@ -98,6 +128,7 @@ class Channel {
     TimeNs end = 0;
     std::uint64_t tx_id = 0;
     std::uint32_t next_free = 0;
+    bool silent = false;  ///< Sender was crashed: no energy was deposited.
   };
 
   void update_busy(NodeId n);
@@ -109,6 +140,7 @@ class Channel {
 
   Simulator& sim_;
   const Topology& topo_;
+  FaultModel* faults_ = nullptr;
   std::int64_t bps_;
   std::vector<NodeState> nodes_;
   std::uint64_t next_tx_id_ = 1;

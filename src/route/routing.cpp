@@ -9,8 +9,14 @@ namespace e2efa {
 
 std::optional<std::vector<NodeId>> shortest_path(const Topology& topo, NodeId src,
                                                  NodeId dst) {
+  return shortest_path(topo, src, dst, TopologyMask{});
+}
+
+std::optional<std::vector<NodeId>> shortest_path(const Topology& topo, NodeId src,
+                                                 NodeId dst, const TopologyMask& mask) {
   E2EFA_ASSERT(src >= 0 && src < topo.node_count());
   E2EFA_ASSERT(dst >= 0 && dst < topo.node_count());
+  if (!mask.node_alive(src) || !mask.node_alive(dst)) return std::nullopt;
   if (src == dst) return std::vector<NodeId>{src};
 
   // BFS; neighbor lists are ascending, so the first parent found is the
@@ -25,6 +31,7 @@ std::optional<std::vector<NodeId>> shortest_path(const Topology& topo, NodeId sr
     q.pop();
     for (NodeId v : topo.neighbors(u)) {
       if (seen[static_cast<std::size_t>(v)]) continue;
+      if (!mask.link_alive(u, v)) continue;
       seen[static_cast<std::size_t>(v)] = true;
       parent[static_cast<std::size_t>(v)] = u;
       if (v == dst) {
@@ -41,6 +48,9 @@ std::optional<std::vector<NodeId>> shortest_path(const Topology& topo, NodeId sr
 }
 
 Flow make_routed_flow(const Topology& topo, NodeId src, NodeId dst, double weight) {
+  E2EFA_ASSERT(src >= 0 && src < topo.node_count());
+  E2EFA_ASSERT(dst >= 0 && dst < topo.node_count());
+  E2EFA_ASSERT_MSG(src != dst, "flow source equals destination");
   auto path = shortest_path(topo, src, dst);
   E2EFA_ASSERT_MSG(path.has_value(), "destination unreachable");
   Flow f;

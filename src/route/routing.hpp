@@ -21,8 +21,22 @@ namespace e2efa {
 std::optional<std::vector<NodeId>> shortest_path(const Topology& topo, NodeId src,
                                                  NodeId dst);
 
-/// Builds a Flow along the min-hop route; throws ContractViolation when the
-/// destination is unreachable.
+/// Masked variant: routes on the *surviving* topology — links whose
+/// endpoints are dead or that the mask forces down are skipped, and a dead
+/// src or dst is immediately unreachable. This is the route-repair
+/// primitive: at every fault epoch the runner re-runs it against the
+/// current TopologyMask and either re-routes or suspends each flow.
+/// Deterministic like the unmasked form (smallest-id tie-breaking).
+std::optional<std::vector<NodeId>> shortest_path(const Topology& topo, NodeId src,
+                                                 NodeId dst, const TopologyMask& mask);
+
+/// Builds a Flow along the min-hop route.
+///
+/// Throws ContractViolation when the destination is unreachable from the
+/// source on the connectivity graph (there is no route at all — callers
+/// wanting a soft failure should use shortest_path and test the optional),
+/// and when src == dst (a flow must traverse at least one link; a
+/// self-addressed flow has no subflows and no meaningful allocation).
 Flow make_routed_flow(const Topology& topo, NodeId src, NodeId dst, double weight = 1.0);
 
 /// All-pairs hop distance matrix (-1 for unreachable). O(V·(V+E)).

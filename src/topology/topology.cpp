@@ -7,6 +7,21 @@
 
 namespace e2efa {
 
+bool TopologyMask::node_alive(NodeId n) const {
+  if (node_up.empty()) return true;
+  E2EFA_ASSERT(n >= 0 && n < static_cast<NodeId>(node_up.size()));
+  return node_up[static_cast<std::size_t>(n)];
+}
+
+bool TopologyMask::link_alive(NodeId a, NodeId b) const {
+  if (!node_alive(a) || !node_alive(b)) return false;
+  if (down_links.empty()) return true;
+  const auto key = std::minmax(a, b);
+  for (const auto& l : down_links)
+    if (l.first == key.first && l.second == key.second) return false;
+  return true;
+}
+
 Topology::Topology(std::vector<Point> positions, double tx_range_m,
                    std::optional<double> interference_range_m)
     : positions_(std::move(positions)),

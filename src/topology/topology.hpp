@@ -10,6 +10,7 @@
 #include <cstdint>
 #include <optional>
 #include <string>
+#include <utility>
 #include <vector>
 
 #include "geom/geom.hpp"
@@ -18,6 +19,27 @@ namespace e2efa {
 
 using NodeId = std::int32_t;
 constexpr NodeId kInvalidNode = -1;
+
+/// A degraded view of a Topology: which nodes are alive and which links are
+/// administratively down (fault injection). Empty vectors mean "everything
+/// up", so a default-constructed mask is the healthy network. The mask never
+/// changes the underlying Topology — geometry, neighbor lists, and
+/// interference relations stay those of the full network; the mask only
+/// filters which links can carry traffic (routing, frame decoding).
+struct TopologyMask {
+  std::vector<bool> node_up;  ///< Empty = all nodes up; else one flag per node.
+  /// Links forced down, as normalized (min id, max id) pairs. Both endpoints
+  /// being alive does not resurrect a downed link.
+  std::vector<std::pair<NodeId, NodeId>> down_links;
+
+  bool node_alive(NodeId n) const;
+  /// True when both endpoints are alive and the link is not forced down.
+  /// Does NOT check geometric range — pair with Topology::has_link.
+  bool link_alive(NodeId a, NodeId b) const;
+  bool all_up() const { return node_up.empty() && down_links.empty(); }
+
+  bool operator==(const TopologyMask&) const = default;
+};
 
 /// Immutable-after-construction set of node positions with range-based
 /// connectivity queries and cached neighbor lists.

@@ -7,6 +7,27 @@ namespace e2efa {
 TrafficStats::TrafficStats(const FlowSet& flows) : flows_(&flows) {
   counters_.resize(static_cast<std::size_t>(flows.subflow_count()));
   delay_.resize(static_cast<std::size_t>(flows.flow_count()));
+  suspended_.resize(static_cast<std::size_t>(flows.flow_count()), 0);
+}
+
+void TrafficStats::count_suspended(FlowId f) {
+  E2EFA_ASSERT(f >= 0 && f < static_cast<FlowId>(suspended_.size()));
+  ++suspended_[static_cast<std::size_t>(f)];
+}
+
+std::int64_t TrafficStats::suspended(FlowId f) const {
+  E2EFA_ASSERT(f >= 0 && f < static_cast<FlowId>(suspended_.size()));
+  return suspended_[static_cast<std::size_t>(f)];
+}
+
+std::int64_t TrafficStats::total_suspended() const {
+  std::int64_t sum = 0;
+  for (std::int64_t s : suspended_) sum += s;
+  return sum;
+}
+
+void TrafficStats::notify_end_to_end(FlowId f, TimeNs now) {
+  if (on_delivery_) on_delivery_(f, now);
 }
 
 void TrafficStats::record_delay(FlowId f, TimeNs delay) {

@@ -3,6 +3,7 @@
 #pragma once
 
 #include <cstdint>
+#include <functional>
 #include <vector>
 
 #include "flow/flow.hpp"
@@ -39,6 +40,22 @@ class TrafficStats {
   /// End-to-end delay statistics of flow f (seconds).
   const RunningStat& delay(FlowId f) const;
 
+  /// Counts one packet of flow f suppressed at the source because the flow
+  /// was suspended (destination unreachable under the current fault mask).
+  /// Counted regardless of warm-up: suspension is a fault effect, not noise.
+  void count_suspended(FlowId f);
+  /// Packets of flow f suppressed while suspended.
+  std::int64_t suspended(FlowId f) const;
+  /// Σ_i suspended(i).
+  std::int64_t total_suspended() const;
+
+  /// Observer invoked on every deduplicated end-to-end delivery of flow f
+  /// (warm-up included) — the hook recovery-time measurement hangs off.
+  using DeliveryListener = std::function<void(FlowId, TimeNs)>;
+  void set_delivery_listener(DeliveryListener fn) { on_delivery_ = std::move(fn); }
+  /// Called by the node stack at the destination; fires the listener.
+  void notify_end_to_end(FlowId f, TimeNs now);
+
   /// Delivered packets on the j-th hop of flow f ("r_{i.j} · T").
   std::int64_t delivered(FlowId f, int hop) const;
 
@@ -68,6 +85,8 @@ class TrafficStats {
   const FlowSet* flows_;
   std::vector<SubflowCounters> counters_;
   std::vector<RunningStat> delay_;
+  std::vector<std::int64_t> suspended_;
+  DeliveryListener on_delivery_;
   TimeNs warmup_ = 0;
 };
 

@@ -127,6 +127,15 @@ void expect_identical(const RunResult& a, const RunResult& b) {
   EXPECT_EQ(a.mean_delay_s, b.mean_delay_s);
   EXPECT_EQ(a.max_delay_s, b.max_delay_s);
   EXPECT_EQ(a.window_end_to_end, b.window_end_to_end);
+  EXPECT_EQ(a.epoch_starts_s, b.epoch_starts_s);
+  EXPECT_EQ(a.epoch_flow_share, b.epoch_flow_share);
+  EXPECT_EQ(a.epoch_lp_status, b.epoch_lp_status);
+  EXPECT_EQ(a.suspended_per_flow, b.suspended_per_flow);
+  EXPECT_EQ(a.suspended_packets, b.suspended_packets);
+  EXPECT_EQ(a.link_failures, b.link_failures);
+  EXPECT_EQ(a.epoch_end_to_end, b.epoch_end_to_end);
+  EXPECT_EQ(a.channel.frames_faulted, b.channel.frames_faulted);
+  EXPECT_EQ(a.recoveries, b.recoveries);
 }
 
 TEST(Determinism, SameSeedSameResultAllProtocols) {
@@ -156,6 +165,47 @@ TEST(Determinism, BatchRunnerMatchesSequential) {
     sequential.push_back(run_scenario(sc, Protocol::k2paCentralized, c));
   }
 
+  for (int jobs : {1, 2, 4}) {
+    SCOPED_TRACE(jobs);
+    const std::vector<RunResult> batch =
+        BatchRunner(jobs).run_seeds(sc, Protocol::k2paCentralized, cfg, seeds);
+    ASSERT_EQ(batch.size(), sequential.size());
+    for (std::size_t i = 0; i < batch.size(); ++i)
+      expect_identical(batch[i], sequential[i]);
+  }
+}
+
+// Fault plans (node crashes, link cuts, lossy channels) draw from a
+// dedicated RNG stream derived from the run seed, so a faulted run must be
+// just as reproducible as a clean one — sequentially and under BatchRunner
+// at any thread count.
+TEST(Determinism, FaultPlanRunsAreReproducible) {
+  Scenario sc = scenario1();
+  sc.faults.node_down(2, 0.6);
+  sc.faults.node_up(2, 1.2);
+  sc.faults.link_down(0, 1, 0.9);
+  sc.faults.link_up(0, 1, 1.4);
+  sc.faults.set_default_loss(0.05);
+
+  SimConfig cfg;
+  cfg.sim_seconds = 2.0;
+  cfg.sample_interval_seconds = 0.5;
+  const std::vector<std::uint64_t> seeds = {7, 8, 9};
+
+  for (Protocol p : kAllProtocols) {
+    SCOPED_TRACE(to_string(p));
+    const RunResult a = run_scenario(sc, p, cfg);
+    const RunResult b = run_scenario(sc, p, cfg);
+    EXPECT_GT(a.channel.frames_faulted, 0u);
+    expect_identical(a, b);
+  }
+
+  std::vector<RunResult> sequential;
+  for (std::uint64_t s : seeds) {
+    SimConfig c = cfg;
+    c.seed = s;
+    sequential.push_back(run_scenario(sc, Protocol::k2paCentralized, c));
+  }
   for (int jobs : {1, 2, 4}) {
     SCOPED_TRACE(jobs);
     const std::vector<RunResult> batch =

@@ -4,6 +4,8 @@
 #include <fstream>
 
 #include "alloc/centralized.hpp"
+#include "net/faults.hpp"
+#include "net/runner.hpp"
 #include "net/scenario_file.hpp"
 #include "util/assert.hpp"
 
@@ -111,6 +113,113 @@ TEST(ScenarioFile, RejectsMalformedInput) {
                ContractViolation);
   EXPECT_THROW(parse_scenario_text("node A 0 0\nnode B 10 0\nflow A B weight 1 x\n"),
                ContractViolation);
+}
+
+TEST(ScenarioFile, FaultDirectivesRoundTrip) {
+  const Scenario sc = parse_scenario_text(R"(
+node A 0 0
+node B 200 0
+node C 400 0
+flow A C
+fault node B 10
+recover node B 30
+fault link A B 15
+recover link A B 25
+loss A B 0.05
+loss default 0.01
+)");
+  ASSERT_EQ(sc.faults.events().size(), 4u);
+  const auto& ev = sc.faults.events();
+  EXPECT_EQ(ev[0].kind, FaultEvent::Kind::kNodeDown);
+  EXPECT_EQ(ev[0].node, 1);
+  EXPECT_DOUBLE_EQ(ev[0].at_s, 10.0);
+  EXPECT_EQ(ev[1].kind, FaultEvent::Kind::kNodeUp);
+  EXPECT_EQ(ev[1].node, 1);
+  EXPECT_DOUBLE_EQ(ev[1].at_s, 30.0);
+  EXPECT_EQ(ev[2].kind, FaultEvent::Kind::kLinkDown);
+  EXPECT_EQ(ev[2].node, 0);
+  EXPECT_EQ(ev[2].peer, 1);
+  EXPECT_DOUBLE_EQ(ev[2].at_s, 15.0);
+  EXPECT_EQ(ev[3].kind, FaultEvent::Kind::kLinkUp);
+  EXPECT_DOUBLE_EQ(ev[3].at_s, 25.0);
+
+  ASSERT_EQ(sc.faults.loss_rules().size(), 1u);
+  EXPECT_DOUBLE_EQ(sc.faults.loss(0, 1), 0.05);
+  EXPECT_DOUBLE_EQ(sc.faults.loss(1, 0), 0.05);  // symmetric
+  EXPECT_DOUBLE_EQ(sc.faults.loss(1, 2), 0.01);  // default
+  EXPECT_DOUBLE_EQ(sc.faults.default_loss(), 0.01);
+
+  // Epochs come back sorted and deduplicated; validation accepts the plan.
+  EXPECT_EQ(sc.faults.event_times(), (std::vector<double>{10, 15, 25, 30}));
+  EXPECT_NO_THROW(sc.faults.validate(sc.topo.node_count()));
+
+  // Labels may be used before they are defined: directives resolve after
+  // the whole file is read.
+  const Scenario fwd = parse_scenario_text(
+      "fault node B 5\nnode A 0 0\nnode B 200 0\nflow A B\n");
+  ASSERT_EQ(fwd.faults.events().size(), 1u);
+  EXPECT_EQ(fwd.faults.events()[0].node, 1);
+}
+
+TEST(ScenarioFile, FaultErrorsCarryLineNumbers) {
+  const auto expect_fail = [](const std::string& text, int line,
+                              const std::string& needle) {
+    try {
+      parse_scenario_text(text);
+      FAIL() << "should have thrown for: " << text;
+    } catch (const ContractViolation& e) {
+      const std::string what = e.what();
+      EXPECT_NE(what.find("line " + std::to_string(line)), std::string::npos)
+          << what;
+      EXPECT_NE(what.find(needle), std::string::npos) << what;
+    }
+  };
+  const std::string base = "node A 0 0\nnode B 200 0\nflow A B\n";  // lines 1-3
+  expect_fail(base + "fault node Q 5\n", 4, "unknown node label Q");
+  expect_fail(base + "fault node B -1\n", 4, "must not be negative");
+  expect_fail(base + "loss A B 1.5\n", 4, "within [0, 1]");
+  expect_fail(base + "loss A B -0.1\n", 4, "within [0, 1]");
+  expect_fail(base + "loss A Q 0.1\n", 4, "unknown node label Q");
+  expect_fail(base + "fault link A A 5\n", 4, "endpoints must differ");
+  expect_fail(base + "loss A A 0.1\n", 4, "endpoints must differ");
+  expect_fail(base + "fault B 5\n", 4, "node|link");
+  expect_fail(base + "fault node B\n", 4, "a node label and a time");
+  expect_fail(base + "fault link A B\n", 4, "two node labels and a time");
+  expect_fail(base + "recover node B 5 junk\n", 4, "unexpected token");
+  expect_fail(base + "loss default\n", 4, "needs a rate");
+  expect_fail(base + "loss A\n", 4, "loss needs");
+}
+
+TEST(ScenarioFile, ParsedFaultPlanMatchesProgrammatic) {
+  const Scenario parsed = parse_scenario_text(R"(
+node A 0 0
+node B 200 0
+node C 400 0
+flow A C
+fault node B 2
+recover node B 4
+loss default 0.05
+)");
+  Scenario programmatic{"twin", Topology({{0, 0}, {200, 0}, {400, 0}}, 250.0),
+                        {}, {}};
+  Flow f;
+  f.path = {0, 1, 2};
+  programmatic.flow_specs.push_back(f);
+  programmatic.faults.node_down(1, 2.0);
+  programmatic.faults.node_up(1, 4.0);
+  programmatic.faults.set_default_loss(0.05);
+
+  SimConfig cfg;
+  cfg.sim_seconds = 6.0;
+  cfg.seed = 9;
+  const RunResult a = run_scenario(parsed, Protocol::k2paCentralized, cfg);
+  const RunResult b = run_scenario(programmatic, Protocol::k2paCentralized, cfg);
+  EXPECT_EQ(a.delivered_per_subflow, b.delivered_per_subflow);
+  EXPECT_EQ(a.end_to_end_per_flow, b.end_to_end_per_flow);
+  EXPECT_EQ(a.suspended_per_flow, b.suspended_per_flow);
+  EXPECT_EQ(a.epoch_end_to_end, b.epoch_end_to_end);
+  EXPECT_EQ(a.recoveries, b.recoveries);
+  EXPECT_EQ(a.channel.frames_faulted, b.channel.frames_faulted);
 }
 
 TEST(ScenarioFile, LoadFromDisk) {

@@ -2,6 +2,7 @@
 
 #include <vector>
 
+#include "net/runner.hpp"
 #include "net/scenarios.hpp"
 #include "route/routing.hpp"
 #include "sim/simulator.hpp"
@@ -174,6 +175,52 @@ TEST(Routing, HopDistanceUnreachable) {
   Topology t({{0, 0}, {10'000, 0}}, 250.0);
   const auto d = hop_distances(t);
   EXPECT_EQ(d[0][1], -1);
+}
+
+TEST(Routing, MaskedPathAvoidsDeadNodesAndLinks) {
+  // Square 0-1 / 2-3: two 2-hop routes 0->3 (via 1 or 2).
+  Topology t = make_grid(2, 2, 200.0, 250.0);
+
+  TopologyMask all_up;
+  EXPECT_EQ(*shortest_path(t, 0, 3, all_up), (std::vector<NodeId>{0, 1, 3}));
+
+  // Kill node 1: the route detours via 2.
+  TopologyMask dead1;
+  dead1.node_up.assign(4, true);
+  dead1.node_up[1] = false;
+  EXPECT_EQ(*shortest_path(t, 0, 3, dead1), (std::vector<NodeId>{0, 2, 3}));
+
+  // Cut link 0-1 instead: same detour, node 1 still alive.
+  TopologyMask cut01;
+  cut01.down_links = {{0, 1}};
+  EXPECT_EQ(*shortest_path(t, 0, 3, cut01), (std::vector<NodeId>{0, 2, 3}));
+
+  // Kill both relays: unreachable under the mask.
+  TopologyMask dead12;
+  dead12.node_up.assign(4, true);
+  dead12.node_up[1] = dead12.node_up[2] = false;
+  EXPECT_FALSE(shortest_path(t, 0, 3, dead12).has_value());
+
+  // A dead endpoint is unreachable too.
+  TopologyMask dead0;
+  dead0.node_up.assign(4, true);
+  dead0.node_up[0] = false;
+  EXPECT_FALSE(shortest_path(t, 0, 3, dead0).has_value());
+}
+
+TEST(Routing, SelfFlowRejected) {
+  Topology t = make_chain(3);
+  // shortest_path tolerates src == dst (the trivial path), but a *flow*
+  // from a node to itself is meaningless and rejected everywhere.
+  EXPECT_THROW(make_routed_flow(t, 2, 2), ContractViolation);
+
+  Scenario sc{"self", make_chain(3), {}, {}};
+  Flow f;
+  f.path = {1, 0, 1};  // explicit path back to the source
+  sc.flow_specs.push_back(f);
+  SimConfig cfg;
+  cfg.sim_seconds = 1.0;
+  EXPECT_THROW(run_scenario(sc, Protocol::k80211, cfg), ContractViolation);
 }
 
 TEST(Routing, PaperScenarioRoutesMatchSpecs) {

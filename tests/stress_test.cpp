@@ -46,7 +46,7 @@ TEST(Stress, LongChainEndToEnd) {
   Topology topo = make_chain(11);
   Flow f;
   for (int i = 0; i < 11; ++i) f.path.push_back(i);
-  Scenario sc{"chain-10", std::move(topo), {f}};
+  Scenario sc{"chain-10", std::move(topo), {f}, {}};
   SimConfig cfg;
   cfg.sim_seconds = 30.0;
   const RunResult r = run_scenario(sc, Protocol::k2paCentralized, cfg);

@@ -19,7 +19,8 @@ int main(int argc, char** argv) {
   }
   try {
     Rng rng(opt->config.seed);
-    const Scenario sc = make_named_scenario(opt->scenario, rng);
+    Scenario sc = make_named_scenario(opt->scenario, rng);
+    if (opt->default_loss > 0.0) sc.faults.set_default_loss(opt->default_loss);
     const RunResult r = run_scenario(sc, opt->protocol, opt->config);
     std::cout << format_run_result(sc, r, opt->config, opt->list_shares);
   } catch (const ContractViolation& e) {
