@@ -34,11 +34,7 @@ int main(int argc, char** argv) {
 
     RunningStat jain;
     double worst = 1.0;
-    for (const auto& window : r.window_end_to_end) {
-      std::vector<double> normalized;
-      for (std::size_t f = 0; f < window.size(); ++f)
-        normalized.push_back(static_cast<double>(window[f]) / r.target_flow_share[f]);
-      const double j = jain_fairness_index(normalized);
+    for (double j : jain_trajectory(r.window_end_to_end, r.target_flow_share)) {
       jain.add(j);
       worst = std::min(worst, j);
     }

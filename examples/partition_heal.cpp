@@ -17,16 +17,33 @@
 // Phase 1 is re-solved at every epoch; the per-epoch goodput shows service
 // through B, then through C, then silence, then service again — and the
 // recovery records measure fault-to-first-delivery for each disruption.
+//
+// Pass `--trace PATH` to also write a structured trace of the run (binary
+// unless PATH ends in .jsonl); inspect it with `tools/trace-tool`, e.g.
+// `trace-tool convergence PATH --window 2` to see the per-epoch
+// re-convergence times.
 #include <iostream>
+#include <string>
 
 #include "net/runner.hpp"
 #include "net/scenarios.hpp"
+#include "obs/trace.hpp"
 #include "route/routing.hpp"
 #include "util/strings.hpp"
 
 using namespace e2efa;
 
-int main() {
+int main(int argc, char** argv) {
+  std::string trace_path;
+  for (int i = 1; i < argc; ++i) {
+    const std::string key = argv[i];
+    if (key == "--trace" && i + 1 < argc) {
+      trace_path = argv[++i];
+    } else {
+      std::cerr << "usage: " << argv[0] << " [--trace PATH]\n";
+      return 2;
+    }
+  }
   Scenario sc{"partition-heal",
               Topology({{0, 0}, {200, 150}, {200, -150}, {400, 0}}, 250.0),
               {},
@@ -43,7 +60,25 @@ int main() {
   cfg.sim_seconds = 50.0;
   cfg.seed = 7;
 
+  TraceSink trace;
+  if (!trace_path.empty()) {
+    const bool jsonl = trace_path.size() >= 6 &&
+                       trace_path.compare(trace_path.size() - 6, 6, ".jsonl") == 0;
+    std::string error;
+    if (!trace.open(trace_path,
+                    jsonl ? TraceSink::Format::kJsonl : TraceSink::Format::kBinary,
+                    &error)) {
+      std::cerr << "cannot open trace file: " << error << "\n";
+      return 1;
+    }
+    cfg.trace = &trace;
+  }
+
   const RunResult r = run_scenario(sc, Protocol::k2paCentralized, cfg);
+  if (!trace_path.empty()) {
+    trace.close();
+    std::cerr << "trace: " << trace.recorded() << " records -> " << trace_path << "\n";
+  }
 
   std::cout << "Partition & heal on the A/B/C/D diamond (flow A->B->D)\n\n";
   std::cout << "Epoch allocations and goodput:\n";

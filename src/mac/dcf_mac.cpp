@@ -47,6 +47,14 @@ void DcfMac::start_access(bool redraw) {
   if (redraw || !backoff_drawn_) {
     backoff_remaining_ = backoff_.draw_slots(rng_, retries_, sim_.now());
     backoff_drawn_ = true;
+    // The Q/R arguments walk the tag table — gate on the category, not just
+    // the sink, so a filtered trace costs nothing here.
+    if (trace_ != nullptr && trace_->enabled<TraceCat::kBackoff>())
+      trace_->record<TraceCat::kBackoff>(
+          sim_.now(), TraceEvent::kBackoffDraw,
+          static_cast<std::int16_t>(self_), backoff_remaining_, retries_,
+          tags_ != nullptr ? tags_->q_slots(sim_.now()) : 0.0,
+          tags_ != nullptr ? tags_->head_last_r() : 0.0);
   }
   step_is_first_ = true;
   arm_step();
@@ -179,9 +187,16 @@ void DcfMac::on_timeout() {
   timeout_event_ = Simulator::kInvalidEvent;
   ++stats_.timeouts;
   ++retries_;
+  if (trace_ != nullptr)
+    trace_->record<TraceCat::kMac>(sim_.now(), TraceEvent::kMacRetry,
+                                   static_cast<std::int16_t>(self_), retries_, -1);
   if (retries_ > cfg_.retry_limit) {
     const Packet p = queue_.pop_drop(sim_.now());
     ++stats_.retry_drops;
+    if (trace_ != nullptr)
+      trace_->record<TraceCat::kMac>(sim_.now(), TraceEvent::kMacDrop,
+                                     static_cast<std::int16_t>(self_), p.subflow,
+                                     retries_);
     callbacks_.on_packet_dropped(p);
     finish_attempt(/*success=*/true);  // fresh packet, fresh attempt
     return;

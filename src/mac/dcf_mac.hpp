@@ -70,6 +70,10 @@ class DcfMac : public PhyListener {
   const Stats& stats() const { return stats_; }
   NodeId self() const { return self_; }
 
+  /// Installs the trace sink for MAC-level events (backoff draws with the
+  /// Q/R terms, retries, retry-limit drops). Null (default) = disabled.
+  void set_trace(TraceSink* trace) { trace_ = trace; }
+
  private:
   enum class State {
     kIdle,        ///< Nothing to send, no exchange in progress.
@@ -113,6 +117,7 @@ class DcfMac : public PhyListener {
   MacCallbacks& callbacks_;
   Rng rng_;
   TagAgent* tags_;
+  TraceSink* trace_ = nullptr;
 
   State state_ = State::kIdle;
   int backoff_remaining_ = 0;

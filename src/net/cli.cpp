@@ -4,6 +4,7 @@
 #include <sstream>
 
 #include "net/scenario_file.hpp"
+#include "obs/trace.hpp"
 #include "route/routing.hpp"
 #include "topology/builders.hpp"
 #include "util/assert.hpp"
@@ -35,6 +36,14 @@ std::string cli_usage() {
       "  --queue N       per-queue capacity (default 50)\n"
       "  --loss P        default per-link packet-error rate in [0,1] (default 0)\n"
       "  --shares        also print phase-1 target shares\n"
+      "  --trace PATH    write a structured event trace (.jsonl suffix = text,\n"
+      "                  anything else = compact binary for trace-tool)\n"
+      "  --trace-filter C  comma-separated trace categories (meta, phy, mac,\n"
+      "                  backoff, tag, vclock, queue, fault, lp, flow, all);\n"
+      "                  requires --trace\n"
+      "  --metrics-out PATH  write periodic metrics samples as JSONL\n"
+      "  --metrics-period T  metrics sampling period in seconds (default 1;\n"
+      "                  requires --metrics-out)\n"
       "  --help          this text\n";
 }
 
@@ -105,11 +114,43 @@ std::optional<CliOptions> parse_cli(int argc, const char* const* argv,
         *error = "--loss must be within [0, 1]";
         return std::nullopt;
       }
+    } else if (arg == "--trace") {
+      if (value->empty()) {
+        *error = "--trace needs a path";
+        return std::nullopt;
+      }
+      opt.trace_path = *value;
+    } else if (arg == "--trace-filter") {
+      std::uint32_t mask = 0;
+      if (!parse_trace_filter(*value, &mask, error)) return std::nullopt;
+      opt.trace_filter = *value;
+    } else if (arg == "--metrics-out") {
+      if (value->empty()) {
+        *error = "--metrics-out needs a path";
+        return std::nullopt;
+      }
+      opt.metrics_out = *value;
+    } else if (arg == "--metrics-period") {
+      opt.config.metrics_period_seconds = std::atof(value->c_str());
+      if (opt.config.metrics_period_seconds <= 0) {
+        *error = "--metrics-period must be positive";
+        return std::nullopt;
+      }
     } else {
       *error = "unknown option: " + arg;
       return std::nullopt;
     }
   }
+  if (!opt.trace_filter.empty() && opt.trace_path.empty()) {
+    *error = "--trace-filter requires --trace";
+    return std::nullopt;
+  }
+  if (opt.config.metrics_period_seconds > 0 && opt.metrics_out.empty()) {
+    *error = "--metrics-period requires --metrics-out";
+    return std::nullopt;
+  }
+  if (!opt.metrics_out.empty() && opt.config.metrics_period_seconds <= 0)
+    opt.config.metrics_period_seconds = 1.0;
   return opt;
 }
 
@@ -205,7 +246,9 @@ std::string format_run_result(const Scenario& sc, const RunResult& r,
 
   if (!sc.faults.empty()) {
     os << "\nfaults: " << r.link_failures << " link-layer failures, "
-       << r.channel.frames_faulted << " frames faulted, " << r.suspended_packets
+       << r.channel.frames_faulted << " frames faulted ("
+       << r.channel.faulted_dead << " dead node/link, " << r.channel.faulted_loss
+       << " lossy channel), " << r.suspended_packets
        << " packets suppressed while suspended\n";
     for (const RunResult::Recovery& rec : r.recoveries) {
       os << "  " << flows.flow(rec.flow).name() << " disrupted at "

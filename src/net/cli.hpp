@@ -24,6 +24,16 @@ struct CliOptions {
   /// --loss P: default packet-error rate applied to every link of the
   /// scenario (on top of any loss/fault directives a scenario file sets).
   double default_loss = 0.0;
+  /// --trace PATH: structured-event trace output. A ".jsonl" suffix selects
+  /// the text format; anything else writes the compact binary format.
+  std::string trace_path;
+  /// --trace-filter CATS: comma-separated category list (parse_trace_filter
+  /// syntax). Only meaningful with --trace; rejected without it.
+  std::string trace_filter;
+  /// --metrics-out PATH: periodic metrics JSONL. --metrics-period T sets
+  /// SimConfig::metrics_period_seconds and is rejected without a path;
+  /// a path alone defaults the period to 1 s.
+  std::string metrics_out;
 };
 
 /// Parses argv. On error returns nullopt and fills *error with a message

@@ -22,11 +22,22 @@ NodeStack::NodeStack(Simulator& sim, Channel& channel, NodeId self, const FlowSe
 void NodeStack::enqueue_and_notify(Packet p) {
   SubflowCounters& c = stats_.subflow(p.subflow);
   const bool measuring = stats_.measuring(sim_.now());
+  const std::int32_t subflow = p.subflow;
+  // backlog() walks the scheduler lanes — gate on the category, not just
+  // the sink, so a filtered trace costs nothing here.
   if (queue_->enqueue(p, sim_.now())) {
     if (measuring) ++c.enqueued;
+    if (trace_ != nullptr && trace_->enabled<TraceCat::kQueue>())
+      trace_->record<TraceCat::kQueue>(sim_.now(), TraceEvent::kQueueEnqueue,
+                                       static_cast<std::int16_t>(self_), subflow,
+                                       queue_->backlog());
     mac_->notify_queue_nonempty();
-  } else if (measuring) {
-    ++c.dropped_queue;
+  } else {
+    if (measuring) ++c.dropped_queue;
+    if (trace_ != nullptr && trace_->enabled<TraceCat::kQueue>())
+      trace_->record<TraceCat::kQueue>(sim_.now(), TraceEvent::kQueueDrop,
+                                       static_cast<std::int16_t>(self_), subflow,
+                                       queue_->backlog());
   }
 }
 
@@ -53,7 +64,7 @@ void NodeStack::on_packet_delivered(const Packet& p) {
   if (p.hop + 1 >= f.length()) {
     if (stats_.measuring(sim_.now()))
       stats_.record_delay(p.flow, sim_.now() - p.created);
-    stats_.notify_end_to_end(p.flow, sim_.now());
+    stats_.notify_end_to_end(p.flow, sim_.now(), sim_.now() - p.created);
     return;  // reached the destination
   }
   Packet fwd = p;

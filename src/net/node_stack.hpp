@@ -33,6 +33,13 @@ class NodeStack : public MacCallbacks {
   NodeId self() const { return self_; }
   int backlog() const { return queue_->backlog(); }
 
+  /// Installs the trace sink for this node's queue events and forwards it
+  /// to the MAC. Null (default) = disabled.
+  void set_trace(TraceSink* trace) {
+    trace_ = trace;
+    mac_->set_trace(trace);
+  }
+
   /// Observer for link-layer delivery failure: invoked whenever the MAC
   /// exhausts its retry limit and drops a packet at this node — the
   /// upstream signal ("link to next hop is not delivering") that route
@@ -56,6 +63,7 @@ class NodeStack : public MacCallbacks {
   /// (per-subflow queues are FIFO, so sequences arrive in order).
   std::unordered_map<std::int32_t, std::int64_t> last_seq_;
   LinkFailureListener on_link_failure_;
+  TraceSink* trace_ = nullptr;
 };
 
 }  // namespace e2efa

@@ -318,6 +318,41 @@ RunResult run_scenario(const Scenario& sc, Protocol proto, const SimConfig& cfg,
   stats.set_warmup(from_seconds(cfg.warmup_seconds));
   Rng master(cfg.seed);
 
+  // Observability: one sink pointer threaded through every layer. Null —
+  // the default — keeps all hot paths on their pre-observability branch.
+  TraceSink* const trace = cfg.trace;
+  channel.set_trace(trace);
+  if (trace != nullptr) {
+    trace->record<TraceCat::kMeta>(
+        0, TraceEvent::kRunMeta, -1, sc.topo.node_count(), F,
+        static_cast<double>(cfg.channel_bps), static_cast<double>(cfg.payload_bytes));
+    for (int s = 0; s < flows.subflow_count(); ++s) {
+      const Subflow& sf = flows.subflow(s);
+      trace->record<TraceCat::kMeta>(
+          0, TraceEvent::kSubflowMeta, static_cast<std::int16_t>(sf.src), s,
+          logical_of[static_cast<std::size_t>(sf.flow)],
+          static_cast<double>(sf.hop));
+    }
+  }
+  // Phase-1 emission for one epoch: the solve record, then the resulting
+  // per-logical-flow targets (0 = inactive or suspended in that epoch).
+  auto trace_epoch_allocation = [&](int e, TimeNs t) {
+    if (trace == nullptr) return;
+    const EpochAllocation& epoch = epochs[static_cast<std::size_t>(e)];
+    trace->record<TraceCat::kLp>(t, TraceEvent::kLpResolve, -1, e,
+                                 static_cast<std::int32_t>(epoch.status),
+                                 epoch.start_s);
+    for (FlowId f = 0; f < F; ++f) {
+      const FlowId g = active_of[static_cast<std::size_t>(e)][static_cast<std::size_t>(f)];
+      const double share =
+          g >= 0 && epoch.has_target
+              ? epoch.flow_share[static_cast<std::size_t>(g)]
+              : 0.0;
+      trace->record<TraceCat::kLp>(t, TraceEvent::kFlowTarget, -1, f, -1, share);
+    }
+  };
+  trace_epoch_allocation(0, 0);
+
   // Live fault state for the PHY. Installed only when the plan does
   // anything, so fault-free runs keep the exact pre-fault channel path.
   std::unique_ptr<FaultRuntime> faults;
@@ -350,6 +385,7 @@ RunResult run_scenario(const Scenario& sc, Protocol proto, const SimConfig& cfg,
       }
       auto sched = std::make_unique<TagScheduler>(std::move(lanes), cfg.queue_capacity,
                                                   cfg.channel_bps, cfg.alpha);
+      sched->set_trace(trace, static_cast<std::int16_t>(n));
       tag_scheds[static_cast<std::size_t>(n)] = sched.get();
       if (proto == Protocol::k2paStaticCw) {
         // Ablation: weighted queueing, but no tag feedback over the air.
@@ -364,6 +400,7 @@ RunResult run_scenario(const Scenario& sc, Protocol proto, const SimConfig& cfg,
     stacks.push_back(std::make_unique<NodeStack>(sim, channel, n, flows, stats, mac_cfg,
                                                  std::move(queue), std::move(backoff),
                                                  master.split(), tags));
+    stacks.back()->set_trace(trace);
     stacks.back()->set_link_failure_listener(
         [&link_failures](const Packet&, TimeNs) { ++link_failures; });
   }
@@ -396,12 +433,21 @@ RunResult run_scenario(const Scenario& sc, Protocol proto, const SimConfig& cfg,
     epoch_e2e.push_back(std::move(row));
   };
 
-  // Recovery detection: the first end-to-end delivery on the *current*
-  // route of a disrupted flow heals it (stale in-flight packets on a
-  // pre-fault route do not count).
-  if (!plan.events().empty()) {
-    stats.set_delivery_listener([&](FlowId g, TimeNs now) {
+  // Recovery detection (the first end-to-end delivery on the *current*
+  // route of a disrupted flow heals it — stale in-flight packets on a
+  // pre-fault route do not count) composed with delivery tracing; both ride
+  // the same TrafficStats listener slot.
+  const bool want_recovery = !plan.events().empty();
+  if (want_recovery || trace != nullptr) {
+    stats.set_delivery_listener([&, want_recovery](FlowId g, TimeNs now,
+                                                   TimeNs delay) {
       const FlowId f = logical_of[static_cast<std::size_t>(g)];
+      if (trace != nullptr)
+        trace->record<TraceCat::kFlow>(
+            now, TraceEvent::kDelivery,
+            static_cast<std::int16_t>(flows.flow(g).destination()), f, g,
+            to_seconds(delay));
+      if (!want_recovery) return;
       if (pending_fault_s[static_cast<std::size_t>(f)] < 0.0) return;
       if (active_now[static_cast<std::size_t>(f)] != g) return;
       recoveries.push_back(
@@ -418,11 +464,17 @@ RunResult run_scenario(const Scenario& sc, Protocol proto, const SimConfig& cfg,
     sim.schedule_at(from_seconds(boundaries[static_cast<std::size_t>(e)]), [&, e] {
       if (multi) snapshot_epoch();
       if (faults) faults->apply(masks[static_cast<std::size_t>(e)]);
+      if (trace != nullptr && !plan.empty())
+        trace->record<TraceCat::kFault>(sim.now(), TraceEvent::kFaultEpoch, -1, e,
+                                        -1, boundaries[static_cast<std::size_t>(e)]);
+      trace_epoch_allocation(e, sim.now());
       const EpochAllocation& epoch = epochs[static_cast<std::size_t>(e)];
       for (int s = 0; s < flows.subflow_count(); ++s) {
         TagScheduler* sched = tag_scheds[static_cast<std::size_t>(flows.subflow(s).src)];
-        if (sched != nullptr)
+        if (sched != nullptr) {
+          sched->note_time(sim.now());
           sched->update_share(s, epoch.subflow_share[static_cast<std::size_t>(s)]);
+        }
       }
       for (FlowId f = 0; f < F; ++f) {
         const FlowId prev = active_now[static_cast<std::size_t>(f)];
@@ -489,6 +541,110 @@ RunResult run_scenario(const Scenario& sc, Protocol proto, const SimConfig& cfg,
     sim.schedule_at(from_seconds(cfg.warmup_seconds) + interval, sample);
   }
 
+  // ---- Metrics registry + periodic sampler (enabled by metrics_period).
+  // Components expose their live counters by address; the registry is only
+  // read at sample instants, so runs without metrics pay nothing and runs
+  // with metrics stay bit-identical (sampling never mutates sim state). ----
+  MetricsRegistry registry;
+  MetricsTimeSeries metrics_ts;
+  std::vector<std::int64_t> metrics_prev_e2e(static_cast<std::size_t>(F), 0);
+  double metrics_prev_timeouts = 0.0, metrics_prev_attempts = 0.0;
+  double metrics_prev_airtime = 0.0;
+  std::function<void()> metrics_sample;
+  if (cfg.metrics_period_seconds > 0.0) {
+    metrics_ts.period_s = cfg.metrics_period_seconds;
+    const ChannelStats& ch = channel.stats();
+    registry.add_counter("frames_transmitted", -1, -1, &ch.frames_transmitted);
+    registry.add_counter("frames_delivered", -1, -1, &ch.frames_delivered);
+    registry.add_counter("frames_corrupted", -1, -1, &ch.frames_corrupted);
+    registry.add_counter("frames_faulted_dead", -1, -1, &ch.faulted_dead);
+    registry.add_counter("frames_faulted_loss", -1, -1, &ch.faulted_loss);
+    registry.add_counter("airtime_ns", -1, -1, &ch.airtime_ns);
+    for (NodeId n = 0; n < sc.topo.node_count(); ++n) {
+      const NodeStack* stack = stacks[static_cast<std::size_t>(n)].get();
+      const DcfMac::Stats& ms = stack->mac().stats();
+      const std::int16_t node = static_cast<std::int16_t>(n);
+      registry.add_counter("mac_rts_sent", node, -1, &ms.rts_sent);
+      registry.add_counter("mac_data_sent", node, -1, &ms.data_sent);
+      registry.add_counter("mac_timeouts", node, -1, &ms.timeouts);
+      registry.add_counter("mac_retry_drops", node, -1, &ms.retry_drops);
+      registry.add_gauge("queue_depth", node, -1, [stack] {
+        return static_cast<double>(stack->backlog());
+      });
+      TagScheduler* sched = tag_scheds[static_cast<std::size_t>(n)];
+      if (sched != nullptr)
+        registry.add_gauge("virtual_clock", node, -1,
+                           [sched] { return sched->virtual_clock(); });
+    }
+    for (int s = 0; s < flows.subflow_count(); ++s) {
+      const SubflowCounters& c = stats.subflow(s);
+      registry.add_counter("subflow_delivered",
+                           static_cast<std::int16_t>(flows.subflow(s).src), s,
+                           &c.delivered);
+      registry.add_counter("subflow_dropped_queue",
+                           static_cast<std::int16_t>(flows.subflow(s).src), s,
+                           &c.dropped_queue);
+    }
+
+    // Targets of the epoch in force at time t_s, folded onto logical flows.
+    auto targets_at = [&](double t_s) {
+      auto it = std::upper_bound(boundaries.begin(), boundaries.end(), t_s + 1e-12);
+      const std::size_t e = static_cast<std::size_t>(it - boundaries.begin()) - 1;
+      std::vector<double> tg(static_cast<std::size_t>(F), 0.0);
+      if (!epochs[e].has_target) return tg;
+      for (FlowId f = 0; f < F; ++f) {
+        const FlowId g = active_of[e][static_cast<std::size_t>(f)];
+        if (g >= 0)
+          tg[static_cast<std::size_t>(f)] =
+              epochs[e].flow_share[static_cast<std::size_t>(g)];
+      }
+      return tg;
+    };
+
+    const TimeNs period = from_seconds(cfg.metrics_period_seconds);
+    E2EFA_ASSERT(period > 0);
+    const double period_s = cfg.metrics_period_seconds;
+    metrics_sample = [&, period, period_s, horizon] {
+      MetricsSample samp;
+      samp.t_s = to_seconds(sim.now());
+      std::vector<double> share(static_cast<std::size_t>(F), 0.0);
+      for (FlowId f = 0; f < F; ++f) {
+        const std::int64_t total = logical_e2e(f);
+        const std::int64_t delta = total - metrics_prev_e2e[static_cast<std::size_t>(f)];
+        metrics_prev_e2e[static_cast<std::size_t>(f)] = total;
+        samp.flow_goodput_pps.push_back(static_cast<double>(delta) / period_s);
+        share[static_cast<std::size_t>(f)] =
+            static_cast<double>(delta) * 8.0 * cfg.payload_bytes /
+            (period_s * static_cast<double>(cfg.channel_bps));
+      }
+      // Share-normalized fairness against the epoch targets in force at the
+      // window midpoint; raw rates when there is no allocation (802.11).
+      const std::vector<double> tg = targets_at(samp.t_s - 0.5 * period_s);
+      const std::vector<double> normalized = normalized_by(share, tg);
+      samp.jain = normalized.empty() ? jain_fairness_index(samp.flow_goodput_pps)
+                                     : jain_fairness_index(normalized);
+      const std::vector<double> depths = registry.values("queue_depth");
+      samp.queue_depth_p50 = percentile(depths, 50.0);
+      samp.queue_depth_p95 = percentile(depths, 95.0);
+      samp.queue_depth_max = percentile(depths, 100.0);
+      const double timeouts = registry.sum("mac_timeouts");
+      const double attempts = registry.sum("mac_rts_sent") +
+                              registry.sum("mac_data_sent");
+      const double d_timeouts = timeouts - metrics_prev_timeouts;
+      const double d_attempts = attempts - metrics_prev_attempts;
+      metrics_prev_timeouts = timeouts;
+      metrics_prev_attempts = attempts;
+      samp.mac_retry_rate = d_attempts > 0.0 ? d_timeouts / d_attempts : 0.0;
+      const double airtime = registry.sum("airtime_ns");
+      samp.channel_utilization =
+          (airtime - metrics_prev_airtime) / static_cast<double>(period);
+      metrics_prev_airtime = airtime;
+      metrics_ts.samples.push_back(std::move(samp));
+      if (sim.now() + period <= horizon) sim.schedule_in(period, metrics_sample);
+    };
+    sim.schedule_at(period, metrics_sample);
+  }
+
   sim.run_until(horizon);
   if (multi) snapshot_epoch();  // close the final epoch
 
@@ -538,6 +694,7 @@ RunResult run_scenario(const Scenario& sc, Protocol proto, const SimConfig& cfg,
   out.link_failures = link_failures;
   out.epoch_end_to_end = std::move(epoch_e2e);
   out.recoveries = std::move(recoveries);
+  out.metrics = std::move(metrics_ts);
   return out;
 }
 

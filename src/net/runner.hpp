@@ -10,6 +10,8 @@
 #include "lp/simplex.hpp"
 #include "mac/dcf_mac.hpp"
 #include "net/scenarios.hpp"
+#include "obs/metrics.hpp"
+#include "obs/trace.hpp"
 #include "phy/channel.hpp"
 #include "traffic/stats.hpp"
 
@@ -52,6 +54,17 @@ struct SimConfig {
   /// False switches the MAC to basic access (no RTS/CTS): hidden terminals
   /// then collide on whole DATA frames. The paper always uses RTS/CTS.
   bool use_rts_cts = true;
+  /// Structured-event trace sink (src/obs/trace.hpp). Null (default)
+  /// disables tracing entirely — components pay one pointer test per
+  /// would-be event and the trajectory is bit-identical to a run without
+  /// the sink. Not owned; not thread-safe: leave null when the same config
+  /// fans out across BatchRunner threads.
+  TraceSink* trace = nullptr;
+  /// When > 0, sample the metrics registry every this many simulated
+  /// seconds into RunResult::metrics (windowed goodput, share-normalized
+  /// Jain index, queue-depth percentiles, MAC retry rate, channel
+  /// utilization). 0 (default) disables the registry and sampler entirely.
+  double metrics_period_seconds = 0.0;
 };
 
 struct RunResult {
@@ -122,6 +135,12 @@ struct RunResult {
     bool operator==(const Recovery&) const = default;
   };
   std::vector<Recovery> recoveries;
+
+  /// Periodic metrics samples (empty unless
+  /// SimConfig::metrics_period_seconds > 0). Sampled from simulation state
+  /// at deterministic instants: identical across reruns and BatchRunner
+  /// thread counts for a fixed seed.
+  MetricsTimeSeries metrics;
 
   /// Measured share of subflow s in units of B:
   /// delivered · payload_bits / (T · B).

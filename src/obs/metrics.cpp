@@ -1,0 +1,111 @@
+#include "obs/metrics.hpp"
+
+#include <cstdio>
+
+#include "util/assert.hpp"
+#include "util/strings.hpp"
+
+namespace e2efa {
+
+double MetricEntry::value() const {
+  if (u64 != nullptr) return static_cast<double>(*u64);
+  if (i64 != nullptr) return static_cast<double>(*i64);
+  if (gauge) return gauge();
+  return 0.0;
+}
+
+void MetricsRegistry::add_counter(std::string name, std::int16_t node,
+                                  std::int32_t subflow, const std::uint64_t* p) {
+  E2EFA_ASSERT(p != nullptr);
+  MetricEntry e;
+  e.name = std::move(name);
+  e.node = node;
+  e.subflow = subflow;
+  e.kind = MetricKind::kCounter;
+  e.u64 = p;
+  entries_.push_back(std::move(e));
+}
+
+void MetricsRegistry::add_counter(std::string name, std::int16_t node,
+                                  std::int32_t subflow, const std::int64_t* p) {
+  E2EFA_ASSERT(p != nullptr);
+  MetricEntry e;
+  e.name = std::move(name);
+  e.node = node;
+  e.subflow = subflow;
+  e.kind = MetricKind::kCounter;
+  e.i64 = p;
+  entries_.push_back(std::move(e));
+}
+
+void MetricsRegistry::add_gauge(std::string name, std::int16_t node,
+                                std::int32_t subflow, std::function<double()> fn) {
+  E2EFA_ASSERT(fn != nullptr);
+  MetricEntry e;
+  e.name = std::move(name);
+  e.node = node;
+  e.subflow = subflow;
+  e.kind = MetricKind::kGauge;
+  e.gauge = std::move(fn);
+  entries_.push_back(std::move(e));
+}
+
+const MetricEntry* MetricsRegistry::find(const std::string& name,
+                                         std::int16_t node,
+                                         std::int32_t subflow) const {
+  for (const MetricEntry& e : entries_)
+    if (e.name == name && e.node == node && e.subflow == subflow) return &e;
+  return nullptr;
+}
+
+double MetricsRegistry::sum(const std::string& name) const {
+  double total = 0.0;
+  for (const MetricEntry& e : entries_)
+    if (e.name == name) total += e.value();
+  return total;
+}
+
+std::vector<double> MetricsRegistry::values(const std::string& name) const {
+  std::vector<double> out;
+  for (const MetricEntry& e : entries_)
+    if (e.name == name) out.push_back(e.value());
+  return out;
+}
+
+std::string metrics_sample_jsonl(const MetricsSample& s) {
+  std::string goodput = "[";
+  for (std::size_t f = 0; f < s.flow_goodput_pps.size(); ++f) {
+    if (f > 0) goodput += ",";
+    goodput += strformat("%.17g", s.flow_goodput_pps[f]);
+  }
+  goodput += "]";
+  return strformat(
+      "{\"t_s\":%.17g,\"flow_goodput_pps\":%s,\"jain\":%.17g,"
+      "\"queue_p50\":%.17g,\"queue_p95\":%.17g,\"queue_max\":%.17g,"
+      "\"mac_retry_rate\":%.17g,\"channel_utilization\":%.17g}",
+      s.t_s, goodput.c_str(), s.jain, s.queue_depth_p50, s.queue_depth_p95,
+      s.queue_depth_max, s.mac_retry_rate, s.channel_utilization);
+}
+
+bool write_metrics_jsonl(const MetricsTimeSeries& ts, const std::string& path,
+                         std::string* error) {
+  E2EFA_ASSERT(error != nullptr);
+  std::FILE* f = std::fopen(path.c_str(), "wb");
+  if (f == nullptr) {
+    *error = "cannot open metrics file: " + path;
+    return false;
+  }
+  const std::string header =
+      strformat("{\"metrics_period_s\":%.17g,\"samples\":%zu}\n", ts.period_s,
+                ts.samples.size());
+  std::fwrite(header.data(), 1, header.size(), f);
+  for (const MetricsSample& s : ts.samples) {
+    const std::string line = metrics_sample_jsonl(s);
+    std::fwrite(line.data(), 1, line.size(), f);
+    std::fputc('\n', f);
+  }
+  std::fclose(f);
+  return true;
+}
+
+}  // namespace e2efa

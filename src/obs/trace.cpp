@@ -1,0 +1,196 @@
+#include "obs/trace.hpp"
+
+#include <cstring>
+
+#include "util/assert.hpp"
+#include "util/strings.hpp"
+
+namespace e2efa {
+
+namespace {
+
+// "E2FA" + version + record size: readers reject anything they don't
+// understand instead of misparsing it.
+constexpr std::uint32_t kTraceMagic = 0x45324641u;
+constexpr std::uint32_t kTraceVersion = 1;
+
+struct TraceHeader {
+  std::uint32_t magic = kTraceMagic;
+  std::uint32_t version = kTraceVersion;
+  std::uint32_t record_size = sizeof(TraceRecord);
+  std::uint32_t reserved = 0;
+};
+static_assert(sizeof(TraceHeader) == 16);
+
+}  // namespace
+
+const char* to_string(TraceEvent e) {
+  switch (e) {
+    case TraceEvent::kRunMeta: return "run_meta";
+    case TraceEvent::kSubflowMeta: return "subflow_meta";
+    case TraceEvent::kFrameTx: return "frame_tx";
+    case TraceEvent::kFrameRx: return "frame_rx";
+    case TraceEvent::kFrameCollision: return "frame_collision";
+    case TraceEvent::kFrameFaulted: return "frame_faulted";
+    case TraceEvent::kMacRetry: return "mac_retry";
+    case TraceEvent::kMacDrop: return "mac_drop";
+    case TraceEvent::kBackoffDraw: return "backoff_draw";
+    case TraceEvent::kTagStart: return "tag_start";
+    case TraceEvent::kTagInternalFinish: return "tag_internal_finish";
+    case TraceEvent::kTagExternalFinish: return "tag_external_finish";
+    case TraceEvent::kVClockUpdate: return "vclock_update";
+    case TraceEvent::kQueueEnqueue: return "queue_enqueue";
+    case TraceEvent::kQueueDrop: return "queue_drop";
+    case TraceEvent::kFaultEpoch: return "fault_epoch";
+    case TraceEvent::kLpResolve: return "lp_resolve";
+    case TraceEvent::kFlowTarget: return "flow_target";
+    case TraceEvent::kDelivery: return "delivery";
+  }
+  return "unknown";
+}
+
+const char* to_string(TraceCat c) {
+  switch (c) {
+    case TraceCat::kMeta: return "meta";
+    case TraceCat::kPhy: return "phy";
+    case TraceCat::kMac: return "mac";
+    case TraceCat::kBackoff: return "backoff";
+    case TraceCat::kTag: return "tag";
+    case TraceCat::kVClock: return "vclock";
+    case TraceCat::kQueue: return "queue";
+    case TraceCat::kFault: return "fault";
+    case TraceCat::kLp: return "lp";
+    case TraceCat::kFlow: return "flow";
+  }
+  return "unknown";
+}
+
+bool parse_trace_filter(const std::string& spec, std::uint32_t* mask,
+                        std::string* error) {
+  E2EFA_ASSERT(mask != nullptr && error != nullptr);
+  std::uint32_t m = trace_bit(TraceCat::kMeta);
+  std::size_t pos = 0;
+  while (pos <= spec.size()) {
+    std::size_t comma = spec.find(',', pos);
+    if (comma == std::string::npos) comma = spec.size();
+    std::string name = spec.substr(pos, comma - pos);
+    pos = comma + 1;
+    while (!name.empty() && (name.front() == ' ' || name.front() == '\t'))
+      name.erase(name.begin());
+    while (!name.empty() && (name.back() == ' ' || name.back() == '\t'))
+      name.pop_back();
+    if (name.empty()) continue;
+    if (name == "all") {
+      m = kTraceAllCategories;
+      continue;
+    }
+    bool found = false;
+    for (std::uint32_t bit = 0; bit < 10; ++bit) {
+      const TraceCat c = static_cast<TraceCat>(bit);
+      if (name == to_string(c)) {
+        m |= trace_bit(c);
+        found = true;
+        break;
+      }
+    }
+    if (!found) {
+      *error = "unknown trace category: " + name +
+               " (expected meta|phy|mac|backoff|tag|vclock|queue|fault|lp|flow|all)";
+      return false;
+    }
+  }
+  *mask = m;
+  return true;
+}
+
+TraceSink::TraceSink(std::size_t buffer_records)
+    : capacity_(buffer_records == 0 ? 1 : buffer_records) {
+  buf_.reserve(capacity_);
+}
+
+TraceSink::~TraceSink() { close(); }
+
+bool TraceSink::open(const std::string& path, Format format, std::string* error) {
+  E2EFA_ASSERT(error != nullptr);
+  E2EFA_ASSERT_MSG(file_ == nullptr, "trace sink already streaming");
+  std::FILE* f = std::fopen(path.c_str(), "wb");
+  if (f == nullptr) {
+    *error = "cannot open trace file: " + path;
+    return false;
+  }
+  file_ = f;
+  format_ = format;
+  if (format_ == Format::kBinary) write_trace_header(file_);
+  return true;
+}
+
+void TraceSink::close() {
+  if (file_ == nullptr) return;
+  flush();
+  std::fclose(file_);
+  file_ = nullptr;
+}
+
+void TraceSink::push(const TraceRecord& r) {
+  ++recorded_;
+  buf_.push_back(r);
+  if (file_ != nullptr && buf_.size() >= capacity_) flush();
+}
+
+void TraceSink::flush() {
+  if (file_ == nullptr || buf_.empty()) return;
+  if (format_ == Format::kBinary) {
+    std::fwrite(buf_.data(), sizeof(TraceRecord), buf_.size(), file_);
+  } else {
+    for (const TraceRecord& r : buf_) {
+      const std::string line = trace_record_jsonl(r);
+      std::fwrite(line.data(), 1, line.size(), file_);
+      std::fputc('\n', file_);
+    }
+  }
+  buf_.clear();
+}
+
+std::string trace_record_jsonl(const TraceRecord& r) {
+  // %.17g round-trips doubles exactly, keeping JSONL output as deterministic
+  // as the binary format.
+  return strformat(
+      "{\"t_ns\":%lld,\"ev\":\"%s\",\"node\":%d,\"a\":%d,\"b\":%d,"
+      "\"v0\":%.17g,\"v1\":%.17g}",
+      static_cast<long long>(r.t), to_string(r.event()), static_cast<int>(r.node),
+      static_cast<int>(r.a), static_cast<int>(r.b), r.v0, r.v1);
+}
+
+void write_trace_header(std::FILE* f) {
+  const TraceHeader h;
+  std::fwrite(&h, sizeof(h), 1, f);
+}
+
+bool read_trace(const std::string& path, std::vector<TraceRecord>* out,
+                std::string* error) {
+  E2EFA_ASSERT(out != nullptr && error != nullptr);
+  out->clear();
+  std::FILE* f = std::fopen(path.c_str(), "rb");
+  if (f == nullptr) {
+    *error = "cannot open trace file: " + path;
+    return false;
+  }
+  TraceHeader h;
+  if (std::fread(&h, sizeof(h), 1, f) != 1 || h.magic != kTraceMagic ||
+      h.version != kTraceVersion || h.record_size != sizeof(TraceRecord)) {
+    *error = "not a trace file (bad header): " + path;
+    std::fclose(f);
+    return false;
+  }
+  TraceRecord r;
+  std::size_t got;
+  while ((got = std::fread(&r, 1, sizeof(r), f)) == sizeof(r)) out->push_back(r);
+  std::fclose(f);
+  if (got != 0) {
+    *error = "truncated trace record tail in " + path;
+    return false;
+  }
+  return true;
+}
+
+}  // namespace e2efa

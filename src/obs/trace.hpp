@@ -1,0 +1,216 @@
+// Structured event tracing for the simulator (the observability layer's
+// "flight recorder").
+//
+// Design goals, in order:
+//   1. Zero overhead when disabled. Instrumented components hold a
+//      `TraceSink*` that defaults to null; the entire hot-path cost of a
+//      disabled trace point is one pointer test. Whole categories can
+//      additionally be compiled out with -DE2EFA_TRACE_COMPILED_CATEGORIES
+//      (a bitmask over TraceCat), which folds the emit body to nothing at
+//      the call site via `if constexpr`.
+//   2. Determinism. Emission is strictly passive: no RNG, no scheduled
+//      events, no time queries — callers pass the simulation timestamp.
+//      The same seed therefore produces byte-identical trace files, and
+//      enabling tracing cannot perturb the simulated trajectory.
+//   3. Bounded memory. A sink streaming to a file buffers a fixed number
+//      of records and flushes the buffer whenever it fills; a sink without
+//      a file keeps everything in memory (tests, analysis in-process).
+//
+// Records are fixed-size 40-byte POD rows (nanosecond timestamp, typed
+// event, node, two int arguments, two double arguments); the binary file is
+// a 16-byte header followed by raw records, and every record can also be
+// rendered as one JSON line (JSONL) for ad-hoc tooling.
+#pragma once
+
+#include <cstdint>
+#include <cstdio>
+#include <string>
+#include <vector>
+
+#include "util/time.hpp"
+
+namespace e2efa {
+
+/// Trace categories: one bit each, used by both the runtime filter
+/// (--trace-filter) and the compile-time mask.
+enum class TraceCat : std::uint32_t {
+  kMeta = 0,     ///< Run/flow/subflow structure (always useful; see below).
+  kPhy = 1,      ///< Frame tx / rx / collision / fault at the channel.
+  kMac = 2,      ///< Retry and retry-limit drop decisions.
+  kBackoff = 3,  ///< Backoff draws with the Q/R tag-lag terms.
+  kTag = 4,      ///< Per-subflow start / internal-finish / external-finish tags.
+  kVClock = 5,   ///< Node virtual-clock updates.
+  kQueue = 6,    ///< Queue enqueue / drop with post-op depth.
+  kFault = 7,    ///< Fault epoch transitions.
+  kLp = 8,       ///< Phase-1 (re-)solves and the resulting flow targets.
+  kFlow = 9,     ///< End-to-end deliveries per logical flow.
+};
+
+constexpr std::uint32_t trace_bit(TraceCat c) {
+  return 1u << static_cast<std::uint32_t>(c);
+}
+constexpr std::uint32_t kTraceAllCategories = 0x3ffu;
+
+#ifndef E2EFA_TRACE_COMPILED_CATEGORIES
+#define E2EFA_TRACE_COMPILED_CATEGORIES 0xffffffffu
+#endif
+/// Categories compiled into the binary; others cost nothing at runtime.
+constexpr std::uint32_t kTraceCompiledMask = E2EFA_TRACE_COMPILED_CATEGORIES;
+
+/// Typed trace events. The (a, b, v0, v1) payload meaning is per type and
+/// documented here once; to_string gives the JSONL name.
+enum class TraceEvent : std::uint16_t {
+  kRunMeta = 0,         ///< t=0. a=node count, b=flow count, v0=channel bps, v1=payload bytes.
+  kSubflowMeta = 1,     ///< t=0. node=source, a=subflow, b=flow, v0=hop index.
+  kFrameTx = 2,         ///< node=sender, a=FrameType, b=receiver, v0=bytes, v1=1 if RF-silent (crashed sender).
+  kFrameRx = 3,         ///< node=receiver, a=FrameType, b=sender, v0=bytes.
+  kFrameCollision = 4,  ///< node=receiver, b=sender, v0=bytes.
+  kFrameFaulted = 5,    ///< node=receiver, a=0 dead-node/link, 1 loss draw, b=sender.
+  kMacRetry = 6,        ///< node, a=retry count after this timeout.
+  kMacDrop = 7,         ///< node, a=subflow, b=retries at the limit.
+  kBackoffDraw = 8,     ///< node, a=slots drawn, b=retries, v0=Q slots, v1=last ACK R slots.
+  kTagStart = 9,        ///< node, a=subflow, v0=start tag S (µs).
+  kTagInternalFinish = 10,  ///< node, a=subflow, v0=internal finish tag I (µs).
+  kTagExternalFinish = 11,  ///< node, a=subflow, v0=external finish tag E (µs).
+  kVClockUpdate = 12,   ///< node, v0=new virtual clock, v1=previous (µs).
+  kQueueEnqueue = 13,   ///< node, a=subflow, b=queue depth after the enqueue.
+  kQueueDrop = 14,      ///< node, a=subflow, b=queue depth (full, drop-tail).
+  kFaultEpoch = 15,     ///< a=epoch index, v0=epoch start (seconds).
+  kLpResolve = 16,      ///< a=epoch index, b=LpStatus, v0=epoch start (seconds).
+  kFlowTarget = 17,     ///< a=logical flow, v0=target share (units of B); 0 = inactive/suspended.
+  kDelivery = 18,       ///< node=destination, a=logical flow, v0=end-to-end delay (s).
+};
+
+/// Category an event belongs to (drives filtering).
+constexpr TraceCat trace_category(TraceEvent e) {
+  switch (e) {
+    case TraceEvent::kRunMeta:
+    case TraceEvent::kSubflowMeta: return TraceCat::kMeta;
+    case TraceEvent::kFrameTx:
+    case TraceEvent::kFrameRx:
+    case TraceEvent::kFrameCollision:
+    case TraceEvent::kFrameFaulted: return TraceCat::kPhy;
+    case TraceEvent::kMacRetry:
+    case TraceEvent::kMacDrop: return TraceCat::kMac;
+    case TraceEvent::kBackoffDraw: return TraceCat::kBackoff;
+    case TraceEvent::kTagStart:
+    case TraceEvent::kTagInternalFinish:
+    case TraceEvent::kTagExternalFinish: return TraceCat::kTag;
+    case TraceEvent::kVClockUpdate: return TraceCat::kVClock;
+    case TraceEvent::kQueueEnqueue:
+    case TraceEvent::kQueueDrop: return TraceCat::kQueue;
+    case TraceEvent::kFaultEpoch: return TraceCat::kFault;
+    case TraceEvent::kLpResolve:
+    case TraceEvent::kFlowTarget: return TraceCat::kLp;
+    case TraceEvent::kDelivery: return TraceCat::kFlow;
+  }
+  return TraceCat::kMeta;
+}
+
+const char* to_string(TraceEvent e);
+const char* to_string(TraceCat c);
+
+/// One fixed-size trace row. The explicit `pad` keeps the on-disk bytes
+/// fully determined (fwrite of the struct must not leak uninitialized
+/// padding into the file).
+struct TraceRecord {
+  TimeNs t = 0;            ///< Simulation time, nanoseconds.
+  std::uint16_t type = 0;  ///< TraceEvent.
+  std::int16_t node = -1;  ///< Node the event happened at (-1: run-global).
+  std::int32_t a = -1;
+  std::int32_t b = -1;
+  std::uint32_t pad = 0;
+  double v0 = 0.0;
+  double v1 = 0.0;
+
+  TraceEvent event() const { return static_cast<TraceEvent>(type); }
+  bool operator==(const TraceRecord&) const = default;
+};
+static_assert(sizeof(TraceRecord) == 40, "trace record layout is part of the file format");
+
+/// Parses a comma-separated category list ("phy,backoff,queue"; "all" for
+/// everything) into a filter mask. kMeta is always included — structural
+/// records cost a handful of rows and every tool needs them. Returns false
+/// and fills *error on an unknown category name.
+bool parse_trace_filter(const std::string& spec, std::uint32_t* mask,
+                        std::string* error);
+
+class TraceSink {
+ public:
+  enum class Format { kBinary, kJsonl };
+
+  /// `buffer_records` bounds memory in streaming mode (the buffer flushes
+  /// to the file whenever it fills). In in-memory mode (no open()) the
+  /// buffer simply grows.
+  explicit TraceSink(std::size_t buffer_records = 1u << 16);
+  ~TraceSink();
+  TraceSink(const TraceSink&) = delete;
+  TraceSink& operator=(const TraceSink&) = delete;
+
+  /// Starts streaming records to `path`. Returns false and fills *error if
+  /// the file cannot be created. Call before the run; close() finalizes.
+  bool open(const std::string& path, Format format, std::string* error);
+  /// Flushes buffered records and closes the file (no-op in memory mode).
+  void close();
+
+  /// Runtime category filter (default: everything).
+  void set_filter(std::uint32_t mask) { mask_ = mask | trace_bit(TraceCat::kMeta); }
+  std::uint32_t filter() const { return mask_; }
+
+  /// True when the category passes both the compiled and the runtime mask.
+  /// Call sites whose record() *arguments* are expensive to compute (e.g.
+  /// the Q/R tag-lag sums) must test this first, so a filtered-out category
+  /// costs no more than a disabled sink.
+  template <TraceCat Cat>
+  bool enabled() const {
+    if constexpr ((kTraceCompiledMask & trace_bit(Cat)) == 0u)
+      return false;
+    else
+      return (mask_ & trace_bit(Cat)) != 0u;
+  }
+
+  /// Emits one record. The category is a template parameter so that
+  /// compile-time-excluded categories vanish entirely at the call site.
+  template <TraceCat Cat>
+  void record(TimeNs t, TraceEvent type, std::int16_t node, std::int32_t a,
+              std::int32_t b, double v0 = 0.0, double v1 = 0.0) {
+    if constexpr ((kTraceCompiledMask & trace_bit(Cat)) == 0u) {
+      (void)t; (void)type; (void)node; (void)a; (void)b; (void)v0; (void)v1;
+      return;
+    } else {
+      if ((mask_ & trace_bit(Cat)) == 0u) return;
+      push(TraceRecord{t, static_cast<std::uint16_t>(type), node, a, b, 0, v0, v1});
+    }
+  }
+
+  /// Records seen (post-filter) over the sink's lifetime.
+  std::uint64_t recorded() const { return recorded_; }
+
+  /// In-memory mode: the accumulated records. Streaming mode: the unflushed
+  /// tail only (use the file).
+  const std::vector<TraceRecord>& records() const { return buf_; }
+
+ private:
+  void push(const TraceRecord& r);
+  void flush();
+
+  std::vector<TraceRecord> buf_;
+  std::size_t capacity_;
+  std::uint32_t mask_ = kTraceAllCategories;
+  std::uint64_t recorded_ = 0;
+  std::FILE* file_ = nullptr;
+  Format format_ = Format::kBinary;
+};
+
+/// Renders one record as a single JSON line (no trailing newline).
+std::string trace_record_jsonl(const TraceRecord& r);
+
+/// Writes the binary-format header to an open file. Exposed for tests.
+void write_trace_header(std::FILE* f);
+
+/// Reads a binary trace file. Returns false and fills *error on a missing
+/// file, bad magic, or a truncated record tail.
+bool read_trace(const std::string& path, std::vector<TraceRecord>* out,
+                std::string* error);
+
+}  // namespace e2efa

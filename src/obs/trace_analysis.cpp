@@ -1,0 +1,229 @@
+#include "obs/trace_analysis.hpp"
+
+#include <algorithm>
+#include <cmath>
+#include <cstddef>
+#include <map>
+#include <sstream>
+
+#include "util/stats.hpp"
+#include "util/strings.hpp"
+#include "util/time.hpp"
+
+namespace e2efa {
+
+std::vector<std::size_t> ConvergenceReport::epoch_windows(int epoch) const {
+  std::vector<std::size_t> out;
+  if (epoch < 0 || static_cast<std::size_t>(epoch) >= epochs.size()) return out;
+  const double start = epochs[static_cast<std::size_t>(epoch)].start_s;
+  const double end = static_cast<std::size_t>(epoch) + 1 < epochs.size()
+                         ? epochs[static_cast<std::size_t>(epoch) + 1].start_s
+                         : std::numeric_limits<double>::infinity();
+  for (std::size_t w = 0; w < window_end_s.size(); ++w) {
+    const double w_start = window_end_s[w] - window_s;
+    // Half-window slack on the epoch start absorbs boundaries that fall
+    // mid-window; the window must end before the next epoch begins.
+    if (w_start >= start - 0.5 * window_s && window_end_s[w] <= end + 1e-9)
+      out.push_back(w);
+  }
+  return out;
+}
+
+double ConvergenceReport::steady_jain(int epoch) const {
+  const std::vector<std::size_t> ws = epoch_windows(epoch);
+  if (ws.empty()) return 0.0;
+  const std::size_t half = ws.size() / 2;
+  double sum = 0.0;
+  for (std::size_t i = half; i < ws.size(); ++i) sum += jain[ws[i]];
+  return sum / static_cast<double>(ws.size() - half);
+}
+
+ConvergenceReport analyze_convergence(const std::vector<TraceRecord>& records,
+                                      double window_s, double eps) {
+  ConvergenceReport rep;
+  rep.window_s = window_s;
+
+  TimeNs t_max = 0;
+  for (const TraceRecord& r : records) {
+    t_max = std::max(t_max, r.t);
+    switch (r.event()) {
+      case TraceEvent::kRunMeta:
+        rep.flow_count = r.b;
+        rep.channel_bps = r.v0;
+        rep.payload_bytes = r.v1;
+        break;
+      case TraceEvent::kLpResolve: {
+        ConvergenceReport::Epoch e;
+        e.index = r.a;
+        e.start_s = r.v0;
+        e.lp_status = r.b;
+        rep.epochs.push_back(std::move(e));
+        break;
+      }
+      case TraceEvent::kFlowTarget:
+        // Targets follow their epoch's kLpResolve record in emission order.
+        if (!rep.epochs.empty()) {
+          auto& targets = rep.epochs.back().target_share;
+          if (static_cast<std::size_t>(r.a) >= targets.size())
+            targets.resize(static_cast<std::size_t>(r.a) + 1, 0.0);
+          targets[static_cast<std::size_t>(r.a)] = r.v0;
+        }
+        break;
+      default:
+        break;
+    }
+  }
+  if (rep.flow_count <= 0 || window_s <= 0.0) return rep;
+
+  const std::size_t windows =
+      static_cast<std::size_t>(std::ceil(to_seconds(t_max) / window_s));
+  if (windows == 0) return rep;
+  std::vector<std::vector<std::int64_t>> counts(
+      windows, std::vector<std::int64_t>(static_cast<std::size_t>(rep.flow_count), 0));
+  for (const TraceRecord& r : records) {
+    if (r.event() != TraceEvent::kDelivery) continue;
+    const std::size_t w = std::min(
+        windows - 1,
+        static_cast<std::size_t>(to_seconds(r.t) / window_s));
+    if (r.a >= 0 && r.a < rep.flow_count)
+      counts[w][static_cast<std::size_t>(r.a)]++;
+  }
+
+  const double window_bits = window_s * rep.channel_bps;
+  for (std::size_t w = 0; w < windows; ++w) {
+    rep.window_end_s.push_back(static_cast<double>(w + 1) * window_s);
+    std::vector<double> share;
+    for (std::int64_t c : counts[w])
+      share.push_back(window_bits > 0.0
+                          ? static_cast<double>(c) * 8.0 * rep.payload_bytes /
+                                window_bits
+                          : 0.0);
+    rep.window_share.push_back(std::move(share));
+  }
+
+  // Per-window Jain: normalize by the targets of the epoch active at the
+  // window's end when targets exist; raw rates otherwise.
+  for (std::size_t w = 0; w < windows; ++w) {
+    const std::vector<double>* targets = nullptr;
+    for (const auto& e : rep.epochs)
+      if (e.start_s <= rep.window_end_s[w] - 0.5 * window_s + 1e-9 &&
+          !e.target_share.empty())
+        targets = &e.target_share;
+    if (targets != nullptr) {
+      rep.jain.push_back(
+          jain_fairness_index(normalized_by(rep.window_share[w], *targets)));
+    } else {
+      rep.jain.push_back(jain_fairness_index(rep.window_share[w]));
+    }
+  }
+
+  for (std::size_t ei = 0; ei < rep.epochs.size(); ++ei) {
+    const auto& e = rep.epochs[ei];
+    ConvergenceReport::EpochConvergence c;
+    c.epoch = e.index;
+    c.epoch_start_s = e.start_s;
+    for (std::size_t w : rep.epoch_windows(static_cast<int>(ei))) {
+      // Proportional test: MAC/RTS overhead scales every flow's absolute
+      // goodput well below its nominal share of B, so compare the
+      // *normalized* rates u_f = measured/target against their cross-flow
+      // mean — converged when the allocation's proportions match phase 1.
+      std::vector<double> u;
+      for (std::size_t f = 0; f < e.target_share.size(); ++f) {
+        const double target = e.target_share[f];
+        if (target <= 0.0) continue;  // suspended/inactive flow
+        const double got =
+            f < rep.window_share[w].size() ? rep.window_share[w][f] : 0.0;
+        u.push_back(got / target);
+      }
+      bool ok = !u.empty();
+      double mean = 0.0;
+      for (double x : u) mean += x;
+      if (ok) mean /= static_cast<double>(u.size());
+      if (mean <= 0.0) ok = false;
+      for (std::size_t f = 0; f < u.size() && ok; ++f)
+        if (std::abs(u[f] - mean) > eps * mean) ok = false;
+      if (ok) {
+        c.converged = true;
+        c.converged_s = rep.window_end_s[w];
+        c.time_to_converge_s = c.converged_s - e.start_s;
+        break;
+      }
+    }
+    rep.convergence.push_back(c);
+  }
+  return rep;
+}
+
+std::string format_flow_timeline(const std::vector<TraceRecord>& records,
+                                 int flow, std::size_t limit) {
+  std::ostringstream os;
+  std::size_t shown = 0;
+  std::vector<std::int64_t> delivered;
+  for (const TraceRecord& r : records) {
+    const TraceEvent e = r.event();
+    const bool milestone = e == TraceEvent::kLpResolve ||
+                           e == TraceEvent::kFaultEpoch ||
+                           e == TraceEvent::kFlowTarget ||
+                           e == TraceEvent::kMacDrop;
+    const bool is_delivery = e == TraceEvent::kDelivery;
+    if (!milestone && !is_delivery) continue;
+    const int rec_flow = is_delivery || e == TraceEvent::kFlowTarget ? r.a : -1;
+    if (flow >= 0 && rec_flow >= 0 && rec_flow != flow) continue;
+    if (is_delivery) {
+      const std::size_t f = static_cast<std::size_t>(r.a);
+      if (f >= delivered.size()) delivered.resize(f + 1, 0);
+      ++delivered[f];
+    }
+    if (limit != 0 && shown >= limit) continue;  // keep counting deliveries
+    ++shown;
+    os << strformat("%12.6f s  %-20s", to_seconds(r.t), to_string(e));
+    switch (e) {
+      case TraceEvent::kDelivery:
+        os << strformat(" flow %d at node %d, delay %.1f ms", r.a,
+                        static_cast<int>(r.node), r.v0 * 1e3);
+        break;
+      case TraceEvent::kFlowTarget:
+        os << strformat(" flow %d target %.4fB", r.a, r.v0);
+        break;
+      case TraceEvent::kLpResolve:
+        os << strformat(" epoch %d (lp status %d)", r.a, r.b);
+        break;
+      case TraceEvent::kFaultEpoch:
+        os << strformat(" epoch %d at %.2f s", r.a, r.v0);
+        break;
+      case TraceEvent::kMacDrop:
+        os << strformat(" node %d subflow %d after %d retries",
+                        static_cast<int>(r.node), r.a, r.b);
+        break;
+      default:
+        break;
+    }
+    os << "\n";
+  }
+  os << "\ndeliveries:";
+  for (std::size_t f = 0; f < delivered.size(); ++f) {
+    if (flow >= 0 && static_cast<int>(f) != flow) continue;
+    os << strformat(" flow %zu = %lld", f, static_cast<long long>(delivered[f]));
+  }
+  os << "\n";
+  return os.str();
+}
+
+std::string format_trace_summary(const std::vector<TraceRecord>& records) {
+  std::map<std::uint16_t, std::uint64_t> counts;
+  TimeNs t_max = 0;
+  for (const TraceRecord& r : records) {
+    ++counts[r.type];
+    t_max = std::max(t_max, r.t);
+  }
+  std::ostringstream os;
+  os << records.size() << " records, horizon " << strformat("%.6f", to_seconds(t_max))
+     << " s\n";
+  for (const auto& [type, n] : counts)
+    os << strformat("  %-20s %llu\n",
+                    to_string(static_cast<TraceEvent>(type)),
+                    static_cast<unsigned long long>(n));
+  return os.str();
+}
+
+}  // namespace e2efa

@@ -1,0 +1,79 @@
+// Offline analysis over a recorded trace: windowed per-flow rates, Jain
+// fairness trajectories, and per-epoch convergence times.
+//
+// Everything here is computed purely from trace records (kRunMeta for the
+// channel parameters, kLpResolve/kFlowTarget for the Phase-1 targets per
+// epoch, kDelivery for end-to-end completions), so trace_tool can reproduce
+// the runner's fairness metrics from a file alone.
+#pragma once
+
+#include <string>
+#include <vector>
+
+#include "obs/trace.hpp"
+
+namespace e2efa {
+
+struct ConvergenceReport {
+  double window_s = 0.0;
+  int flow_count = 0;
+  double channel_bps = 0.0;
+  double payload_bytes = 0.0;
+
+  /// Window end times; window w covers [w*window_s, (w+1)*window_s).
+  std::vector<double> window_end_s;
+  /// Measured end-to-end share of B per window per flow (bits delivered in
+  /// the window divided by window_s * channel_bps).
+  std::vector<std::vector<double>> window_share;
+  /// Jain's index per window over share-normalized rates (flows with a zero
+  /// target — suspended or inactive — are excluded from that window).
+  std::vector<double> jain;
+
+  /// One entry per LP (re-)solve, in time order.
+  struct Epoch {
+    int index = 0;
+    double start_s = 0.0;
+    int lp_status = 0;
+    std::vector<double> target_share;  ///< Per logical flow, units of B.
+  };
+  std::vector<Epoch> epochs;
+
+  /// Convergence of each epoch: the end time of the first window fully
+  /// inside the epoch where every flow's *normalized* rate (measured share
+  /// over target share) is within eps (relative) of the cross-flow mean
+  /// normalized rate — i.e. the allocation's proportions match the Phase-1
+  /// targets. (Absolute shares sit well below the nominal targets because
+  /// of RTS/CTS + header overhead, which scales all flows down uniformly.)
+  /// `converged == false` means no such window.
+  struct EpochConvergence {
+    int epoch = 0;
+    double epoch_start_s = 0.0;
+    double converged_s = 0.0;
+    double time_to_converge_s = 0.0;
+    bool converged = false;
+  };
+  std::vector<EpochConvergence> convergence;
+
+  /// Steady-state Jain estimate for an epoch: the mean over the last half
+  /// of the windows fully inside it (0 when the epoch has no windows).
+  double steady_jain(int epoch) const;
+  /// Windows (indices into `jain`) fully inside the given epoch.
+  std::vector<std::size_t> epoch_windows(int epoch) const;
+};
+
+/// Builds the report from trace records. Requires a kRunMeta record; the
+/// Lp category must have been recorded for targets/convergence (without it
+/// the report still carries raw windowed shares and an unnormalized Jain).
+/// `eps` is the relative tolerance for "within epsilon of r-hat".
+ConvergenceReport analyze_convergence(const std::vector<TraceRecord>& records,
+                                      double window_s, double eps);
+
+/// Human-readable per-flow timeline rows for trace_tool (delivery counts and
+/// milestone records for one flow, or all flows when flow < 0).
+std::string format_flow_timeline(const std::vector<TraceRecord>& records,
+                                 int flow, std::size_t limit);
+
+/// Per-event-type counts, as "name count" lines sorted by event id.
+std::string format_trace_summary(const std::vector<TraceRecord>& records);
+
+}  // namespace e2efa

@@ -89,9 +89,16 @@ TimeNs Channel::transmit(NodeId sender, Frame frame) {
   const bool silent = faults_ != nullptr && !faults_->node_up(sender);
   if (silent) {
     ++stats_.frames_faulted;
+    ++stats_.faulted_dead;
   } else {
     ++stats_.frames_transmitted;
+    stats_.airtime_ns += static_cast<std::uint64_t>(duration);
   }
+  if (trace_ != nullptr)
+    trace_->record<TraceCat::kPhy>(
+        now, TraceEvent::kFrameTx, static_cast<std::int16_t>(sender),
+        static_cast<std::int32_t>(frame.type), frame.rx,
+        static_cast<double>(frame.bytes), silent ? 1.0 : 0.0);
 
   // Half-duplex: transmitting kills any reception in progress at the sender.
   {
@@ -111,6 +118,10 @@ TimeNs Channel::transmit(NodeId sender, Frame frame) {
         // sync — it can interfere but never starts a decode.
         decodable = false;
         ++stats_.frames_faulted;
+        ++stats_.faulted_dead;
+        if (trace_ != nullptr)
+          trace_->record<TraceCat::kPhy>(now, TraceEvent::kFrameFaulted,
+                                         static_cast<std::int16_t>(r), 0, sender);
       }
       if (s.interferers == 0 && !transmitting(r) && !s.decoding && decodable) {
         s.decoding = true;
@@ -161,6 +172,11 @@ void Channel::finish_transmission(std::uint32_t slot) {
       if (ok && faults_ != nullptr) {
         if (!faults_->node_up(r) || !faults_->link_up(sender, r)) {
           ++stats_.frames_faulted;
+          ++stats_.faulted_dead;
+          if (trace_ != nullptr)
+            trace_->record<TraceCat::kPhy>(end, TraceEvent::kFrameFaulted,
+                                           static_cast<std::int16_t>(r), 0,
+                                           sender);
           update_busy(r);
           continue;  // deaf: the crashed/cut receiver sees nothing at all
         }
@@ -168,6 +184,11 @@ void Channel::finish_transmission(std::uint32_t slot) {
           // Channel-error checksum failure: the receiver reacts exactly as
           // to a collision (EIFS), but the loss is accounted separately.
           ++stats_.frames_faulted;
+          ++stats_.faulted_loss;
+          if (trace_ != nullptr)
+            trace_->record<TraceCat::kPhy>(end, TraceEvent::kFrameFaulted,
+                                           static_cast<std::int16_t>(r), 1,
+                                           sender);
           if (s.listener) s.listener->on_frame_corrupted(end);
           update_busy(r);
           continue;
@@ -175,10 +196,19 @@ void Channel::finish_transmission(std::uint32_t slot) {
       }
       if (ok) {
         ++stats_.frames_delivered;
+        if (trace_ != nullptr)
+          trace_->record<TraceCat::kPhy>(
+              end, TraceEvent::kFrameRx, static_cast<std::int16_t>(r),
+              static_cast<std::int32_t>(frame.type), sender,
+              static_cast<double>(frame.bytes));
         if (s.listener) s.listener->on_frame_received(frame);
       } else {
         ++stats_.frames_corrupted;
         stats_.bytes_corrupted += static_cast<std::uint64_t>(frame.bytes);
+        if (trace_ != nullptr)
+          trace_->record<TraceCat::kPhy>(end, TraceEvent::kFrameCollision,
+                                         static_cast<std::int16_t>(r), -1,
+                                         sender, static_cast<double>(frame.bytes));
         if (s.listener) s.listener->on_frame_corrupted(end);
       }
     }

@@ -16,6 +16,7 @@
 #include <optional>
 #include <vector>
 
+#include "obs/trace.hpp"
 #include "phy/frame.hpp"
 #include "sim/simulator.hpp"
 #include "topology/topology.hpp"
@@ -66,7 +67,16 @@ struct ChannelStats {
   std::uint64_t bytes_corrupted = 0;    ///< Airtime lost to collisions, bytes.
   /// Fault-injection losses: receptions killed by a dead node, a downed
   /// link, or a loss-model draw (not counted in frames_corrupted).
+  /// Always equals faulted_dead + faulted_loss.
   std::uint64_t frames_faulted = 0;
+  /// Fault losses from crashed nodes or downed links (RF-silent senders,
+  /// deaf receivers, cut links — including mid-frame transitions).
+  std::uint64_t faulted_dead = 0;
+  /// Fault losses from per-link Bernoulli error draws on lossy channels.
+  std::uint64_t faulted_loss = 0;
+  /// Total on-air transmission time (non-silent frames), nanoseconds.
+  /// Divided by wall time this is the channel utilization.
+  std::uint64_t airtime_ns = 0;
 };
 
 class Channel {
@@ -81,6 +91,10 @@ class Channel {
   /// outlive the channel. With no model installed the channel behaves — and
   /// draws randomness — exactly as before fault injection existed.
   void set_faults(FaultModel* faults) { faults_ = faults; }
+
+  /// Installs (or clears) the trace sink. Not owned; null (default) keeps
+  /// the pre-observability hot path: a single pointer test per emission.
+  void set_trace(TraceSink* trace) { trace_ = trace; }
 
   std::int64_t bps() const { return bps_; }
 
@@ -141,6 +155,7 @@ class Channel {
   Simulator& sim_;
   const Topology& topo_;
   FaultModel* faults_ = nullptr;
+  TraceSink* trace_ = nullptr;
   std::int64_t bps_;
   std::vector<NodeState> nodes_;
   std::uint64_t next_tx_id_ = 1;

@@ -44,6 +44,24 @@ void TagScheduler::assign_head_tags(Lane& lane) {
   lane.internal_finish =
       std::max(lane.start_tag, lane.last_internal_finish) + vt / lane.cfg.share;
   lane.external_finish = lane.start_tag + vt / node_share_;
+  if (trace_ != nullptr) {
+    trace_->record<TraceCat::kTag>(trace_now_, TraceEvent::kTagStart, trace_node_,
+                                   lane.cfg.subflow, -1, lane.start_tag);
+    trace_->record<TraceCat::kTag>(trace_now_, TraceEvent::kTagInternalFinish,
+                                   trace_node_, lane.cfg.subflow, -1,
+                                   lane.internal_finish);
+    trace_->record<TraceCat::kTag>(trace_now_, TraceEvent::kTagExternalFinish,
+                                   trace_node_, lane.cfg.subflow, -1,
+                                   lane.external_finish);
+  }
+}
+
+void TagScheduler::set_vclock(double v) {
+  if (v == vclock_) return;
+  if (trace_ != nullptr)
+    trace_->record<TraceCat::kVClock>(trace_now_, TraceEvent::kVClockUpdate,
+                                      trace_node_, -1, -1, v, vclock_);
+  vclock_ = v;
 }
 
 bool TagScheduler::enqueue(Packet p, TimeNs now) {
@@ -55,11 +73,14 @@ bool TagScheduler::enqueue(Packet p, TimeNs now) {
   // without an enormous apparent service deficit (which would otherwise
   // starve its neighbors until the tags converge). A grace window keeps
   // the sync open for nodes whose tables were still empty here.
+  trace_now_ = now;
   const bool was_empty = !has_packet();
   if (was_empty && (last_busy_ == kInvalidTime || now - last_busy_ > tag_horizon_)) {
+    double synced = vclock_;
     for (const auto& [subflow, e] : tag_table_) {
-      if (fresh(e, now)) vclock_ = std::max(vclock_, e.tag);
+      if (fresh(e, now)) synced = std::max(synced, e.tag);
     }
+    set_vclock(synced);
     // Keep the grace short: long enough for a neighbor to echo our first
     // packets (bootstrapping an empty table), short enough that a node
     // building up a legitimate service deficit stops adopting its
@@ -110,18 +131,20 @@ Packet TagScheduler::pop_selected() {
 }
 
 Packet TagScheduler::pop_success(TimeNs now) {
+  trace_now_ = now;
   select_head();
   // Advance the virtual clock by the external service time of the packet
   // just sent (step (4) of the algorithm): every successful transmission
   // consumes L/c of node-level virtual time.
   Lane& lane = lanes_[static_cast<std::size_t>(selected_)];
-  vclock_ = std::max(vclock_ + packet_vtime(lane.q.front()) / node_share_,
-                     lane.external_finish);
+  set_vclock(std::max(vclock_ + packet_vtime(lane.q.front()) / node_share_,
+                      lane.external_finish));
   last_busy_ = now;
   return pop_selected();
 }
 
 Packet TagScheduler::pop_drop(TimeNs now) {
+  trace_now_ = now;
   last_busy_ = now;
   return pop_selected();
 }
@@ -167,7 +190,8 @@ void TagScheduler::observe_tag(std::int32_t subflow, double tag, TimeNs now) {
   // Inside the join grace window, adopt larger overheard clocks (see the
   // header for why this cannot erase a legitimate fairness advantage).
   if (now <= sync_grace_until_ && tag > vclock_) {
-    vclock_ = tag;
+    trace_now_ = now;
+    set_vclock(tag);
     for (Lane& l : lanes_)
       if (!l.q.empty()) assign_head_tags(l);
   }

@@ -26,6 +26,7 @@
 #include <unordered_map>
 #include <vector>
 
+#include "obs/trace.hpp"
 #include "sched/tx_queue.hpp"
 
 namespace e2efa {
@@ -68,6 +69,18 @@ class TagScheduler : public TxQueue, public TagAgent {
   /// re-derived from the current virtual clock. share must be > 0.
   void update_share(std::int32_t subflow, double share);
 
+  /// Installs the trace sink for tag/vclock events at this node. The
+  /// scheduler's TxQueue interface carries `now` on every mutating call, so
+  /// emissions reuse the caller's timestamp (tracked in trace_now_); for the
+  /// runner's out-of-band update_share calls, note_time() refreshes it.
+  void set_trace(TraceSink* trace, std::int16_t node) {
+    trace_ = trace;
+    trace_node_ = node;
+  }
+  /// Refreshes the emission timestamp before calls that carry no `now`
+  /// (runner epoch-boundary update_share).
+  void note_time(TimeNs now) { trace_now_ = now; }
+
   /// Node share c = Σ_j c^j.
   double node_share() const { return node_share_; }
   /// Current virtual clock v (µs).
@@ -91,6 +104,7 @@ class TagScheduler : public TxQueue, public TagAgent {
   /// Virtual transmission time of a packet: payload airtime at B, in µs.
   double packet_vtime(const Packet& p) const;
   void assign_head_tags(Lane& lane);
+  void set_vclock(double v);  ///< vclock_ = v, tracing the change.
   void select_head() const;
   Lane& lane_of(std::int32_t subflow);
   Packet pop_selected();
@@ -125,6 +139,9 @@ class TagScheduler : public TxQueue, public TagAgent {
   TimeNs last_busy_ = kInvalidTime;
   TimeNs sync_grace_until_ = kInvalidTime;
   static constexpr TimeNs kInvalidTime = -1;
+  TraceSink* trace_ = nullptr;
+  std::int16_t trace_node_ = -1;
+  TimeNs trace_now_ = 0;  ///< Timestamp of the innermost mutating call.
 };
 
 }  // namespace e2efa

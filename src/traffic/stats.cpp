@@ -26,8 +26,8 @@ std::int64_t TrafficStats::total_suspended() const {
   return sum;
 }
 
-void TrafficStats::notify_end_to_end(FlowId f, TimeNs now) {
-  if (on_delivery_) on_delivery_(f, now);
+void TrafficStats::notify_end_to_end(FlowId f, TimeNs now, TimeNs delay) {
+  if (on_delivery_) on_delivery_(f, now, delay);
 }
 
 void TrafficStats::record_delay(FlowId f, TimeNs delay) {

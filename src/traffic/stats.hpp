@@ -50,11 +50,12 @@ class TrafficStats {
   std::int64_t total_suspended() const;
 
   /// Observer invoked on every deduplicated end-to-end delivery of flow f
-  /// (warm-up included) — the hook recovery-time measurement hangs off.
-  using DeliveryListener = std::function<void(FlowId, TimeNs)>;
+  /// (warm-up included) — the hook recovery-time measurement and delivery
+  /// tracing hang off. `delay` is the packet's end-to-end latency.
+  using DeliveryListener = std::function<void(FlowId, TimeNs, TimeNs delay)>;
   void set_delivery_listener(DeliveryListener fn) { on_delivery_ = std::move(fn); }
   /// Called by the node stack at the destination; fires the listener.
-  void notify_end_to_end(FlowId f, TimeNs now);
+  void notify_end_to_end(FlowId f, TimeNs now, TimeNs delay);
 
   /// Delivered packets on the j-th hop of flow f ("r_{i.j} · T").
   std::int64_t delivered(FlowId f, int hop) const;

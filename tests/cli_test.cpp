@@ -66,6 +66,59 @@ TEST(Cli, RejectsBadValues) {
   EXPECT_FALSE(parse({"--protocol", "tcp"}, &err).has_value());
 }
 
+TEST(Cli, ParsesObservabilityOptions) {
+  std::string err;
+  const auto opt = parse({"--trace", "run.jsonl", "--trace-filter", "phy,backoff",
+                          "--metrics-out", "m.jsonl", "--metrics-period", "0.5"},
+                         &err);
+  ASSERT_TRUE(opt.has_value()) << err;
+  EXPECT_EQ(opt->trace_path, "run.jsonl");
+  EXPECT_EQ(opt->trace_filter, "phy,backoff");
+  EXPECT_EQ(opt->metrics_out, "m.jsonl");
+  EXPECT_DOUBLE_EQ(opt->config.metrics_period_seconds, 0.5);
+}
+
+TEST(Cli, ObservabilityDisabledByDefault) {
+  std::string err;
+  const auto opt = parse({}, &err);
+  ASSERT_TRUE(opt.has_value());
+  EXPECT_TRUE(opt->trace_path.empty());
+  EXPECT_TRUE(opt->metrics_out.empty());
+  EXPECT_DOUBLE_EQ(opt->config.metrics_period_seconds, 0.0);
+}
+
+TEST(Cli, MetricsOutAloneDefaultsPeriodToOneSecond) {
+  std::string err;
+  const auto opt = parse({"--metrics-out", "m.jsonl"}, &err);
+  ASSERT_TRUE(opt.has_value()) << err;
+  EXPECT_DOUBLE_EQ(opt->config.metrics_period_seconds, 1.0);
+}
+
+TEST(Cli, RejectsTraceFilterWithoutTrace) {
+  std::string err;
+  EXPECT_FALSE(parse({"--trace-filter", "phy"}, &err).has_value());
+  EXPECT_NE(err.find("--trace-filter requires --trace"), std::string::npos);
+}
+
+TEST(Cli, RejectsMetricsPeriodWithoutMetricsOut) {
+  std::string err;
+  EXPECT_FALSE(parse({"--metrics-period", "1"}, &err).has_value());
+  EXPECT_NE(err.find("--metrics-period requires --metrics-out"),
+            std::string::npos);
+}
+
+TEST(Cli, RejectsBadObservabilityValues) {
+  std::string err;
+  EXPECT_FALSE(
+      parse({"--trace", "t", "--trace-filter", "nonsense"}, &err).has_value());
+  EXPECT_FALSE(
+      parse({"--metrics-out", "m", "--metrics-period", "0"}, &err).has_value());
+  EXPECT_FALSE(
+      parse({"--metrics-out", "m", "--metrics-period", "-2"}, &err).has_value());
+  EXPECT_FALSE(parse({"--trace", ""}, &err).has_value());
+  EXPECT_FALSE(parse({"--metrics-out", ""}, &err).has_value());
+}
+
 TEST(Cli, ProtocolAliases) {
   EXPECT_EQ(parse_protocol("802.11"), Protocol::k80211);
   EXPECT_EQ(parse_protocol("dcf"), Protocol::k80211);

@@ -135,7 +135,11 @@ void expect_identical(const RunResult& a, const RunResult& b) {
   EXPECT_EQ(a.link_failures, b.link_failures);
   EXPECT_EQ(a.epoch_end_to_end, b.epoch_end_to_end);
   EXPECT_EQ(a.channel.frames_faulted, b.channel.frames_faulted);
+  EXPECT_EQ(a.channel.faulted_dead, b.channel.faulted_dead);
+  EXPECT_EQ(a.channel.faulted_loss, b.channel.faulted_loss);
+  EXPECT_EQ(a.channel.airtime_ns, b.channel.airtime_ns);
   EXPECT_EQ(a.recoveries, b.recoveries);
+  EXPECT_EQ(a.metrics, b.metrics);
 }
 
 TEST(Determinism, SameSeedSameResultAllProtocols) {
@@ -144,6 +148,7 @@ TEST(Determinism, SameSeedSameResultAllProtocols) {
   cfg.sim_seconds = 2.0;
   cfg.seed = 7;
   cfg.sample_interval_seconds = 0.5;
+  cfg.metrics_period_seconds = 0.5;
   for (Protocol p : kAllProtocols) {
     SCOPED_TRACE(to_string(p));
     const RunResult a = run_scenario(sc, p, cfg);
@@ -156,6 +161,7 @@ TEST(Determinism, BatchRunnerMatchesSequential) {
   const Scenario sc = scenario1();
   SimConfig cfg;
   cfg.sim_seconds = 2.0;
+  cfg.metrics_period_seconds = 0.5;
   const std::vector<std::uint64_t> seeds = {1, 2, 3, 4, 5};
 
   std::vector<RunResult> sequential;
@@ -190,6 +196,7 @@ TEST(Determinism, FaultPlanRunsAreReproducible) {
   SimConfig cfg;
   cfg.sim_seconds = 2.0;
   cfg.sample_interval_seconds = 0.5;
+  cfg.metrics_period_seconds = 0.5;
   const std::vector<std::uint64_t> seeds = {7, 8, 9};
 
   for (Protocol p : kAllProtocols) {

@@ -1,0 +1,417 @@
+// Observability layer: trace sink (filtering, binary/JSONL round-trips,
+// byte-determinism), metrics registry + time series, the offline
+// convergence analysis, and the no-perturbation guarantee (tracing must not
+// change the simulated trajectory).
+#include <gtest/gtest.h>
+
+#include <cstdint>
+#include <cstdio>
+#include <fstream>
+#include <sstream>
+#include <string>
+#include <vector>
+
+#include "net/batch.hpp"
+#include "net/runner.hpp"
+#include "net/scenarios.hpp"
+#include "obs/metrics.hpp"
+#include "obs/trace.hpp"
+#include "obs/trace_analysis.hpp"
+#include "route/routing.hpp"
+#include "util/time.hpp"
+
+namespace e2efa {
+namespace {
+
+std::string tmp_path(const std::string& name) {
+  return testing::TempDir() + "e2efa_obs_" + name;
+}
+
+std::string file_bytes(const std::string& path) {
+  std::ifstream in(path, std::ios::binary);
+  EXPECT_TRUE(in.good()) << path;
+  std::ostringstream os;
+  os << in.rdbuf();
+  return os.str();
+}
+
+// ---------- trace sink ----------
+
+TEST(Trace, RecordsInMemory) {
+  TraceSink sink;
+  sink.record<TraceCat::kPhy>(from_seconds(1.5), TraceEvent::kFrameTx, 3, 1, 2,
+                              512.0, 0.0);
+  ASSERT_EQ(sink.records().size(), 1u);
+  const TraceRecord& r = sink.records()[0];
+  EXPECT_EQ(r.t, from_seconds(1.5));
+  EXPECT_EQ(r.event(), TraceEvent::kFrameTx);
+  EXPECT_EQ(r.node, 3);
+  EXPECT_EQ(r.a, 1);
+  EXPECT_EQ(r.b, 2);
+  EXPECT_DOUBLE_EQ(r.v0, 512.0);
+  EXPECT_EQ(sink.recorded(), 1u);
+}
+
+TEST(Trace, RuntimeFilterDropsExcludedCategories) {
+  TraceSink sink;
+  sink.set_filter(trace_bit(TraceCat::kQueue));
+  sink.record<TraceCat::kPhy>(0, TraceEvent::kFrameTx, 0, 0, 0);
+  sink.record<TraceCat::kQueue>(0, TraceEvent::kQueueEnqueue, 0, 0, 1);
+  // kMeta is always kept: structural records are cheap and every tool
+  // needs them.
+  sink.record<TraceCat::kMeta>(0, TraceEvent::kRunMeta, -1, 2, 2);
+  ASSERT_EQ(sink.records().size(), 2u);
+  EXPECT_EQ(sink.records()[0].event(), TraceEvent::kQueueEnqueue);
+  EXPECT_EQ(sink.records()[1].event(), TraceEvent::kRunMeta);
+}
+
+TEST(Trace, EveryEventHasACategoryAndName) {
+  for (std::uint16_t t = 0; t <= static_cast<std::uint16_t>(TraceEvent::kDelivery);
+       ++t) {
+    const TraceEvent e = static_cast<TraceEvent>(t);
+    EXPECT_NE(std::string(to_string(e)), "");
+    EXPECT_NE(trace_bit(trace_category(e)) & kTraceAllCategories, 0u);
+  }
+}
+
+TEST(Trace, ParseFilter) {
+  std::uint32_t mask = 0;
+  std::string err;
+  ASSERT_TRUE(parse_trace_filter("phy, backoff,queue", &mask, &err)) << err;
+  EXPECT_EQ(mask, trace_bit(TraceCat::kMeta) | trace_bit(TraceCat::kPhy) |
+                      trace_bit(TraceCat::kBackoff) | trace_bit(TraceCat::kQueue));
+  ASSERT_TRUE(parse_trace_filter("all", &mask, &err));
+  EXPECT_EQ(mask, kTraceAllCategories);
+  // kMeta rides along even when not asked for.
+  ASSERT_TRUE(parse_trace_filter("lp", &mask, &err));
+  EXPECT_NE(mask & trace_bit(TraceCat::kMeta), 0u);
+  EXPECT_FALSE(parse_trace_filter("phy,bogus", &mask, &err));
+  EXPECT_NE(err.find("bogus"), std::string::npos);
+}
+
+TEST(Trace, BinaryRoundTrip) {
+  const std::string path = tmp_path("roundtrip.trace");
+  std::vector<TraceRecord> written;
+  {
+    TraceSink sink(/*buffer_records=*/4);  // force mid-run flushes
+    std::string err;
+    ASSERT_TRUE(sink.open(path, TraceSink::Format::kBinary, &err)) << err;
+    for (int i = 0; i < 11; ++i) {
+      sink.record<TraceCat::kPhy>(1000 * i, TraceEvent::kFrameRx,
+                                  static_cast<std::int16_t>(i), i, i + 1,
+                                  0.5 * i, -1.25 * i);
+      written.push_back(TraceRecord{1000 * i, static_cast<std::uint16_t>(TraceEvent::kFrameRx),
+                                    static_cast<std::int16_t>(i), i, i + 1, 0,
+                                    0.5 * i, -1.25 * i});
+    }
+    sink.close();
+  }
+  std::vector<TraceRecord> read;
+  std::string err;
+  ASSERT_TRUE(read_trace(path, &read, &err)) << err;
+  EXPECT_EQ(read, written);
+  std::remove(path.c_str());
+}
+
+TEST(Trace, ReadRejectsGarbageAndTruncation) {
+  const std::string path = tmp_path("bad.trace");
+  std::vector<TraceRecord> out;
+  std::string err;
+  EXPECT_FALSE(read_trace(tmp_path("does_not_exist"), &out, &err));
+
+  {
+    std::ofstream f(path, std::ios::binary);
+    f << "not a trace file at all";
+  }
+  EXPECT_FALSE(read_trace(path, &out, &err));
+
+  {
+    TraceSink sink;
+    ASSERT_TRUE(sink.open(path, TraceSink::Format::kBinary, &err)) << err;
+    sink.record<TraceCat::kPhy>(1, TraceEvent::kFrameTx, 0, 0, 0);
+    sink.close();
+    // Chop mid-record.
+    std::string bytes = file_bytes(path);
+    std::ofstream f(path, std::ios::binary | std::ios::trunc);
+    f.write(bytes.data(), static_cast<std::streamsize>(bytes.size() - 7));
+  }
+  EXPECT_FALSE(read_trace(path, &out, &err));
+  std::remove(path.c_str());
+}
+
+TEST(Trace, JsonlRendering) {
+  TraceRecord r{from_seconds(2.0), static_cast<std::uint16_t>(TraceEvent::kBackoffDraw),
+                4, 17, 3, 0, 12.0, 7.5};
+  const std::string line = trace_record_jsonl(r);
+  EXPECT_NE(line.find("\"ev\":\"backoff_draw\""), std::string::npos);
+  EXPECT_NE(line.find("\"node\":4"), std::string::npos);
+  EXPECT_NE(line.find("\"a\":17"), std::string::npos);
+  EXPECT_EQ(line.find('\n'), std::string::npos);
+}
+
+// ---------- metrics registry ----------
+
+TEST(Metrics, RegistryReadsLiveCounters) {
+  std::uint64_t u = 5;
+  std::int64_t i = -3;
+  MetricsRegistry reg;
+  reg.add_counter("u", 0, -1, &u);
+  reg.add_counter("i", 1, -1, &i);
+  reg.add_gauge("g", 2, -1, [] { return 2.5; });
+  EXPECT_DOUBLE_EQ(reg.find("u", 0)->value(), 5.0);
+  u = 9;  // registry must see the update without re-registration
+  EXPECT_DOUBLE_EQ(reg.find("u", 0)->value(), 9.0);
+  EXPECT_DOUBLE_EQ(reg.find("i", 1)->value(), -3.0);
+  EXPECT_DOUBLE_EQ(reg.find("g", 2)->value(), 2.5);
+  EXPECT_EQ(reg.find("missing"), nullptr);
+  EXPECT_DOUBLE_EQ(reg.sum("u"), 9.0);
+  EXPECT_EQ(reg.values("g"), std::vector<double>{2.5});
+}
+
+TEST(Metrics, JsonlWriteIsByteDeterministic) {
+  MetricsTimeSeries ts;
+  ts.period_s = 0.5;
+  MetricsSample s;
+  s.t_s = 0.5;
+  s.flow_goodput_pps = {100.0, 51.0 / 7.0};
+  s.jain = 0.987654321;
+  s.queue_depth_p95 = 12.0;
+  ts.samples.push_back(s);
+
+  const std::string p1 = tmp_path("m1.jsonl"), p2 = tmp_path("m2.jsonl");
+  std::string err;
+  ASSERT_TRUE(write_metrics_jsonl(ts, p1, &err)) << err;
+  ASSERT_TRUE(write_metrics_jsonl(ts, p2, &err)) << err;
+  EXPECT_EQ(file_bytes(p1), file_bytes(p2));
+  EXPECT_NE(file_bytes(p1).find("\"jain\":"), std::string::npos);
+  std::remove(p1.c_str());
+  std::remove(p2.c_str());
+}
+
+TEST(Metrics, SeedPathInsertsTagBeforeExtension) {
+  EXPECT_EQ(metrics_seed_path("out/m.jsonl", 7), "out/m.seed7.jsonl");
+  EXPECT_EQ(metrics_seed_path("m.jsonl", 12), "m.seed12.jsonl");
+  EXPECT_EQ(metrics_seed_path("metrics", 3), "metrics.seed3");
+  // A dot in a directory name is not an extension.
+  EXPECT_EQ(metrics_seed_path("out.d/metrics", 3), "out.d/metrics.seed3");
+}
+
+// ---------- end-to-end: tracing a real run ----------
+
+SimConfig obs_config(double seconds) {
+  SimConfig cfg;
+  cfg.sim_seconds = seconds;
+  cfg.seed = 7;
+  return cfg;
+}
+
+TEST(ObsIntegration, TracingDoesNotPerturbTheRun) {
+  const Scenario sc = scenario1();
+  const SimConfig plain = obs_config(2.0);
+  const RunResult a = run_scenario(sc, Protocol::k2paCentralized, plain);
+
+  SimConfig traced = plain;
+  TraceSink sink;
+  traced.trace = &sink;
+  traced.metrics_period_seconds = 0.5;
+  const RunResult b = run_scenario(sc, Protocol::k2paCentralized, traced);
+
+  EXPECT_GT(sink.recorded(), 0u);
+  EXPECT_EQ(a.delivered_per_subflow, b.delivered_per_subflow);
+  EXPECT_EQ(a.end_to_end_per_flow, b.end_to_end_per_flow);
+  EXPECT_EQ(a.lost_packets, b.lost_packets);
+  EXPECT_EQ(a.dropped_queue, b.dropped_queue);
+  EXPECT_EQ(a.dropped_mac, b.dropped_mac);
+  EXPECT_EQ(a.channel.frames_transmitted, b.channel.frames_transmitted);
+  EXPECT_EQ(a.channel.frames_corrupted, b.channel.frames_corrupted);
+  EXPECT_EQ(a.channel.airtime_ns, b.channel.airtime_ns);
+  EXPECT_EQ(a.mean_delay_s, b.mean_delay_s);
+}
+
+TEST(ObsIntegration, SameSeedWritesByteIdenticalTraceFiles) {
+  const Scenario sc = scenario1();
+  const std::string p1 = tmp_path("det1.trace"), p2 = tmp_path("det2.trace");
+  for (const std::string& path : {p1, p2}) {
+    TraceSink sink;
+    std::string err;
+    ASSERT_TRUE(sink.open(path, TraceSink::Format::kBinary, &err)) << err;
+    SimConfig cfg = obs_config(1.0);
+    cfg.trace = &sink;
+    run_scenario(sc, Protocol::k2paCentralized, cfg);
+    sink.close();
+  }
+  const std::string b1 = file_bytes(p1);
+  EXPECT_GT(b1.size(), 16u);
+  EXPECT_EQ(b1, file_bytes(p2));
+  std::remove(p1.c_str());
+  std::remove(p2.c_str());
+}
+
+TEST(ObsIntegration, FilterKeepsOnlyRequestedCategories) {
+  const Scenario sc = scenario1();
+  TraceSink all, phy_only;
+  std::uint32_t mask = 0;
+  std::string err;
+  ASSERT_TRUE(parse_trace_filter("phy", &mask, &err));
+  phy_only.set_filter(mask);
+  for (TraceSink* sink : {&all, &phy_only}) {
+    SimConfig cfg = obs_config(1.0);
+    cfg.trace = sink;
+    run_scenario(sc, Protocol::k2paCentralized, cfg);
+  }
+  EXPECT_LT(phy_only.recorded(), all.recorded());
+  for (const TraceRecord& r : phy_only.records()) {
+    const TraceCat c = trace_category(r.event());
+    EXPECT_TRUE(c == TraceCat::kPhy || c == TraceCat::kMeta)
+        << to_string(r.event());
+  }
+}
+
+TEST(ObsIntegration, MetricsSamplesCoverTheRunDeterministically) {
+  const Scenario sc = scenario1();
+  SimConfig cfg = obs_config(2.0);
+  cfg.metrics_period_seconds = 0.5;
+  const RunResult a = run_scenario(sc, Protocol::k2paCentralized, cfg);
+  const RunResult b = run_scenario(sc, Protocol::k2paCentralized, cfg);
+  ASSERT_EQ(a.metrics.samples.size(), 4u);
+  EXPECT_DOUBLE_EQ(a.metrics.period_s, 0.5);
+  EXPECT_TRUE(a.metrics == b.metrics);
+  for (const MetricsSample& s : a.metrics.samples) {
+    ASSERT_EQ(s.flow_goodput_pps.size(), 2u);
+    EXPECT_GT(s.jain, 0.0);
+    EXPECT_LE(s.jain, 1.0 + 1e-12);
+    EXPECT_GE(s.queue_depth_p95, s.queue_depth_p50);
+    EXPECT_GE(s.queue_depth_max, s.queue_depth_p95);
+    EXPECT_GT(s.channel_utilization, 0.0);
+  }
+}
+
+TEST(ObsIntegration, BatchRunnerWritesOneMetricsFilePerSeed) {
+  const Scenario sc = scenario1();
+  SimConfig cfg = obs_config(1.0);
+  cfg.metrics_period_seconds = 0.5;
+  const std::vector<std::uint64_t> seeds = {1, 2};
+
+  // write_metrics_jsonl does not create directories; use flat paths.
+  const std::string flat1 = tmp_path("batch_j1_m.jsonl");
+  const std::string flat2 = tmp_path("batch_j2_m.jsonl");
+
+  std::vector<RunResult> r1, r2;
+  std::string err;
+  ASSERT_TRUE(BatchRunner(1).run_seeds_with_metrics(
+      sc, Protocol::k2paCentralized, cfg, seeds, flat1, &r1, &err))
+      << err;
+  ASSERT_TRUE(BatchRunner(2).run_seeds_with_metrics(
+      sc, Protocol::k2paCentralized, cfg, seeds, flat2, &r2, &err))
+      << err;
+
+  for (std::uint64_t s : seeds) {
+    const std::string f1 = metrics_seed_path(flat1, s);
+    const std::string f2 = metrics_seed_path(flat2, s);
+    // Thread count must not change a single byte of any seed's series.
+    EXPECT_EQ(file_bytes(f1), file_bytes(f2)) << "seed " << s;
+    std::remove(f1.c_str());
+    std::remove(f2.c_str());
+  }
+}
+
+// ---------- convergence analysis ----------
+
+TEST(Convergence, SyntheticTraceConvergesWhenProportionsMatch) {
+  // 1 Mbps channel, 125-byte payload: one packet = 1000 bits, so with 1-s
+  // windows share = count / 1000.
+  std::vector<TraceRecord> rec;
+  auto push = [&rec](double t_s, TraceEvent e, int node, int a, int b,
+                     double v0, double v1) {
+    rec.push_back(TraceRecord{from_seconds(t_s), static_cast<std::uint16_t>(e),
+                              static_cast<std::int16_t>(node), a, b, 0, v0, v1});
+  };
+  push(0, TraceEvent::kRunMeta, -1, 2, 2, 1e6, 125);
+  push(0, TraceEvent::kLpResolve, -1, 0, 0, 0, 0);
+  push(0, TraceEvent::kFlowTarget, -1, 0, 0, 0.5, 0);
+  push(0, TraceEvent::kFlowTarget, -1, 1, 0, 0.25, 0);
+  // Window 0 inverts the 2:1 target split; windows 1..3 match it.
+  auto deliveries = [&push](double t0, int flow, int count) {
+    for (int i = 0; i < count; ++i)
+      push(t0 + 1e-4 * i, TraceEvent::kDelivery, 1, flow, 0, 0.01, 0);
+  };
+  deliveries(0.0, 0, 100);
+  deliveries(0.0, 1, 400);
+  for (int w = 1; w <= 3; ++w) {
+    deliveries(w * 1.0, 0, 400);
+    deliveries(w * 1.0, 1, 200);
+  }
+
+  const ConvergenceReport rep = analyze_convergence(rec, 1.0, 0.1);
+  EXPECT_EQ(rep.flow_count, 2);
+  ASSERT_EQ(rep.epochs.size(), 1u);
+  EXPECT_EQ(rep.epochs[0].target_share, (std::vector<double>{0.5, 0.25}));
+  ASSERT_EQ(rep.window_share.size(), 4u);
+  EXPECT_NEAR(rep.window_share[1][0], 0.4, 1e-9);
+  EXPECT_NEAR(rep.window_share[1][1], 0.2, 1e-9);
+  EXPECT_LT(rep.jain[0], 0.8);
+  EXPECT_NEAR(rep.jain[1], 1.0, 1e-9);
+  ASSERT_EQ(rep.convergence.size(), 1u);
+  ASSERT_TRUE(rep.convergence[0].converged);
+  EXPECT_DOUBLE_EQ(rep.convergence[0].converged_s, 2.0);
+  EXPECT_GT(rep.steady_jain(0), 0.99);
+}
+
+TEST(Convergence, RealRunConvergesAndJainReachesSteadyState) {
+  const Scenario sc = scenario1();
+  TraceSink sink;
+  SimConfig cfg = obs_config(10.0);
+  cfg.trace = &sink;
+  run_scenario(sc, Protocol::k2paCentralized, cfg);
+
+  const ConvergenceReport rep = analyze_convergence(sink.records(), 2.0, 0.25);
+  ASSERT_EQ(rep.epochs.size(), 1u);
+  ASSERT_EQ(rep.convergence.size(), 1u);
+  EXPECT_TRUE(rep.convergence[0].converged);
+  EXPECT_GT(rep.convergence[0].time_to_converge_s, 0.0);
+  EXPECT_LT(rep.convergence[0].time_to_converge_s, 10.0);
+
+  const double steady = rep.steady_jain(0);
+  EXPECT_GT(steady, 0.9);
+  // The trajectory must actually reach (not just approach) the steady band.
+  bool reached = false;
+  for (double j : rep.jain) reached = reached || j >= 0.95 * steady;
+  EXPECT_TRUE(reached);
+}
+
+TEST(Convergence, ReconvergesAfterFaultEpochs) {
+  // The partition_heal diamond (examples/partition_heal.cpp): A→B→D with C
+  // as the redundant relay. B crashes at 4 s (reroute via C), C crashes at
+  // 8 s (partition, flow suspended), B recovers at 12 s (heal). Every
+  // re-solved epoch with a positive target must re-converge; the partition
+  // epoch must not.
+  Scenario sc{"partition-heal",
+              Topology({{0, 0}, {200, 150}, {200, -150}, {400, 0}}, 250.0),
+              {},
+              {}};
+  sc.flow_specs.push_back(make_routed_flow(sc.topo, 0, 3));
+  sc.faults.node_down(1, 4.0);
+  sc.faults.node_down(2, 8.0);
+  sc.faults.node_up(1, 12.0);
+
+  TraceSink sink;
+  SimConfig cfg = obs_config(18.0);
+  cfg.trace = &sink;
+  run_scenario(sc, Protocol::k2paCentralized, cfg);
+
+  const ConvergenceReport rep = analyze_convergence(sink.records(), 2.0, 0.3);
+  ASSERT_EQ(rep.epochs.size(), 4u);
+  EXPECT_GT(rep.epochs[1].target_share[0], 0.0);   // rerouted via C
+  EXPECT_DOUBLE_EQ(rep.epochs[2].target_share[0], 0.0);  // partitioned
+  EXPECT_GT(rep.epochs[3].target_share[0], 0.0);   // healed
+  ASSERT_EQ(rep.convergence.size(), 4u);
+  EXPECT_TRUE(rep.convergence[0].converged);
+  EXPECT_TRUE(rep.convergence[1].converged);
+  EXPECT_FALSE(rep.convergence[2].converged);  // nothing to converge to
+  EXPECT_TRUE(rep.convergence[3].converged);
+  EXPECT_GE(rep.convergence[3].converged_s, 12.0);
+  EXPECT_GT(rep.convergence[3].time_to_converge_s, 0.0);
+}
+
+}  // namespace
+}  // namespace e2efa

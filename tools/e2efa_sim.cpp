@@ -3,11 +3,24 @@
 //   e2efa_sim --scenario 2 --protocol 2pa-d --seconds 120 --shares
 //   e2efa_sim --scenario chain:6 --protocol 802.11
 //   e2efa_sim --scenario random:20 --protocol maxmin --seed 7
+//   e2efa_sim --scenario 1 --trace run.trace --trace-filter lp,flow
+//             --metrics-out metrics.jsonl --metrics-period 0.5  (one line)
+#include <cstdint>
 #include <iostream>
+#include <string>
 
 #include "net/cli.hpp"
+#include "obs/metrics.hpp"
+#include "obs/trace.hpp"
 
 using namespace e2efa;
+
+namespace {
+bool ends_with(const std::string& s, const std::string& suffix) {
+  return s.size() >= suffix.size() &&
+         s.compare(s.size() - suffix.size(), suffix.size(), suffix) == 0;
+}
+}  // namespace
 
 int main(int argc, char** argv) {
   std::string error;
@@ -21,8 +34,44 @@ int main(int argc, char** argv) {
     Rng rng(opt->config.seed);
     Scenario sc = make_named_scenario(opt->scenario, rng);
     if (opt->default_loss > 0.0) sc.faults.set_default_loss(opt->default_loss);
-    const RunResult r = run_scenario(sc, opt->protocol, opt->config);
-    std::cout << format_run_result(sc, r, opt->config, opt->list_shares);
+
+    SimConfig cfg = opt->config;
+    TraceSink trace;
+    if (!opt->trace_path.empty()) {
+      if (!opt->trace_filter.empty()) {
+        std::uint32_t mask = 0;
+        if (!parse_trace_filter(opt->trace_filter, &mask, &error)) {
+          std::cerr << "error: " << error << "\n";
+          return 2;
+        }
+        trace.set_filter(mask);
+      }
+      const TraceSink::Format format = ends_with(opt->trace_path, ".jsonl")
+                                           ? TraceSink::Format::kJsonl
+                                           : TraceSink::Format::kBinary;
+      if (!trace.open(opt->trace_path, format, &error)) {
+        std::cerr << "error: " << error << "\n";
+        return 1;
+      }
+      cfg.trace = &trace;
+    }
+
+    const RunResult r = run_scenario(sc, opt->protocol, cfg);
+
+    if (cfg.trace != nullptr) {
+      trace.close();
+      std::cerr << "trace: " << trace.recorded() << " records -> "
+                << opt->trace_path << "\n";
+    }
+    if (!opt->metrics_out.empty()) {
+      if (!write_metrics_jsonl(r.metrics, opt->metrics_out, &error)) {
+        std::cerr << "error: " << error << "\n";
+        return 1;
+      }
+      std::cerr << "metrics: " << r.metrics.samples.size() << " samples -> "
+                << opt->metrics_out << "\n";
+    }
+    std::cout << format_run_result(sc, r, cfg, opt->list_shares);
   } catch (const ContractViolation& e) {
     std::cerr << "error: " << e.what() << "\n";
     return 1;

@@ -1,0 +1,157 @@
+// trace-tool — offline analysis over binary traces written by e2efa-sim
+// (--trace PATH without a .jsonl suffix).
+//
+//   trace-tool summary run.trace
+//   trace-tool jsonl run.trace                # binary -> JSONL on stdout
+//   trace-tool timeline run.trace --flow 0 --limit 40
+//   trace-tool convergence run.trace --window 1 --eps 0.2
+//
+// `convergence` reconstructs the runner's fairness metrics from the trace
+// alone: per-window end-to-end shares, a share-normalized Jain trajectory,
+// and the time each LP epoch's allocation first lands within eps of its
+// Phase-1 targets. It needs the lp and flow categories in the trace (the
+// default --trace-filter keeps them).
+#include <cerrno>
+#include <cstdio>
+#include <cstdlib>
+#include <cstring>
+#include <iostream>
+#include <string>
+#include <vector>
+
+#include "obs/trace.hpp"
+#include "obs/trace_analysis.hpp"
+#include "util/strings.hpp"
+
+using namespace e2efa;
+
+namespace {
+
+[[noreturn]] void usage(const std::string& error) {
+  if (!error.empty()) std::fprintf(stderr, "trace-tool: %s\n", error.c_str());
+  std::fprintf(stderr,
+               "usage: trace-tool COMMAND TRACE [options]\n"
+               "commands:\n"
+               "  summary      per-event-type record counts\n"
+               "  jsonl        dump the binary trace as JSONL on stdout\n"
+               "  timeline     per-flow delivery/milestone timeline\n"
+               "                 --flow F   only flow F (default: all flows)\n"
+               "                 --limit N  at most N rows (default 50)\n"
+               "  convergence  windowed shares, Jain trajectory, and per-epoch\n"
+               "               convergence times against the Phase-1 targets\n"
+               "                 --window W  window seconds (W > 0; default 1)\n"
+               "                 --eps E     relative tolerance (default 0.2)\n");
+  std::exit(2);
+}
+
+double parse_double(const std::string& key, const char* text) {
+  errno = 0;
+  char* end = nullptr;
+  const double v = std::strtod(text, &end);
+  if (errno != 0 || end == text || *end != '\0')
+    usage(key + ": malformed number '" + std::string(text) + "'");
+  return v;
+}
+
+long long parse_int(const std::string& key, const char* text) {
+  errno = 0;
+  char* end = nullptr;
+  const long long v = std::strtoll(text, &end, 10);
+  if (errno != 0 || end == text || *end != '\0')
+    usage(key + ": malformed integer '" + std::string(text) + "'");
+  return v;
+}
+
+void print_convergence(const ConvergenceReport& rep) {
+  std::printf("flows %d, channel %.0f bps, payload %.0f bytes, window %g s\n",
+              rep.flow_count, rep.channel_bps, rep.payload_bytes, rep.window_s);
+  for (const ConvergenceReport::Epoch& e : rep.epochs) {
+    std::printf("epoch %d @%.2f s: targets", e.index, e.start_s);
+    for (double t : e.target_share) std::printf(" %.4fB", t);
+    std::printf("\n");
+  }
+  std::printf("\nwindow end (s) | jain | per-flow share of B\n");
+  for (std::size_t w = 0; w < rep.window_end_s.size(); ++w) {
+    std::printf("%14.2f | %.4f |", rep.window_end_s[w], rep.jain[w]);
+    for (double s : rep.window_share[w]) std::printf(" %.4f", s);
+    std::printf("\n");
+  }
+  std::printf("\n");
+  for (const ConvergenceReport::EpochConvergence& c : rep.convergence) {
+    if (c.converged)
+      std::printf(
+          "epoch %d (start %.2f s): converged at %.2f s "
+          "(time to converge %.2f s), steady jain %.4f\n",
+          c.epoch, c.epoch_start_s, c.converged_s, c.time_to_converge_s,
+          rep.steady_jain(c.epoch));
+    else
+      std::printf("epoch %d (start %.2f s): did not converge, steady jain %.4f\n",
+                  c.epoch, c.epoch_start_s, rep.steady_jain(c.epoch));
+  }
+}
+
+}  // namespace
+
+int main(int argc, char** argv) {
+  if (argc >= 2 && (std::strcmp(argv[1], "--help") == 0 ||
+                    std::strcmp(argv[1], "-h") == 0))
+    usage("");
+  if (argc < 3) usage("need a command and a trace file");
+  const std::string command = argv[1];
+  const std::string path = argv[2];
+  if (command != "summary" && command != "jsonl" && command != "timeline" &&
+      command != "convergence")
+    usage("unknown command: " + command);
+
+  int flow = -1;
+  long long limit = 50;
+  double window_s = 1.0;
+  double eps = 0.2;
+  for (int i = 3; i < argc; ++i) {
+    const std::string key = argv[i];
+    if (key == "--help" || key == "-h") usage("");
+    if (i + 1 >= argc) usage(key + ": missing value");
+    const char* val = argv[++i];
+    if (key == "--flow") {
+      if (command != "timeline") usage("--flow only applies to timeline");
+      flow = static_cast<int>(parse_int(key, val));
+      if (flow < 0) usage("--flow must be >= 0");
+    } else if (key == "--limit") {
+      if (command != "timeline") usage("--limit only applies to timeline");
+      limit = parse_int(key, val);
+      if (limit < 1) usage("--limit must be >= 1");
+    } else if (key == "--window") {
+      if (command != "convergence") usage("--window only applies to convergence");
+      window_s = parse_double(key, val);
+      if (window_s <= 0.0) usage("--window must be > 0");
+    } else if (key == "--eps") {
+      if (command != "convergence") usage("--eps only applies to convergence");
+      eps = parse_double(key, val);
+      if (eps <= 0.0) usage("--eps must be > 0");
+    } else {
+      usage("unknown option: " + key);
+    }
+  }
+
+  std::vector<TraceRecord> records;
+  std::string error;
+  if (!read_trace(path, &records, &error)) {
+    std::fprintf(stderr, "trace-tool: %s\n", error.c_str());
+    return 1;
+  }
+
+  if (command == "summary") {
+    std::printf("%zu records\n%s", records.size(),
+                format_trace_summary(records).c_str());
+  } else if (command == "jsonl") {
+    for (const TraceRecord& r : records)
+      std::printf("%s\n", trace_record_jsonl(r).c_str());
+  } else if (command == "timeline") {
+    std::printf("%s", format_flow_timeline(records, flow,
+                                           static_cast<std::size_t>(limit))
+                          .c_str());
+  } else {
+    print_convergence(analyze_convergence(records, window_s, eps));
+  }
+  return 0;
+}
