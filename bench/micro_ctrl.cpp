@@ -1,0 +1,217 @@
+// In-band control plane tracker: convergence time and control overhead of
+// the 2PA-Dctrl protocol on the paper's two evaluation topologies
+// (scenario 1 / scenario 2 — the Table I–III networks), recorded to
+// BENCH_ctrl.json and *guarded* against regression.
+//
+// Both figures are simulation-deterministic (fixed seed, no wall clock):
+//
+//   convergence_s   the last simulated instant any TagScheduler lane share
+//                   changed (kCtrlRate trace records) — after it, the
+//                   in-band allocation is the steady state, which must
+//                   match the distributed_allocate() oracle within 5%.
+//   overhead_ratio  control wire bytes (dedicated kCtrl frames) divided by
+//                   the data payload bytes the network delivered per hop.
+//
+// The guard fails (exit 1) when either figure regresses more than
+// --tolerance (default 10%) above the recorded baseline. Baselines were
+// captured at the default horizon/seed; running with a different --seconds
+// records the figures but skips the guard.
+#include <algorithm>
+#include <cerrno>
+#include <cstdint>
+#include <cstdio>
+#include <cstdlib>
+#include <cstring>
+#include <string>
+#include <vector>
+
+#include "net/runner.hpp"
+#include "net/scenarios.hpp"
+#include "obs/trace.hpp"
+#include "util/time.hpp"
+
+using namespace e2efa;
+
+namespace {
+
+constexpr double kDefaultSeconds = 12.0;
+
+struct Options {
+  double seconds = kDefaultSeconds;
+  double tolerance = 0.10;
+  std::string out = "BENCH_ctrl.json";
+};
+
+[[noreturn]] void usage(const char* prog, const std::string& error) {
+  if (!error.empty()) std::fprintf(stderr, "%s: %s\n", prog, error.c_str());
+  std::fprintf(stderr,
+               "usage: %s [--seconds T] [--tolerance F] [--out PATH]\n"
+               "  --seconds T    simulated seconds per run (default %.0f;\n"
+               "                 non-default skips the baseline guard)\n"
+               "  --tolerance F  max allowed regression vs baseline (default 0.10)\n"
+               "  --out PATH     JSON output (default BENCH_ctrl.json)\n",
+               prog, kDefaultSeconds);
+  std::exit(2);
+}
+
+double parse_positive_double(const char* prog, const std::string& key,
+                             const char* text) {
+  errno = 0;
+  char* end = nullptr;
+  const double v = std::strtod(text, &end);
+  if (errno != 0 || end == text || *end != '\0' || v <= 0.0)
+    usage(prog, key + ": expected a positive number, got '" + text + "'");
+  return v;
+}
+
+Options parse_options(int argc, char** argv) {
+  const char* prog = argc > 0 ? argv[0] : "micro_ctrl";
+  Options o;
+  for (int i = 1; i < argc; ++i) {
+    const std::string key = argv[i];
+    if (key == "--help" || key == "-h") usage(prog, "");
+    if (i + 1 >= argc) usage(prog, key + ": missing value");
+    const char* val = argv[++i];
+    if (key == "--seconds") {
+      o.seconds = parse_positive_double(prog, key, val);
+    } else if (key == "--tolerance") {
+      o.tolerance = parse_positive_double(prog, key, val);
+    } else if (key == "--out") {
+      o.out = val;
+    } else {
+      usage(prog, "unknown flag '" + key + "'");
+    }
+  }
+  return o;
+}
+
+struct Baseline {
+  const char* name;
+  double convergence_s;
+  double overhead_ratio;
+};
+
+// Captured at --seconds 12, seed 1 (deterministic; see guard note above).
+constexpr Baseline kBaselines[] = {
+    {"scenario1", 0.82, 0.0024},
+    {"scenario2", 1.42, 0.0028},
+};
+
+struct Figures {
+  double convergence_s = 0.0;
+  std::uint64_t ctrl_bytes = 0;
+  std::uint64_t ctrl_frames = 0;
+  std::uint64_t data_bytes = 0;
+  std::uint64_t solves = 0;
+  double overhead_ratio = 0.0;
+  bool converged = true;
+  double worst_share_error = 0.0;  ///< max relative |applied - oracle|.
+};
+
+Figures measure(const Scenario& sc, double seconds) {
+  SimConfig cfg;
+  cfg.sim_seconds = seconds;
+  cfg.seed = 1;
+  TraceSink sink;  // in-memory
+  sink.set_filter(trace_bit(TraceCat::kCtrl));
+  cfg.trace = &sink;
+  const RunResult r = run_scenario(sc, Protocol::k2paDistributedCtrl, cfg);
+
+  Figures fig;
+  for (const TraceRecord& rec : sink.records())
+    if (rec.event() == TraceEvent::kCtrlRate)
+      fig.convergence_s = std::max(fig.convergence_s, to_seconds(rec.t));
+  fig.ctrl_bytes = r.ctrl.ctrl_bytes;
+  fig.ctrl_frames = r.ctrl.ctrl_frames;
+  fig.solves = r.ctrl.solves;
+  std::int64_t delivered = 0;
+  for (std::int64_t d : r.delivered_per_subflow) delivered += d;
+  fig.data_bytes = static_cast<std::uint64_t>(delivered) *
+                   static_cast<std::uint64_t>(cfg.payload_bytes);
+  fig.overhead_ratio = fig.data_bytes > 0
+                           ? static_cast<double>(fig.ctrl_bytes) /
+                                 static_cast<double>(fig.data_bytes)
+                           : 0.0;
+  for (std::size_t s = 0; s < r.target_subflow_share.size(); ++s) {
+    const double err =
+        std::abs(r.ctrl.applied_subflow_share[s] - r.target_subflow_share[s]) /
+        r.target_subflow_share[s];
+    fig.worst_share_error = std::max(fig.worst_share_error, err);
+    if (err > 0.05) fig.converged = false;
+  }
+  return fig;
+}
+
+}  // namespace
+
+int main(int argc, char** argv) {
+  const Options opt = parse_options(argc, argv);
+  const bool guard = opt.seconds == kDefaultSeconds;
+  const Scenario scenarios[] = {scenario1(), scenario2()};
+
+  std::FILE* f = std::fopen(opt.out.c_str(), "w");
+  if (f == nullptr) {
+    std::fprintf(stderr, "cannot write %s: %s\n", opt.out.c_str(),
+                 std::strerror(errno));
+    return 1;
+  }
+  std::fprintf(f, "[\n");
+
+  bool failed = false;
+  for (std::size_t i = 0; i < 2; ++i) {
+    const Baseline& base = kBaselines[i];
+    const Figures fig = measure(scenarios[i], opt.seconds);
+    std::printf(
+        "%-9s  converged in %5.2f s  (worst share error %.2f%%)  "
+        "overhead %.4f  (%llu ctrl bytes in %llu frames / %llu data bytes, "
+        "%llu solves)\n",
+        base.name, fig.convergence_s, fig.worst_share_error * 1e2,
+        fig.overhead_ratio, static_cast<unsigned long long>(fig.ctrl_bytes),
+        static_cast<unsigned long long>(fig.ctrl_frames),
+        static_cast<unsigned long long>(fig.data_bytes),
+        static_cast<unsigned long long>(fig.solves));
+    std::fprintf(
+        f,
+        "  {\"name\": \"ctrl_%s\", \"seconds\": %.2f, "
+        "\"convergence_s\": %.6f, \"overhead_ratio\": %.6f, "
+        "\"ctrl_bytes\": %llu, \"ctrl_frames\": %llu, \"data_bytes\": %llu, "
+        "\"solves\": %llu, \"worst_share_error\": %.6f, \"converged\": %s}%s\n",
+        base.name, opt.seconds, fig.convergence_s, fig.overhead_ratio,
+        static_cast<unsigned long long>(fig.ctrl_bytes),
+        static_cast<unsigned long long>(fig.ctrl_frames),
+        static_cast<unsigned long long>(fig.data_bytes),
+        static_cast<unsigned long long>(fig.solves), fig.worst_share_error,
+        fig.converged ? "true" : "false", i + 1 < 2 ? "," : "");
+
+    if (!fig.converged) {
+      std::fprintf(stderr,
+                   "FAIL: %s did not converge to the oracle within 5%% "
+                   "(worst share error %.2f%%)\n",
+                   base.name, fig.worst_share_error * 1e2);
+      failed = true;
+    }
+    if (guard) {
+      if (fig.overhead_ratio > base.overhead_ratio * (1.0 + opt.tolerance)) {
+        std::fprintf(stderr,
+                     "FAIL: %s overhead ratio %.4f exceeds baseline %.4f by "
+                     "more than %.0f%%\n",
+                     base.name, fig.overhead_ratio, base.overhead_ratio,
+                     opt.tolerance * 1e2);
+        failed = true;
+      }
+      if (fig.convergence_s > base.convergence_s * (1.0 + opt.tolerance)) {
+        std::fprintf(stderr,
+                     "FAIL: %s convergence %.2f s exceeds baseline %.2f s by "
+                     "more than %.0f%%\n",
+                     base.name, fig.convergence_s, base.convergence_s,
+                     opt.tolerance * 1e2);
+        failed = true;
+      }
+    }
+  }
+  std::fprintf(f, "]\n");
+  std::fclose(f);
+  std::printf("wrote %s%s\n", opt.out.c_str(),
+              guard ? "" : " (non-default horizon: baseline guard skipped)");
+  return failed ? 1 : 0;
+}

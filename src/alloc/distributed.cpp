@@ -3,24 +3,12 @@
 #include <algorithm>
 #include <set>
 
+#include "alloc/knowledge.hpp"
 #include "util/assert.hpp"
 
 namespace e2efa {
 
 namespace {
-
-/// Subflows node v overhears: an endpoint equals v or lies in v's
-/// interference range.
-std::vector<int> overheard_subflows(const Topology& topo, const FlowSet& flows, NodeId v) {
-  std::vector<int> out;
-  for (int s = 0; s < flows.subflow_count(); ++s) {
-    const Subflow& sf = flows.subflow(s);
-    const bool hears = sf.src == v || sf.dst == v || topo.interferes(v, sf.src) ||
-                       topo.interferes(v, sf.dst);
-    if (hears) out.push_back(s);
-  }
-  return out;
-}
 
 std::vector<FlowId> flows_in(const FlowSet& flows, const std::vector<int>& subflows) {
   std::set<FlowId> fs;
@@ -30,24 +18,95 @@ std::vector<FlowId> flows_in(const FlowSet& flows, const std::vector<int>& subfl
 
 }  // namespace
 
+LocalProblem solve_local_problem(const FlowSet& flows, FlowId flow,
+                                 const std::vector<std::vector<int>>& cliques,
+                                 const std::vector<int>& source_knowledge) {
+  const Flow& fl = flows.flow(flow);
+  LocalProblem lp;
+  lp.flow = flow;
+  lp.source = fl.source();
+
+  // Drop cliques that are strict subsets of another accumulated clique
+  // (a node with narrower knowledge may report a clique another node of
+  // the flow sees a superset of; the superset row dominates).
+  std::set<std::vector<int>> cset(cliques.begin(), cliques.end());
+  for (auto it = cset.begin(); it != cset.end();) {
+    const bool subset_of_other = std::any_of(
+        cset.begin(), cset.end(), [&](const std::vector<int>& other) {
+          return &other != &*it && other.size() > it->size() &&
+                 std::includes(other.begin(), other.end(), it->begin(), it->end());
+        });
+    it = subset_of_other ? cset.erase(it) : std::next(it);
+  }
+  lp.cliques.assign(cset.begin(), cset.end());
+
+  // Variables: flows appearing in any accumulated clique.
+  std::set<FlowId> vars;
+  vars.insert(flow);
+  for (const auto& c : lp.cliques)
+    for (int s : c) vars.insert(flows.subflow(s).flow);
+  lp.vars.assign(vars.begin(), vars.end());
+
+  // Local per-unit basic share from the source's own two-hop knowledge.
+  double denom = 0.0;
+  for (FlowId j : flows_in(flows, source_knowledge))
+    denom += flows.flow(j).weight * virtual_length(flows.flow(j).length());
+  E2EFA_ASSERT(denom > 0.0);
+  lp.unit_basic = 1.0 / denom;
+
+  // Build and solve the local ShareLp.
+  ShareLp slp;
+  const int k = static_cast<int>(lp.vars.size());
+  slp.weights.resize(static_cast<std::size_t>(k));
+  slp.lower_bounds.resize(static_cast<std::size_t>(k));
+  for (int i = 0; i < k; ++i) {
+    const double w = flows.flow(lp.vars[static_cast<std::size_t>(i)]).weight;
+    slp.weights[static_cast<std::size_t>(i)] = w;
+    slp.lower_bounds[static_cast<std::size_t>(i)] = w * lp.unit_basic;
+  }
+  std::set<std::vector<int>> rows;
+  for (const auto& c : lp.cliques) {
+    std::vector<int> row(static_cast<std::size_t>(k), 0);
+    for (int s : c) {
+      const FlowId j = flows.subflow(s).flow;
+      const auto pos = std::lower_bound(lp.vars.begin(), lp.vars.end(), j) - lp.vars.begin();
+      ++row[static_cast<std::size_t>(pos)];
+    }
+    rows.insert(std::move(row));
+  }
+  lp.rows.assign(rows.begin(), rows.end());
+  for (const auto& row : lp.rows)
+    slp.capacity_rows.emplace_back(row.begin(), row.end());
+
+  ShareLpResult r = solve_share_lp(slp);
+  lp.status = r.status;
+  lp.min_relaxation = r.min_relaxation;
+  lp.mins = slp.lower_bounds;
+  if (r.status == LpStatus::kOptimal) {
+    lp.solution = r.shares;
+    const auto pos = std::lower_bound(lp.vars.begin(), lp.vars.end(), flow) - lp.vars.begin();
+    lp.flow_share = r.shares[static_cast<std::size_t>(pos)];
+  } else {
+    // Fall back to the local basic share — always locally safe.
+    lp.flow_share = fl.weight * lp.unit_basic;
+  }
+  return lp;
+}
+
 DistributedResult distributed_allocate(const Topology& topo, const FlowSet& flows,
-                                       const ContentionGraph& g) {
+                                       const ContentionGraph& g,
+                                       const TopologyMask* mask) {
   E2EFA_ASSERT(&g.flows() == &flows);
   const int nn = topo.node_count();
   const int nf = flows.flow_count();
 
   DistributedResult out;
 
-  // Steps 1-2: overheard subflows and one round of neighbor exchange.
-  std::vector<std::vector<int>> own(static_cast<std::size_t>(nn));
-  for (NodeId v = 0; v < nn; ++v) own[static_cast<std::size_t>(v)] = overheard_subflows(topo, flows, v);
-  out.node_knowledge.resize(static_cast<std::size_t>(nn));
-  for (NodeId v = 0; v < nn; ++v) {
-    std::set<int> k(own[static_cast<std::size_t>(v)].begin(), own[static_cast<std::size_t>(v)].end());
-    for (NodeId u : topo.neighbors(v))
-      k.insert(own[static_cast<std::size_t>(u)].begin(), own[static_cast<std::size_t>(u)].end());
-    out.node_knowledge[static_cast<std::size_t>(v)].assign(k.begin(), k.end());
-  }
+  // Steps 1-2: overheard subflows and one round of neighbor exchange —
+  // through the helper the in-band control plane also uses, so oracle and
+  // agents derive identical knowledge from one code path.
+  const std::vector<std::vector<int>> own = overheard_subflow_sets(topo, flows);
+  out.node_knowledge = exchanged_knowledge(topo, own, mask);
 
   // Step 3: local cliques per node.
   out.node_cliques.resize(static_cast<std::size_t>(nn));
@@ -59,79 +118,15 @@ DistributedResult distributed_allocate(const Topology& topo, const FlowSet& flow
   std::vector<double> flow_share(static_cast<std::size_t>(nf), 0.0);
   for (FlowId f = 0; f < nf; ++f) {
     const Flow& fl = flows.flow(f);
-    LocalProblem lp;
-    lp.flow = f;
-    lp.source = fl.source();
-
     // Union of local cliques over the flow's transmitting nodes.
     std::set<std::vector<int>> cliques;
     for (int h = 0; h < fl.length(); ++h) {
       const NodeId v = fl.path[static_cast<std::size_t>(h)];
       for (const auto& c : out.node_cliques[static_cast<std::size_t>(v)]) cliques.insert(c);
     }
-    // Drop cliques that are strict subsets of another accumulated clique
-    // (a node with narrower knowledge may report a clique another node of
-    // the flow sees a superset of; the superset row dominates).
-    for (auto it = cliques.begin(); it != cliques.end();) {
-      const bool subset_of_other = std::any_of(
-          cliques.begin(), cliques.end(), [&](const std::vector<int>& other) {
-            return &other != &*it && other.size() > it->size() &&
-                   std::includes(other.begin(), other.end(), it->begin(), it->end());
-          });
-      it = subset_of_other ? cliques.erase(it) : std::next(it);
-    }
-    lp.cliques.assign(cliques.begin(), cliques.end());
-
-    // Variables: flows appearing in any accumulated clique.
-    std::set<FlowId> vars;
-    vars.insert(f);
-    for (const auto& c : lp.cliques)
-      for (int s : c) vars.insert(flows.subflow(s).flow);
-    lp.vars.assign(vars.begin(), vars.end());
-
-    // Local per-unit basic share from the source's own two-hop knowledge.
-    double denom = 0.0;
-    for (FlowId j : flows_in(flows, out.node_knowledge[static_cast<std::size_t>(lp.source)]))
-      denom += flows.flow(j).weight * virtual_length(flows.flow(j).length());
-    E2EFA_ASSERT(denom > 0.0);
-    lp.unit_basic = 1.0 / denom;
-
-    // Build and solve the local ShareLp.
-    ShareLp slp;
-    const int k = static_cast<int>(lp.vars.size());
-    slp.weights.resize(static_cast<std::size_t>(k));
-    slp.lower_bounds.resize(static_cast<std::size_t>(k));
-    for (int i = 0; i < k; ++i) {
-      const double w = flows.flow(lp.vars[static_cast<std::size_t>(i)]).weight;
-      slp.weights[static_cast<std::size_t>(i)] = w;
-      slp.lower_bounds[static_cast<std::size_t>(i)] = w * lp.unit_basic;
-    }
-    std::set<std::vector<int>> rows;
-    for (const auto& c : lp.cliques) {
-      std::vector<int> row(static_cast<std::size_t>(k), 0);
-      for (int s : c) {
-        const FlowId j = flows.subflow(s).flow;
-        const auto pos = std::lower_bound(lp.vars.begin(), lp.vars.end(), j) - lp.vars.begin();
-        ++row[static_cast<std::size_t>(pos)];
-      }
-      rows.insert(std::move(row));
-    }
-    lp.rows.assign(rows.begin(), rows.end());
-    for (const auto& row : lp.rows)
-      slp.capacity_rows.emplace_back(row.begin(), row.end());
-
-    ShareLpResult r = solve_share_lp(slp);
-    lp.status = r.status;
-    lp.min_relaxation = r.min_relaxation;
-    lp.mins = slp.lower_bounds;
-    if (r.status == LpStatus::kOptimal) {
-      lp.solution = r.shares;
-      const auto pos = std::lower_bound(lp.vars.begin(), lp.vars.end(), f) - lp.vars.begin();
-      lp.flow_share = r.shares[static_cast<std::size_t>(pos)];
-    } else {
-      // Fall back to the local basic share — always locally safe.
-      lp.flow_share = fl.weight * lp.unit_basic;
-    }
+    LocalProblem lp = solve_local_problem(
+        flows, f, {cliques.begin(), cliques.end()},
+        out.node_knowledge[static_cast<std::size_t>(fl.source())]);
     flow_share[static_cast<std::size_t>(f)] = lp.flow_share;
     out.locals.push_back(std::move(lp));
   }

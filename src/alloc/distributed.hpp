@@ -55,8 +55,23 @@ struct DistributedResult {
 };
 
 /// Runs the distributed first phase. `g` must be the contention graph of
-/// `flows` over `topo`.
+/// `flows` over `topo`. `mask` (optional) restricts step 2's neighbor
+/// exchange to the surviving topology — the oracle for what the in-band
+/// control plane (src/ctrl) can still learn after node/link faults: a dead
+/// neighbor's Own set is no longer heard. Own(v) itself and the clique /
+/// LP machinery are unchanged by the mask.
 DistributedResult distributed_allocate(const Topology& topo, const FlowSet& flows,
-                                       const ContentionGraph& g);
+                                       const ContentionGraph& g,
+                                       const TopologyMask* mask = nullptr);
+
+/// Steps 4-6 for one flow, shared verbatim with the in-band control plane:
+/// given the accumulated clique set (union of local cliques over the flow's
+/// transmitting nodes, possibly with subset-redundant entries) and the
+/// source's knowledge K(source), builds and solves the source's local
+/// ShareLp. Falls back to the local basic share w·r̂₀ on a non-optimal
+/// solve. `cliques` entries are ascending subflow-id lists.
+LocalProblem solve_local_problem(const FlowSet& flows, FlowId flow,
+                                 const std::vector<std::vector<int>>& cliques,
+                                 const std::vector<int>& source_knowledge);
 
 }  // namespace e2efa

@@ -1,0 +1,381 @@
+#include "ctrl/agent.hpp"
+
+#include <algorithm>
+
+#include "alloc/knowledge.hpp"
+#include "contention/cliques.hpp"
+#include "util/assert.hpp"
+
+namespace e2efa {
+
+AllocAgent::AllocAgent(Simulator& sim, DcfMac& mac, const Topology& topo,
+                       const FlowSet& flows, const ContentionGraph& graph,
+                       TagScheduler* sched, const CtrlConfig& cfg, Rng rng,
+                       TraceSink* trace)
+    : sim_(sim),
+      mac_(mac),
+      topo_(topo),
+      flows_(flows),
+      graph_(graph),
+      sched_(sched),
+      cfg_(cfg),
+      rng_(rng),
+      trace_(trace),
+      self_(mac.self()) {
+  E2EFA_ASSERT(&graph_.flows() == &flows_);
+  active_.assign(static_cast<std::size_t>(flows_.subflow_count()), 1);
+  full_own_ = overheard_subflow_sets(topo_, flows_)[static_cast<std::size_t>(self_)];
+}
+
+void AllocAgent::start() {
+  E2EFA_ASSERT_MSG(!started_, "AllocAgent::start called twice");
+  started_ = true;
+  mac_.set_ctrl_listener([this](const Frame& f) { on_ctrl(f); });
+  mac_.set_ctrl_piggyback(this);
+  reconfigure(sim_.now());
+  // Random phase within one period desynchronizes contending HELLOs.
+  const TimeNs period = from_seconds(cfg_.hello_period_s);
+  const TimeNs phase =
+      1 + static_cast<TimeNs>(rng_.uniform_u64(static_cast<std::uint64_t>(period)));
+  sim_.schedule_in(phase, [this] { tick(); });
+}
+
+void AllocAgent::note_active_set(const std::vector<char>& subflow_active) {
+  E2EFA_ASSERT(subflow_active.size() == active_.size());
+  active_ = subflow_active;
+  if (!started_) return;  // start() derives everything from active_.
+  reconfigure(sim_.now());
+  if (mac_.ctrl_backlog() <= cfg_.max_backlog) send_hello();
+}
+
+bool AllocAgent::flow_active(FlowId f) const {
+  return active_[static_cast<std::size_t>(flows_.subflow_index(f, 0))] != 0;
+}
+
+double AllocAgent::applied_share(std::int32_t subflow) const {
+  E2EFA_ASSERT(sched_ != nullptr);
+  return sched_->share_of(subflow);
+}
+
+// ------------------------------------------------------------ (re)derive
+
+void AllocAgent::reconfigure(TimeNs now) {
+  rebuild_own(now);
+
+  // Managed flows: active flows where self is a transmitting node.
+  std::map<FlowId, FlowCtrl> next;
+  for (const Flow& fl : flows_.flows()) {
+    if (!flow_active(fl.id)) continue;
+    for (int h = 0; h < fl.length(); ++h) {
+      if (fl.path[static_cast<std::size_t>(h)] != self_) continue;
+      FlowCtrl fc;
+      const auto it = flows_ctrl_.find(fl.id);
+      if (it != flows_ctrl_.end()) fc = std::move(it->second);
+      fc.hop = h;
+      fc.upstream = h > 0 ? fl.path[static_cast<std::size_t>(h - 1)] : kInvalidNode;
+      fc.downstream =
+          h + 1 < fl.length() ? fl.path[static_cast<std::size_t>(h + 1)] : kInvalidNode;
+      fc.acc_sent = false;  // re-advertise after any reconfiguration
+      fc.solve_dirty = true;
+      next.emplace(fl.id, std::move(fc));
+      break;  // paths are simple: self appears at most once
+    }
+  }
+
+  if (sched_ != nullptr) {
+    // Lanes of flows that dropped out idle at the inactive floor; newly
+    // managed lanes bootstrap from the local basic estimate until a RATE
+    // (or an own solve) arrives.
+    for (const auto& [f, fc] : flows_ctrl_)
+      if (next.find(f) == next.end()) set_lane(f, fc.hop, cfg_.inactive_share);
+    for (const auto& [f, fc] : next)
+      if (flows_ctrl_.find(f) == flows_ctrl_.end())
+        set_lane(f, fc.hop, local_basic_estimate(f));
+  }
+  flows_ctrl_ = std::move(next);
+}
+
+void AllocAgent::rebuild_own(TimeNs now) {
+  std::vector<int> next;
+  for (int s : full_own_)
+    if (active_[static_cast<std::size_t>(s)]) next.push_back(s);
+  if (next == own_ && own_seq_ != 0) return;
+  // Piggyback delta: newly appearing ids (bounded — the periodic full HELLO
+  // heals anything truncated here).
+  pending_delta_.clear();
+  for (int s : next)
+    if (!std::binary_search(own_.begin(), own_.end(), s)) pending_delta_.push_back(s);
+  if (static_cast<int>(pending_delta_.size()) > cfg_.piggyback_max_ids)
+    pending_delta_.resize(static_cast<std::size_t>(cfg_.piggyback_max_ids));
+  own_ = std::move(next);
+  ++own_seq_;
+  rebuild_beacon();
+  knowledge_dirty_ = true;
+  last_knowledge_change_ = now;
+}
+
+void AllocAgent::refresh_knowledge(TimeNs now) {
+  // A neighbor unheard past the timeout takes its advertised Own set with
+  // it — this is how a crashed relay leaves K(v) without any oracle help.
+  const TimeNs timeout = from_seconds(cfg_.neighbor_timeout_s);
+  for (auto it = tables_.begin(); it != tables_.end();) {
+    if (now - it->second.heard > timeout) {
+      it = tables_.erase(it);
+      knowledge_dirty_ = true;
+      last_knowledge_change_ = now;
+    } else {
+      ++it;
+    }
+  }
+  if (!knowledge_dirty_) return;
+  knowledge_dirty_ = false;
+
+  std::set<int> k(own_.begin(), own_.end());
+  for (const auto& [u, t] : tables_)
+    for (int s : t.subflows)
+      if (s >= 0 && s < flows_.subflow_count() && active_[static_cast<std::size_t>(s)])
+        k.insert(s);
+  std::vector<int> nk(k.begin(), k.end());
+  if (nk == knowledge_) return;
+  knowledge_ = std::move(nk);
+  local_cliques_ = maximal_cliques_in_subset(graph_, knowledge_);
+  for (auto& [f, fc] : flows_ctrl_) rebuild_acc(f, fc, now);
+}
+
+bool AllocAgent::rebuild_acc(FlowId f, FlowCtrl& fc, TimeNs now) {
+  (void)f;
+  std::set<std::vector<int>> acc(local_cliques_.begin(), local_cliques_.end());
+  for (const std::vector<int>& c : fc.down_acc) acc.insert(c);
+  if (acc == fc.acc) return false;
+  fc.acc = std::move(acc);
+  fc.last_acc_change = now;
+  fc.acc_sent = false;
+  fc.solve_dirty = true;
+  return true;
+}
+
+double AllocAgent::local_basic_estimate(FlowId f) const {
+  std::set<FlowId> seen;
+  for (int s : own_) seen.insert(flows_.subflow(s).flow);
+  seen.insert(f);
+  double denom = 0.0;
+  for (FlowId j : seen)
+    denom += flows_.flow(j).weight * virtual_length(flows_.flow(j).length());
+  return flows_.flow(f).weight / denom;
+}
+
+// ------------------------------------------------------------------ tick
+
+void AllocAgent::tick() {
+  const TimeNs now = sim_.now();
+  refresh_knowledge(now);
+  const bool room = mac_.ctrl_backlog() <= cfg_.max_backlog;
+  if (room) send_hello();
+  for (auto& [f, fc] : flows_ctrl_) {
+    ++fc.ticks_since_constraint;
+    ++fc.ticks_since_rate;
+    if (fc.upstream != kInvalidNode && room &&
+        (!fc.acc_sent || fc.ticks_since_constraint >= cfg_.refresh_ticks))
+      send_constraint(f, fc);
+    if (fc.upstream == kInvalidNode) {  // source duties
+      maybe_solve(f, fc, now);
+      if (fc.have_rate && fc.downstream != kInvalidNode && room &&
+          fc.ticks_since_rate >= cfg_.refresh_ticks)
+        send_rate(f, fc);
+    }
+  }
+  sim_.schedule_in(from_seconds(cfg_.hello_period_s), [this] { tick(); });
+}
+
+void AllocAgent::maybe_solve(FlowId f, FlowCtrl& fc, TimeNs now) {
+  if (!fc.solve_dirty) return;
+  const TimeNs q = from_seconds(cfg_.quiesce_s);
+  if (now - last_knowledge_change_ < q || now - fc.last_acc_change < q) return;
+  fc.solve_dirty = false;
+  LocalProblem lp = solve_local_problem(
+      flows_, f, {fc.acc.begin(), fc.acc.end()}, knowledge_);
+  ++stats_.solves;
+  if (trace_ != nullptr)
+    trace_->record<TraceCat::kCtrl>(now, TraceEvent::kCtrlSolve,
+                                    static_cast<std::int16_t>(self_), f,
+                                    static_cast<std::int32_t>(lp.status),
+                                    lp.flow_share, static_cast<double>(fc.acc.size()));
+  if (!fc.have_rate || lp.flow_share != fc.rate) {
+    fc.rate = lp.flow_share;
+    fc.have_rate = true;
+    ++fc.rate_seq;
+    if (fc.rate > 0.0) set_lane(f, fc.hop, fc.rate);
+    if (fc.downstream != kInvalidNode && mac_.ctrl_backlog() <= cfg_.max_backlog)
+      send_rate(f, fc);
+  }
+}
+
+void AllocAgent::set_lane(FlowId f, int hop, double share) {
+  if (sched_ == nullptr) return;
+  const std::int32_t sf = flows_.subflow_index(f, hop);
+  if (sched_->share_of(sf) == share) return;
+  sched_->note_time(sim_.now());
+  sched_->update_share(sf, share);
+  if (trace_ != nullptr)
+    trace_->record<TraceCat::kCtrl>(sim_.now(), TraceEvent::kCtrlRate,
+                                    static_cast<std::int16_t>(self_), sf, f, share);
+}
+
+// ------------------------------------------------------------------ send
+
+void AllocAgent::send(std::shared_ptr<const CtrlMsg> m) {
+  const int bytes = m->wire_bytes();
+  stats_.ctrl_bytes_sent += static_cast<std::uint64_t>(bytes);
+  if (trace_ != nullptr)
+    trace_->record<TraceCat::kCtrl>(sim_.now(), TraceEvent::kCtrlSend,
+                                    static_cast<std::int16_t>(self_),
+                                    static_cast<std::int32_t>(m->kind), m->to,
+                                    static_cast<double>(bytes), m->seq);
+  mac_.send_ctrl(std::move(m), bytes);
+}
+
+void AllocAgent::send_hello() {
+  auto m = std::make_shared<CtrlMsg>();
+  m->kind = CtrlMsg::Kind::kHello;
+  m->origin = self_;
+  m->seq = own_seq_;
+  m->subflows = own_;
+  ++stats_.hello_sent;
+  send(std::move(m));
+}
+
+void AllocAgent::send_constraint(FlowId f, FlowCtrl& fc) {
+  E2EFA_ASSERT(fc.upstream != kInvalidNode);
+  auto m = std::make_shared<CtrlMsg>();
+  m->kind = CtrlMsg::Kind::kConstraint;
+  m->origin = self_;
+  m->to = fc.upstream;
+  m->seq = ++ctrl_seq_;
+  m->flow = f;
+  m->cliques.assign(fc.acc.begin(), fc.acc.end());
+  fc.acc_sent = true;
+  fc.ticks_since_constraint = 0;
+  ++stats_.constraint_sent;
+  send(std::move(m));
+}
+
+void AllocAgent::send_rate(FlowId f, FlowCtrl& fc) {
+  E2EFA_ASSERT(fc.downstream != kInvalidNode && fc.have_rate);
+  auto m = std::make_shared<CtrlMsg>();
+  m->kind = CtrlMsg::Kind::kRate;
+  m->origin = self_;
+  m->to = fc.downstream;
+  m->seq = fc.rate_seq;
+  m->flow = f;
+  m->rate = fc.rate;
+  fc.ticks_since_rate = 0;
+  ++stats_.rate_sent;
+  send(std::move(m));
+}
+
+// --------------------------------------------------------------- receive
+
+void AllocAgent::on_ctrl(const Frame& fr) {
+  E2EFA_ASSERT(fr.ctrl != nullptr);
+  const CtrlMsg& m = *fr.ctrl;
+  if (m.origin == self_) return;
+  const TimeNs now = sim_.now();
+  ++stats_.msgs_received;
+  trace_recv(fr, now);
+
+  // Any decoded message is a liveness proof for its origin.
+  NeighborTable& t = tables_[m.origin];
+  t.heard = now;
+
+  switch (m.kind) {
+    case CtrlMsg::Kind::kHello:
+      if (!t.have_hello || t.seq != m.seq || t.subflows != m.subflows) {
+        if (t.subflows != m.subflows) {
+          knowledge_dirty_ = true;
+          last_knowledge_change_ = now;
+        }
+        t.subflows = m.subflows;
+        t.seq = m.seq;
+        t.have_hello = true;
+      }
+      break;
+
+    case CtrlMsg::Kind::kHelloDelta:
+      // Additive merge, valid only against the matching full table.
+      if (t.have_hello && t.seq == m.seq && !m.subflows.empty()) {
+        bool changed = false;
+        for (int s : m.subflows) {
+          const auto it = std::lower_bound(t.subflows.begin(), t.subflows.end(), s);
+          if (it == t.subflows.end() || *it != s) {
+            t.subflows.insert(it, s);
+            changed = true;
+          }
+        }
+        if (changed) {
+          knowledge_dirty_ = true;
+          last_knowledge_change_ = now;
+        }
+      }
+      break;
+
+    case CtrlMsg::Kind::kConstraint: {
+      if (m.to != self_) break;  // overheard someone else's accumulation
+      const auto it = flows_ctrl_.find(m.flow);
+      if (it == flows_ctrl_.end()) break;
+      FlowCtrl& fc = it->second;
+      if (fc.down_acc == m.cliques) break;
+      fc.down_acc = m.cliques;
+      refresh_knowledge(now);  // local cliques must be current before the union
+      if (rebuild_acc(m.flow, fc, now) && fc.upstream != kInvalidNode &&
+          mac_.ctrl_backlog() <= cfg_.max_backlog)
+        send_constraint(m.flow, fc);  // propagate upstream without a tick of delay
+      break;
+    }
+
+    case CtrlMsg::Kind::kRate: {
+      if (m.to != self_) break;
+      const auto it = flows_ctrl_.find(m.flow);
+      if (it == flows_ctrl_.end()) break;
+      FlowCtrl& fc = it->second;
+      fc.rate_seq = m.seq;
+      fc.rate = m.rate;
+      fc.have_rate = true;
+      if (m.rate > 0.0) set_lane(m.flow, fc.hop, m.rate);
+      // Forward even unchanged refreshes: the hop after us may have missed
+      // an earlier copy, and loss healing relies on this relay chain.
+      if (fc.downstream != kInvalidNode && mac_.ctrl_backlog() <= cfg_.max_backlog)
+        send_rate(m.flow, fc);
+      break;
+    }
+  }
+}
+
+void AllocAgent::trace_recv(const Frame& fr, TimeNs now) const {
+  if (trace_ == nullptr || !trace_->enabled<TraceCat::kCtrl>()) return;
+  const CtrlMsg& m = *fr.ctrl;
+  trace_->record<TraceCat::kCtrl>(now, TraceEvent::kCtrlRecv,
+                                  static_cast<std::int16_t>(self_),
+                                  static_cast<std::int32_t>(m.kind), m.origin,
+                                  static_cast<double>(m.wire_bytes()),
+                                  fr.type == FrameType::kCtrl ? 0.0 : 1.0);
+}
+
+// ------------------------------------------------------------- piggyback
+
+std::shared_ptr<const CtrlMsg> AllocAgent::piggyback_payload(int* extra_bytes) {
+  if (beacon_ == nullptr) rebuild_beacon();
+  *extra_bytes += beacon_bytes_;
+  return beacon_;
+}
+
+void AllocAgent::rebuild_beacon() {
+  auto m = std::make_shared<CtrlMsg>();
+  m->kind = CtrlMsg::Kind::kHelloDelta;
+  m->origin = self_;
+  m->seq = own_seq_;
+  m->subflows = pending_delta_;
+  beacon_bytes_ = m->wire_bytes();
+  beacon_ = std::move(m);
+}
+
+}  // namespace e2efa

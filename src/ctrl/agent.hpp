@@ -1,0 +1,187 @@
+// Per-node in-band allocation agent: distributed phase 1 (Sec. IV-B) run
+// as a real protocol inside the simulation.
+//
+// Each node's AllocAgent reproduces, over lossy broadcast control frames,
+// exactly the knowledge pipeline the out-of-band oracle
+// (`distributed_allocate`) computes in one shot:
+//
+//   1. Own(v): the active subflows with an endpoint in interference range —
+//      known locally (the shared `overheard_subflow_sets` helper).
+//   2. K(v) = Own(v) ∪ ⋃ Own(u): built from neighbors' periodic HELLOs and
+//      RTS/CTS piggyback deltas instead of an oracle scan. Entries go stale
+//      (and drop out of K) when a neighbor is unheard past a timeout — a
+//      crashed neighbor's knowledge disappears the same way the oracle's
+//      TopologyMask removes it.
+//   3. Local cliques: maximal cliques of the contention graph restricted to
+//      K(v) — same `maximal_cliques_in_subset` call the oracle makes.
+//   4. Constraint accumulation: every transmitting hop of a flow keeps
+//      acc = local cliques ∪ acc(next hop) and sends it upstream in
+//      CONSTRAINT messages, so the source converges to the union over the
+//      whole path.
+//   5. Local LP: when knowledge and constraints have been quiescent for a
+//      configurable window, the source calls the *same*
+//      `solve_local_problem` the oracle uses, applies the share to its own
+//      lane, and pushes a RATE message downstream; each hop applies and
+//      forwards it.
+//
+// Everything is sequence-numbered and periodically re-advertised, so lost
+// frames, flow churn, and node/link faults all heal through the same
+// mechanism: state re-converges in-band, with no out-of-band epoch re-solve.
+#pragma once
+
+#include <cstdint>
+#include <map>
+#include <memory>
+#include <set>
+#include <vector>
+
+#include "alloc/distributed.hpp"
+#include "ctrl/messages.hpp"
+#include "mac/dcf_mac.hpp"
+#include "sched/tag_scheduler.hpp"
+#include "sim/simulator.hpp"
+#include "util/rng.hpp"
+
+namespace e2efa {
+
+struct CtrlConfig {
+  /// HELLO cadence; also the agent's housekeeping tick. Each agent offsets
+  /// its first tick by a random phase within one period so HELLOs from
+  /// contending nodes do not synchronize.
+  double hello_period_s = 0.25;
+  /// CONSTRAINT / RATE re-advertisement cadence, in ticks (loss healing).
+  int refresh_ticks = 4;
+  /// Knowledge and constraints must be unchanged this long before a source
+  /// re-solves its local LP (debounces solve storms during convergence).
+  double quiesce_s = 0.6;
+  /// A neighbor unheard for this long drops out of K(v) — the in-band
+  /// equivalent of the oracle's TopologyMask removing a crashed node.
+  double neighbor_timeout_s = 1.0;
+  /// Max subflow ids in a piggybacked HELLO_DELTA (bounded so the payload
+  /// fits the MAC's ctrl_piggyback_max airtime allowance).
+  int piggyback_max_ids = 8;
+  /// Skip optional sends while this many control frames are still queued.
+  int max_backlog = 16;
+  /// Share applied to lanes of flows that went inactive (matches the
+  /// runner's kInactiveShare floor; TagScheduler shares must stay > 0).
+  double inactive_share = 1e-6;
+};
+
+/// Final applied state and traffic counters of one agent (collected into
+/// RunResult::ctrl; all counters are queued-send side — the MAC's
+/// stats().ctrl_sent counts actual transmissions).
+struct CtrlAgentStats {
+  std::uint64_t hello_sent = 0;
+  std::uint64_t constraint_sent = 0;
+  std::uint64_t rate_sent = 0;
+  std::uint64_t msgs_received = 0;
+  std::uint64_t solves = 0;
+  std::uint64_t ctrl_bytes_sent = 0;  ///< Dedicated frames only (not piggybacks).
+};
+
+class AllocAgent : public CtrlPiggyback {
+ public:
+  /// `graph` must be the contention graph of `flows` over `topo`; `sched`
+  /// is this node's scheduler (null for nodes that originate no subflow —
+  /// pure receivers still relay knowledge). The agent installs itself as
+  /// the MAC's control listener and piggyback source in start().
+  AllocAgent(Simulator& sim, DcfMac& mac, const Topology& topo, const FlowSet& flows,
+             const ContentionGraph& graph, TagScheduler* sched, const CtrlConfig& cfg,
+             Rng rng, TraceSink* trace);
+
+  /// Installs MAC hooks, applies locally-estimated bootstrap shares to this
+  /// node's lanes, and schedules the first (phase-jittered) tick. Call once
+  /// before the simulation runs.
+  void start();
+
+  /// Epoch-boundary notification from the runner: `subflow_active[s]` says
+  /// whether global subflow s carries traffic now. Replaces the oracle's
+  /// per-epoch re-solve: the agent re-derives Own(v), re-advertises, and the
+  /// network re-converges in-band.
+  void note_active_set(const std::vector<char>& subflow_active);
+
+  const CtrlAgentStats& stats() const { return stats_; }
+
+  /// Share currently applied to this node's lane of `subflow` (asserts if
+  /// the lane is not local). Test/collection helper.
+  double applied_share(std::int32_t subflow) const;
+
+  // --- CtrlPiggyback ---
+  std::shared_ptr<const CtrlMsg> piggyback_payload(int* extra_bytes) override;
+
+ private:
+  struct NeighborTable {
+    std::uint32_t seq = 0;
+    std::vector<int> subflows;  ///< Ascending advertised Own set.
+    TimeNs heard = 0;           ///< Last time *anything* from this origin decoded.
+    bool have_hello = false;    ///< Deltas merge only after a full HELLO.
+  };
+
+  /// Per managed flow (self is a transmitting node of an active flow).
+  struct FlowCtrl {
+    int hop = 0;
+    NodeId upstream = kInvalidNode;    ///< Previous transmitter (invalid at source).
+    NodeId downstream = kInvalidNode;  ///< Next transmitter (invalid at last hop).
+    std::set<std::vector<int>> acc;    ///< local cliques ∪ downstream acc.
+    std::vector<std::vector<int>> down_acc;
+    TimeNs last_acc_change = 0;
+    bool acc_sent = false;         ///< acc advertised upstream since last change.
+    bool solve_dirty = true;       ///< Source: state changed since last solve.
+    std::uint32_t rate_seq = 0;    ///< Source: last issued; elsewhere: last applied.
+    double rate = 0.0;
+    bool have_rate = false;
+    int ticks_since_constraint = 0;
+    int ticks_since_rate = 0;
+  };
+
+  void tick();
+  void on_ctrl(const Frame& f);
+  void reconfigure(TimeNs now);  ///< Re-derives own_/managed flows from active_.
+  void rebuild_own(TimeNs now);
+  bool flow_active(FlowId f) const;
+  void refresh_knowledge(TimeNs now);  ///< Rebuilds K(v) + local cliques if dirty.
+  bool rebuild_acc(FlowId f, FlowCtrl& fc, TimeNs now);  ///< True if acc changed.
+  void send_hello();
+  void send_constraint(FlowId f, FlowCtrl& fc);
+  void send_rate(FlowId f, FlowCtrl& fc);
+  void maybe_solve(FlowId f, FlowCtrl& fc, TimeNs now);
+  void set_lane(FlowId f, int hop, double share);
+  void send(std::shared_ptr<const CtrlMsg> m);
+  void rebuild_beacon();
+  double local_basic_estimate(FlowId f) const;
+  void trace_recv(const Frame& f, TimeNs now) const;
+
+  Simulator& sim_;
+  DcfMac& mac_;
+  const Topology& topo_;
+  const FlowSet& flows_;
+  const ContentionGraph& graph_;
+  TagScheduler* sched_;
+  CtrlConfig cfg_;
+  Rng rng_;
+  TraceSink* trace_;
+  NodeId self_;
+
+  std::vector<char> active_;  ///< Per-global-subflow activity bitmap.
+  std::vector<int> full_own_;  ///< Own(self) over all subflows (static).
+  std::vector<int> own_;       ///< full_own_ ∩ active_, ascending.
+  std::uint32_t own_seq_ = 0;
+
+  std::map<NodeId, NeighborTable> tables_;
+  bool knowledge_dirty_ = true;
+  TimeNs last_knowledge_change_ = 0;
+  std::vector<int> knowledge_;  ///< K(self), ascending.
+  std::vector<std::vector<int>> local_cliques_;
+
+  std::map<FlowId, FlowCtrl> flows_ctrl_;
+
+  std::shared_ptr<const CtrlMsg> beacon_;  ///< Cached piggyback payload.
+  int beacon_bytes_ = 0;
+  std::vector<int> pending_delta_;  ///< Own ids added at own_seq_.
+  std::uint32_t ctrl_seq_ = 0;      ///< Sequence for CONSTRAINT streams.
+
+  bool started_ = false;
+  CtrlAgentStats stats_;
+};
+
+}  // namespace e2efa

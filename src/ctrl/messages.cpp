@@ -1,0 +1,24 @@
+#include "ctrl/messages.hpp"
+
+namespace e2efa {
+
+int CtrlMsg::wire_bytes() const {
+  int bytes = 12;
+  bytes += 2 * static_cast<int>(subflows.size());
+  for (const std::vector<int>& c : cliques)
+    bytes += 1 + 2 * static_cast<int>(c.size());
+  if (kind == Kind::kRate) bytes += 8;
+  return bytes;
+}
+
+const char* to_string(CtrlMsg::Kind k) {
+  switch (k) {
+    case CtrlMsg::Kind::kHello: return "HELLO";
+    case CtrlMsg::Kind::kHelloDelta: return "HELLO_DELTA";
+    case CtrlMsg::Kind::kConstraint: return "CONSTRAINT";
+    case CtrlMsg::Kind::kRate: return "RATE";
+  }
+  return "?";
+}
+
+}  // namespace e2efa

@@ -1,0 +1,59 @@
+// Allocation-control messages (the in-band form of Sec. IV-B's phase 1).
+//
+// Four message kinds carry the distributed algorithm's state over the
+// simulated MAC instead of an out-of-band oracle:
+//
+//   HELLO       broadcast, periodic: the sender's Own(v) — the active
+//               subflows it overhears — with a sequence number so receivers
+//               can replace stale tables wholesale.
+//   HELLO_DELTA piggybacked on RTS/CTS: a small additive table delta (or an
+//               empty liveness beacon). Receivers merge it only when its
+//               sequence number matches the full table they already hold.
+//   CONSTRAINT  directed upstream along a flow: the accumulated clique set
+//               ⋃ local cliques over the flow's transmitting nodes from
+//               this hop downstream. The source's accumulation therefore
+//               converges to the union over the whole path.
+//   RATE        directed downstream along a flow: the source's solved share;
+//               every transmitting hop applies it to its TagScheduler lane
+//               and forwards it on.
+//
+// All messages are fire-and-forget (kCtrl broadcast frames carry no ACK);
+// robustness comes from periodic re-advertisement, not retransmission.
+#pragma once
+
+#include <cstdint>
+#include <vector>
+
+#include "flow/flow.hpp"
+#include "topology/topology.hpp"
+
+namespace e2efa {
+
+struct CtrlMsg {
+  enum class Kind : std::uint8_t {
+    kHello = 0,
+    kHelloDelta = 1,
+    kConstraint = 2,
+    kRate = 3,
+  };
+
+  Kind kind = Kind::kHello;
+  NodeId origin = kInvalidNode;  ///< Node that composed the message.
+  NodeId to = kInvalidNode;      ///< Directed target; kInvalidNode = broadcast.
+  std::uint32_t seq = 0;         ///< Origin-local sequence per message stream.
+  FlowId flow = -1;              ///< kConstraint / kRate: subject flow.
+  /// kHello: the full Own set; kHelloDelta: ids added since `seq` began.
+  std::vector<int> subflows;
+  /// kConstraint: accumulated cliques (ascending global subflow ids each).
+  std::vector<std::vector<int>> cliques;
+  double rate = 0.0;  ///< kRate: allocated share in units of B.
+
+  /// Modeled wire size in bytes (drives airtime and the overhead metric):
+  /// a 12-byte header, 2 bytes per subflow id, 1 + 2·|members| per clique,
+  /// 8 bytes for a rate.
+  int wire_bytes() const;
+};
+
+const char* to_string(CtrlMsg::Kind k);
+
+}  // namespace e2efa

@@ -32,29 +32,54 @@ void DcfMac::attach_tag(Frame& f) const {
   f.has_service_tag = true;
 }
 
+void DcfMac::attach_piggyback(Frame& f) {
+  if (piggyback_ == nullptr) return;
+  int extra = 0;
+  std::shared_ptr<const CtrlMsg> payload = piggyback_->piggyback_payload(&extra);
+  if (payload == nullptr) return;
+  E2EFA_ASSERT_MSG(extra > 0 && extra <= cfg_.ctrl_piggyback_max,
+                   "piggyback payload exceeds the budgeted allowance");
+  f.ctrl = std::move(payload);
+  f.bytes += extra;
+}
+
 // ---------------------------------------------------------------- access
 
 void DcfMac::notify_queue_nonempty() {
   if (state_ == State::kIdle && queue_.has_packet()) start_access(/*redraw=*/true);
 }
 
+void DcfMac::send_ctrl(std::shared_ptr<const CtrlMsg> msg, int bytes) {
+  E2EFA_ASSERT(msg != nullptr && bytes > 0);
+  ctrl_q_.push_back(CtrlEntry{std::move(msg), bytes});
+  if (state_ == State::kIdle) start_access(/*redraw=*/true);
+}
+
 void DcfMac::start_access(bool redraw) {
-  if (!queue_.has_packet()) {
+  const bool have_data = queue_.has_packet();
+  if (!have_data && ctrl_q_.empty()) {
     state_ = State::kIdle;
     return;
   }
   state_ = State::kContend;
   if (redraw || !backoff_drawn_) {
-    backoff_remaining_ = backoff_.draw_slots(rng_, retries_, sim_.now());
+    if (have_data) {
+      backoff_remaining_ = backoff_.draw_slots(rng_, retries_, sim_.now());
+      // The Q/R arguments walk the tag table — gate on the category, not
+      // just the sink, so a filtered trace costs nothing here.
+      if (trace_ != nullptr && trace_->enabled<TraceCat::kBackoff>())
+        trace_->record<TraceCat::kBackoff>(
+            sim_.now(), TraceEvent::kBackoffDraw,
+            static_cast<std::int16_t>(self_), backoff_remaining_, retries_,
+            tags_ != nullptr ? tags_->q_slots(sim_.now()) : 0.0,
+            tags_ != nullptr ? tags_->head_last_r() : 0.0);
+    } else {
+      // Control-only backlog: the BackoffPolicy reads the scheduler head
+      // (empty here), so draw uniformly from the MAC's own stream instead.
+      backoff_remaining_ =
+          1 + static_cast<int>(rng_.uniform_u64(static_cast<std::uint64_t>(cfg_.ctrl_cw) + 1));
+    }
     backoff_drawn_ = true;
-    // The Q/R arguments walk the tag table — gate on the category, not just
-    // the sink, so a filtered trace costs nothing here.
-    if (trace_ != nullptr && trace_->enabled<TraceCat::kBackoff>())
-      trace_->record<TraceCat::kBackoff>(
-          sim_.now(), TraceEvent::kBackoffDraw,
-          static_cast<std::int16_t>(self_), backoff_remaining_, retries_,
-          tags_ != nullptr ? tags_->q_slots(sim_.now()) : 0.0,
-          tags_ != nullptr ? tags_->head_last_r() : 0.0);
   }
   step_is_first_ = true;
   arm_step();
@@ -99,7 +124,9 @@ void DcfMac::on_step() {
   }
   step_is_first_ = false;
   if (--backoff_remaining_ <= 0) {
-    if (cfg_.use_rts_cts) {
+    if (!ctrl_q_.empty()) {
+      send_ctrl_frame();  // tiny and rare: control wins over the data queue
+    } else if (cfg_.use_rts_cts) {
       send_rts();
     } else {
       send_data();  // basic access: straight to DATA after backoff
@@ -143,10 +170,15 @@ void DcfMac::send_rts() {
   f.nav = cfg_.sifs + dur(cfg_.sizes.cts) + cfg_.sifs + dur(static_cast<int>(data_bytes(p))) +
           cfg_.sifs + dur(cfg_.sizes.ack);
   attach_tag(f);
+  attach_piggyback(f);
   const TimeNs end = channel_.transmit(self_, f);
   ++stats_.rts_sent;
   state_ = State::kWaitCts;
-  const TimeNs deadline = end + cfg_.sifs + dur(cfg_.sizes.cts) + 2 * cfg_.slot;
+  // With a piggyback source installed the responder's CTS may be longer
+  // than the base size; widen the wait by the bounded allowance.
+  const int cts_budget =
+      cfg_.sizes.cts + (piggyback_ != nullptr ? cfg_.ctrl_piggyback_max : 0);
+  const TimeNs deadline = end + cfg_.sifs + dur(cts_budget) + 2 * cfg_.slot;
   timeout_event_ = sim_.schedule_at(deadline, [this] { on_timeout(); });
 }
 
@@ -207,11 +239,34 @@ void DcfMac::on_timeout() {
 void DcfMac::finish_attempt(bool success) {
   if (success) retries_ = 0;
   backoff_drawn_ = false;
-  if (queue_.has_packet()) {
+  if (has_work()) {
     start_access(/*redraw=*/true);
   } else {
     state_ = State::kIdle;
   }
+}
+
+// ---------------------------------------------------------- control plane
+
+void DcfMac::send_ctrl_frame() {
+  E2EFA_ASSERT(!ctrl_q_.empty());
+  CtrlEntry e = std::move(ctrl_q_.front());
+  ctrl_q_.pop_front();
+  Frame f;
+  f.type = FrameType::kCtrl;
+  f.rx = kInvalidNode;  // broadcast: every link neighbor decodes it
+  f.bytes = e.bytes;
+  f.nav = 0;
+  f.ctrl = std::move(e.msg);
+  const TimeNs end = channel_.transmit(self_, f);
+  ++stats_.ctrl_sent;
+  state_ = State::kTxCtrl;
+  backoff_drawn_ = false;
+  sim_.schedule_at(end, [this] {
+    if (state_ != State::kTxCtrl) return;
+    state_ = State::kIdle;
+    if (has_work()) start_access(/*redraw=*/true);
+  });
 }
 
 // -------------------------------------------------------------- receiver
@@ -240,6 +295,7 @@ void DcfMac::on_rts(const Frame& f) {
       cts.tag_subflow = rx_tag_subflow_;
       cts.has_service_tag = true;
     }
+    attach_piggyback(cts);
     const TimeNs end = channel_.transmit(self_, cts);
     ++stats_.cts_sent;
     // If the DATA never materializes, abandon the exchange.
@@ -292,13 +348,18 @@ void DcfMac::end_rx_exchange() {
   rx_peer_ = kInvalidNode;
   rx_has_tag_ = false;
   state_ = State::kIdle;
-  if (queue_.has_packet()) start_access(/*redraw=*/false);  // keep frozen counter
+  if (has_work()) start_access(/*redraw=*/false);  // keep frozen counter
 }
 
 // ------------------------------------------------------------- dispatch
 
 void DcfMac::on_frame_received(const Frame& f) {
   if (f.has_service_tag && tags_ != nullptr) tags_->observe_tag(f.tag_subflow, f.service_tag, sim_.now());
+
+  // Control payloads ride on broadcast kCtrl frames and on overheard
+  // RTS/CTS piggybacks alike — surface them before the unicast filter.
+  if (f.ctrl != nullptr && ctrl_listener_) ctrl_listener_(f);
+  if (f.type == FrameType::kCtrl) return;  // no NAV, no handshake role
 
   if (f.rx != self_) {
     // Overheard: virtual carrier sense.
@@ -320,6 +381,8 @@ void DcfMac::on_frame_received(const Frame& f) {
       if (state_ == State::kWaitAck && queue_.has_packet() && f.tx == queue_.head().dst)
         on_ack(f);
       break;
+    case FrameType::kCtrl:
+      break;  // handled above
   }
 }
 

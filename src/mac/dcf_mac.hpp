@@ -10,6 +10,9 @@
 #pragma once
 
 #include <cstdint>
+#include <deque>
+#include <functional>
+#include <memory>
 
 #include "mac/backoff.hpp"
 #include "phy/channel.hpp"
@@ -27,7 +30,27 @@ struct MacConfig {
   /// True (default): four-way RTS/CTS/DATA/ACK. False: basic access —
   /// DATA/ACK only; hidden terminals then collide on full data frames.
   bool use_rts_cts = true;
+  /// Contention window for broadcast control frames (src/ctrl): they carry
+  /// no tag state, so they draw uniformly from [1, ctrl_cw + 1] instead of
+  /// consulting the BackoffPolicy. Unused until send_ctrl is called.
+  int ctrl_cw = 31;
+  /// Upper bound on the extra bytes a CtrlPiggyback may attach to an
+  /// RTS/CTS. The RTS sender cannot know whether the responder will
+  /// piggyback, so when a piggyback source is installed its CTS-timeout
+  /// budget is widened by this many bytes of airtime.
+  int ctrl_piggyback_max = 48;
   FrameSizes sizes;
+};
+
+/// Supplies the optional allocation-control payload piggybacked on outgoing
+/// RTS/CTS frames (src/ctrl overheard-table deltas). Implemented by the
+/// per-node AllocAgent; null (default) disables piggybacking entirely.
+class CtrlPiggyback {
+ public:
+  virtual ~CtrlPiggyback() = default;
+  /// Returns the payload to attach (null for none) and adds its wire size
+  /// to *extra_bytes. Must be pure: no RNG, no scheduling.
+  virtual std::shared_ptr<const CtrlMsg> piggyback_payload(int* extra_bytes) = 0;
 };
 
 /// Upcalls from the MAC into the node stack.
@@ -53,6 +76,21 @@ class DcfMac : public PhyListener {
   /// idle) queue so the MAC starts contending.
   void notify_queue_nonempty();
 
+  // --- Allocation-control plane (src/ctrl) -------------------------------
+  /// Queues a broadcast control frame (rx = -1, no ACK; the control plane
+  /// heals losses by periodic resend). Control frames contend like any
+  /// access but take priority over the data queue when backoff expires —
+  /// they are tiny and rare. `bytes` is the frame's wire size.
+  void send_ctrl(std::shared_ptr<const CtrlMsg> msg, int bytes);
+  /// Pending unsent control frames (backpressure signal for the agent).
+  int ctrl_backlog() const { return static_cast<int>(ctrl_q_.size()); }
+  /// Invoked for every cleanly received frame carrying a control payload —
+  /// dedicated kCtrl broadcasts and RTS/CTS piggybacks alike.
+  using CtrlListener = std::function<void(const Frame&)>;
+  void set_ctrl_listener(CtrlListener fn) { ctrl_listener_ = std::move(fn); }
+  /// Installs the RTS/CTS piggyback source. Null (default) = none.
+  void set_ctrl_piggyback(CtrlPiggyback* p) { piggyback_ = p; }
+
   // --- PhyListener ---
   void on_frame_received(const Frame& frame) override;
   void on_frame_corrupted(TimeNs end) override;
@@ -66,6 +104,7 @@ class DcfMac : public PhyListener {
     std::uint64_t ack_sent = 0;
     std::uint64_t timeouts = 0;
     std::uint64_t retry_drops = 0;
+    std::uint64_t ctrl_sent = 0;  ///< Dedicated kCtrl broadcasts transmitted.
   };
   const Stats& stats() const { return stats_; }
   NodeId self() const { return self_; }
@@ -82,6 +121,7 @@ class DcfMac : public PhyListener {
     kSendData,    ///< CTS received, DATA going out (or queued behind SIFS).
     kWaitAck,     ///< DATA sent, awaiting ACK.
     kRxExchange,  ///< Responding (CTS sent / awaiting DATA / ACK going out).
+    kTxCtrl,      ///< Broadcast control frame on air (no ACK expected).
   };
 
   // Channel access.
@@ -104,9 +144,14 @@ class DcfMac : public PhyListener {
   void on_data(const Frame& f);
   void end_rx_exchange();
 
+  // Control plane.
+  void send_ctrl_frame();
+  bool has_work() const { return queue_.has_packet() || !ctrl_q_.empty(); }
+
   TimeNs dur(int bytes) const { return channel_.frame_duration(bytes); }
   TimeNs data_bytes(const Packet& p) const;
   void attach_tag(Frame& f) const;
+  void attach_piggyback(Frame& f);
 
   Simulator& sim_;
   Channel& channel_;
@@ -118,6 +163,14 @@ class DcfMac : public PhyListener {
   Rng rng_;
   TagAgent* tags_;
   TraceSink* trace_ = nullptr;
+
+  struct CtrlEntry {
+    std::shared_ptr<const CtrlMsg> msg;
+    int bytes = 0;
+  };
+  std::deque<CtrlEntry> ctrl_q_;
+  CtrlListener ctrl_listener_;
+  CtrlPiggyback* piggyback_ = nullptr;
 
   State state_ = State::kIdle;
   int backoff_remaining_ = 0;

@@ -19,6 +19,7 @@ std::optional<Protocol> parse_protocol(const std::string& s) {
   if (s == "two-tier-mm" || s == "twotier-mm") return Protocol::kTwoTierBalanced;
   if (s == "2pa-c" || s == "2pa" || s == "2PA-C") return Protocol::k2paCentralized;
   if (s == "2pa-d" || s == "2PA-D") return Protocol::k2paDistributed;
+  if (s == "2pa-dctrl" || s == "2PA-Dctrl") return Protocol::k2paDistributedCtrl;
   if (s == "maxmin" || s == "max-min") return Protocol::kMaxMin;
   return std::nullopt;
 }
@@ -27,7 +28,8 @@ std::string cli_usage() {
   return
       "usage: e2efa_sim [options]\n"
       "  --scenario S    1 | 2 | chain:N | grid:RxC | random:N | file:PATH (default 1)\n"
-      "  --protocol P    802.11 | two-tier | two-tier-mm | 2pa-c | 2pa-d | maxmin\n"
+      "  --protocol P    802.11 | two-tier | two-tier-mm | 2pa-c | 2pa-d |\n"
+      "                  2pa-dctrl (phase 1 in-band over control frames) | maxmin\n"
       "  --seconds T     measured simulation horizon (default 60)\n"
       "  --warmup T      excluded transient seconds (default 0)\n"
       "  --pps N         CBR packets per second per flow (default 200)\n"
@@ -39,8 +41,8 @@ std::string cli_usage() {
       "  --trace PATH    write a structured event trace (.jsonl suffix = text,\n"
       "                  anything else = compact binary for trace-tool)\n"
       "  --trace-filter C  comma-separated trace categories (meta, phy, mac,\n"
-      "                  backoff, tag, vclock, queue, fault, lp, flow, all);\n"
-      "                  requires --trace\n"
+      "                  backoff, tag, vclock, queue, fault, lp, flow, ctrl,\n"
+      "                  all); requires --trace; ctrl needs --protocol 2pa-dctrl\n"
       "  --metrics-out PATH  write periodic metrics samples as JSONL\n"
       "  --metrics-period T  metrics sampling period in seconds (default 1;\n"
       "                  requires --metrics-out)\n"
@@ -145,6 +147,17 @@ std::optional<CliOptions> parse_cli(int argc, const char* const* argv,
     *error = "--trace-filter requires --trace";
     return std::nullopt;
   }
+  // Naming the ctrl category without the in-band protocol would produce a
+  // silently-empty trace/metrics stream — no agent ever emits; fail loudly.
+  // (Token scan is exact: no other category name contains "ctrl".)
+  if (!opt.trace_filter.empty() &&
+      opt.trace_filter.find("ctrl") != std::string::npos &&
+      opt.protocol != Protocol::k2paDistributedCtrl) {
+    *error = std::string("--trace-filter names the ctrl category, but --protocol ") +
+             to_string(opt.protocol) +
+             " has no control plane (use --protocol 2pa-dctrl)";
+    return std::nullopt;
+  }
   if (opt.config.metrics_period_seconds > 0 && opt.metrics_out.empty()) {
     *error = "--metrics-period requires --metrics-out";
     return std::nullopt;
@@ -243,6 +256,14 @@ std::string format_run_result(const Scenario& sc, const RunResult& r,
      << r.lost_packets << " (ratio " << strformat("%.4f", r.loss_ratio) << "), "
      << r.channel.frames_transmitted << " frames on air, "
      << r.channel.frames_corrupted << " corrupted\n";
+
+  if (r.protocol == Protocol::k2paDistributedCtrl) {
+    os << "\nin-band control plane: " << r.ctrl.ctrl_frames << " ctrl frames ("
+       << r.ctrl.ctrl_bytes << " wire bytes), queued " << r.ctrl.hello_sent
+       << " HELLO / " << r.ctrl.constraint_sent << " CONSTRAINT / "
+       << r.ctrl.rate_sent << " RATE, " << r.ctrl.msgs_received
+       << " payloads decoded, " << r.ctrl.solves << " source LP solves\n";
+  }
 
   if (!sc.faults.empty()) {
     os << "\nfaults: " << r.link_failures << " link-layer failures, "

@@ -4,7 +4,7 @@
 // across an N-hop chain), "grid:RxC" (four corner-to-corner flows on an
 // RxC grid), "random:N" (N nodes, N/3 random flows).
 // Protocol specs:  "802.11" | "two-tier" | "two-tier-mm" | "2pa-c" |
-//                  "2pa-d" | "maxmin".
+//                  "2pa-d" | "2pa-dctrl" | "maxmin".
 #pragma once
 
 #include <optional>

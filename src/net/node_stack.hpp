@@ -30,6 +30,9 @@ class NodeStack : public MacCallbacks {
   void on_packet_dropped(const Packet& p) override;
 
   const DcfMac& mac() const { return *mac_; }
+  /// Mutable MAC access for wiring the in-band control plane (listener,
+  /// piggyback source, send_ctrl).
+  DcfMac& mac() { return *mac_; }
   NodeId self() const { return self_; }
   int backlog() const { return queue_->backlog(); }
 

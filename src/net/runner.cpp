@@ -28,6 +28,7 @@ const char* to_string(Protocol p) {
     case Protocol::k2paDistributed: return "2PA-D";
     case Protocol::kMaxMin: return "maxmin";
     case Protocol::k2paStaticCw: return "2PA-staticCW";
+    case Protocol::k2paDistributedCtrl: return "2PA-Dctrl";
   }
   return "?";
 }
@@ -52,7 +53,8 @@ constexpr double kInactiveShare = 1e-6;
 /// rows cannot carry every flow's basic share) reports kInfeasible — the
 /// distributed form keeps its by-design local relaxations.
 LpStatus compute_allocation(Protocol proto, const Topology& topo, const FlowSet& flows,
-                            Allocation* out, bool* has_target) {
+                            const TopologyMask* mask, Allocation* out,
+                            bool* has_target) {
   *has_target = false;
   if (proto == Protocol::k80211) return LpStatus::kOptimal;
   ContentionGraph graph(topo, flows);
@@ -86,6 +88,13 @@ LpStatus compute_allocation(Protocol proto, const Topology& topo, const FlowSet&
       *out = distributed_allocate(topo, flows, graph).allocation;
       *has_target = true;
       return LpStatus::kOptimal;
+    case Protocol::k2paDistributedCtrl:
+      // The oracle the in-band agents are measured against: identical
+      // distributed algorithm, with the neighbor exchange restricted to the
+      // epoch's surviving topology (a dead neighbor's HELLOs go unheard).
+      *out = distributed_allocate(topo, flows, graph, mask).allocation;
+      *has_target = true;
+      return LpStatus::kOptimal;
     case Protocol::k80211:
       break;
   }
@@ -106,7 +115,8 @@ struct EpochAllocation {
 
 EpochAllocation allocate_epoch(Protocol proto, const Topology& topo,
                                const FlowSet& all_flows,
-                               const std::vector<FlowId>& active, double start_s) {
+                               const std::vector<FlowId>& active, double start_s,
+                               const TopologyMask* mask) {
   EpochAllocation out;
   out.start_s = start_s;
   out.flow_share.assign(static_cast<std::size_t>(all_flows.flow_count()), 0.0);
@@ -119,7 +129,7 @@ EpochAllocation allocate_epoch(Protocol proto, const Topology& topo,
   for (FlowId f : active) specs.push_back(all_flows.flow(f));
   FlowSet sub(topo, specs);
   Allocation a;
-  out.status = compute_allocation(proto, topo, sub, &a, &out.has_target);
+  out.status = compute_allocation(proto, topo, sub, mask, &a, &out.has_target);
   E2EFA_ASSERT_MSG(out.status == LpStatus::kOptimal,
                    "phase-1 allocation infeasible: basic shares exceed clique capacity");
   if (!out.has_target) return out;
@@ -269,8 +279,13 @@ RunResult run_scenario(const Scenario& sc, Protocol proto, const SimConfig& cfg,
     }
   }
 
-  // ---- Per-epoch phase-1 allocations over the reachable active flows. ----
+  // ---- Per-epoch phase-1 allocations over the reachable active flows.
+  // For the in-band protocol this allocation is the *oracle*: the sim's
+  // AllocAgents must converge to it on their own, so it is computed against
+  // the epoch's surviving topology but never pushed into the schedulers. ----
+  const bool dctrl = proto == Protocol::k2paDistributedCtrl;
   std::vector<EpochAllocation> epochs;
+  std::vector<std::vector<FlowId>> epoch_active_flows;
   for (int e = 0; e < E; ++e) {
     const double t = boundaries[static_cast<std::size_t>(e)];
     std::vector<FlowId> active;
@@ -280,7 +295,10 @@ RunResult run_scenario(const Scenario& sc, Protocol proto, const SimConfig& cfg,
       const FlowId g = active_of[static_cast<std::size_t>(e)][static_cast<std::size_t>(f)];
       if (g >= 0) active.push_back(g);
     }
-    epochs.push_back(allocate_epoch(proto, sc.topo, flows, active, t));
+    epochs.push_back(allocate_epoch(proto, sc.topo, flows, active, t,
+                                    dctrl ? &masks[static_cast<std::size_t>(e)]
+                                          : nullptr));
+    epoch_active_flows.push_back(std::move(active));
     if (proto != Protocol::k80211) out.epoch_lp_status.push_back(epochs.back().status);
   }
 
@@ -380,8 +398,12 @@ RunResult run_scenario(const Scenario& sc, Protocol proto, const SimConfig& cfg,
     } else {
       std::vector<TagScheduler::SubflowConfig> lanes;
       for (int s = 0; s < flows.subflow_count(); ++s) {
+        // In-band runs must not start from the oracle's answer: lanes begin
+        // at the inactive floor and the agents bootstrap them locally.
         if (flows.subflow(s).src == n)
-          lanes.push_back({s, epochs.front().subflow_share[static_cast<std::size_t>(s)]});
+          lanes.push_back(
+              {s, dctrl ? kInactiveShare
+                        : epochs.front().subflow_share[static_cast<std::size_t>(s)]});
       }
       auto sched = std::make_unique<TagScheduler>(std::move(lanes), cfg.queue_capacity,
                                                   cfg.channel_bps, cfg.alpha);
@@ -403,6 +425,34 @@ RunResult run_scenario(const Scenario& sc, Protocol proto, const SimConfig& cfg,
     stacks.back()->set_trace(trace);
     stacks.back()->set_link_failure_listener(
         [&link_failures](const Packet&, TimeNs) { ++link_failures; });
+  }
+
+  // ---- In-band control plane: one AllocAgent per node, wired into its
+  // MAC. Everything in this branch (including the extra RNG splits) only
+  // happens for k2paDistributedCtrl, so every other protocol's trajectory
+  // is untouched. ----
+  std::unique_ptr<ContentionGraph> ctrl_graph;
+  std::vector<std::unique_ptr<AllocAgent>> agents;
+  // Activity bitmap over sim subflows for epoch e (what the agents may
+  // hear: inactive subflows carry no traffic and leave every Own set).
+  auto active_bitmap_of = [&](int e) {
+    std::vector<char> b(static_cast<std::size_t>(flows.subflow_count()), 0);
+    for (FlowId g : epoch_active_flows[static_cast<std::size_t>(e)])
+      for (int h = 0; h < flows.flow(g).length(); ++h)
+        b[static_cast<std::size_t>(flows.subflow_index(g, h))] = 1;
+    return b;
+  };
+  if (dctrl) {
+    ctrl_graph = std::make_unique<ContentionGraph>(sc.topo, flows);
+    Rng ctrl_master = master.split();
+    for (NodeId n = 0; n < sc.topo.node_count(); ++n)
+      agents.push_back(std::make_unique<AllocAgent>(
+          sim, stacks[static_cast<std::size_t>(n)]->mac(), sc.topo, flows,
+          *ctrl_graph, tag_scheds[static_cast<std::size_t>(n)], cfg.ctrl,
+          ctrl_master.split(), trace));
+    const std::vector<char> b0 = active_bitmap_of(0);
+    for (auto& a : agents) a->note_active_set(b0);
+    for (auto& a : agents) a->start();
   }
 
   // ---- Fault bookkeeping shared by the scheduled epoch events. ----
@@ -468,12 +518,20 @@ RunResult run_scenario(const Scenario& sc, Protocol proto, const SimConfig& cfg,
         trace->record<TraceCat::kFault>(sim.now(), TraceEvent::kFaultEpoch, -1, e,
                                         -1, boundaries[static_cast<std::size_t>(e)]);
       trace_epoch_allocation(e, sim.now());
-      const EpochAllocation& epoch = epochs[static_cast<std::size_t>(e)];
-      for (int s = 0; s < flows.subflow_count(); ++s) {
-        TagScheduler* sched = tag_scheds[static_cast<std::size_t>(flows.subflow(s).src)];
-        if (sched != nullptr) {
-          sched->note_time(sim.now());
-          sched->update_share(s, epoch.subflow_share[static_cast<std::size_t>(s)]);
+      if (dctrl) {
+        // No oracle push: tell the agents what went (in)active and let the
+        // network re-converge through its own HELLO/CONSTRAINT/RATE cycle.
+        const std::vector<char> b = active_bitmap_of(e);
+        for (auto& a : agents) a->note_active_set(b);
+      } else {
+        const EpochAllocation& epoch = epochs[static_cast<std::size_t>(e)];
+        for (int s = 0; s < flows.subflow_count(); ++s) {
+          TagScheduler* sched =
+              tag_scheds[static_cast<std::size_t>(flows.subflow(s).src)];
+          if (sched != nullptr) {
+            sched->note_time(sim.now());
+            sched->update_share(s, epoch.subflow_share[static_cast<std::size_t>(s)]);
+          }
         }
       }
       for (FlowId f = 0; f < F; ++f) {
@@ -549,7 +607,7 @@ RunResult run_scenario(const Scenario& sc, Protocol proto, const SimConfig& cfg,
   MetricsTimeSeries metrics_ts;
   std::vector<std::int64_t> metrics_prev_e2e(static_cast<std::size_t>(F), 0);
   double metrics_prev_timeouts = 0.0, metrics_prev_attempts = 0.0;
-  double metrics_prev_airtime = 0.0;
+  double metrics_prev_airtime = 0.0, metrics_prev_ctrl_bytes = 0.0;
   std::function<void()> metrics_sample;
   if (cfg.metrics_period_seconds > 0.0) {
     metrics_ts.period_s = cfg.metrics_period_seconds;
@@ -585,6 +643,11 @@ RunResult run_scenario(const Scenario& sc, Protocol proto, const SimConfig& cfg,
                            static_cast<std::int16_t>(flows.subflow(s).src), s,
                            &c.dropped_queue);
     }
+    if (dctrl)
+      for (NodeId n = 0; n < sc.topo.node_count(); ++n)
+        registry.add_counter(
+            "ctrl_bytes", static_cast<std::int16_t>(n), -1,
+            &agents[static_cast<std::size_t>(n)]->stats().ctrl_bytes_sent);
 
     // Targets of the epoch in force at time t_s, folded onto logical flows.
     auto targets_at = [&](double t_s) {
@@ -639,6 +702,14 @@ RunResult run_scenario(const Scenario& sc, Protocol proto, const SimConfig& cfg,
       samp.channel_utilization =
           (airtime - metrics_prev_airtime) / static_cast<double>(period);
       metrics_prev_airtime = airtime;
+      if (dctrl) {
+        const double cbytes = registry.sum("ctrl_bytes");
+        samp.ctrl_bytes = cbytes - metrics_prev_ctrl_bytes;
+        metrics_prev_ctrl_bytes = cbytes;
+        const double data_bytes = registry.sum("mac_data_sent") *
+                                  static_cast<double>(cfg.payload_bytes);
+        samp.ctrl_overhead = data_bytes > 0.0 ? cbytes / data_bytes : 0.0;
+      }
       metrics_ts.samples.push_back(std::move(samp));
       if (sim.now() + period <= horizon) sim.schedule_in(period, metrics_sample);
     };
@@ -695,6 +766,26 @@ RunResult run_scenario(const Scenario& sc, Protocol proto, const SimConfig& cfg,
   out.epoch_end_to_end = std::move(epoch_e2e);
   out.recoveries = std::move(recoveries);
   out.metrics = std::move(metrics_ts);
+  if (dctrl) {
+    for (NodeId n = 0; n < sc.topo.node_count(); ++n) {
+      const CtrlAgentStats& as = agents[static_cast<std::size_t>(n)]->stats();
+      out.ctrl.hello_sent += as.hello_sent;
+      out.ctrl.constraint_sent += as.constraint_sent;
+      out.ctrl.rate_sent += as.rate_sent;
+      out.ctrl.msgs_received += as.msgs_received;
+      out.ctrl.solves += as.solves;
+      out.ctrl.ctrl_bytes += as.ctrl_bytes_sent;
+      out.ctrl.ctrl_frames +=
+          stacks[static_cast<std::size_t>(n)]->mac().stats().ctrl_sent;
+    }
+    out.ctrl.applied_subflow_share.resize(
+        static_cast<std::size_t>(flows.subflow_count()));
+    for (int s = 0; s < flows.subflow_count(); ++s) {
+      TagScheduler* sched = tag_scheds[static_cast<std::size_t>(flows.subflow(s).src)];
+      out.ctrl.applied_subflow_share[static_cast<std::size_t>(s)] =
+          sched != nullptr ? sched->share_of(s) : 0.0;
+    }
+  }
   return out;
 }
 

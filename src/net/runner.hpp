@@ -7,6 +7,7 @@
 #include <vector>
 
 #include "alloc/allocation.hpp"
+#include "ctrl/agent.hpp"
 #include "lp/simplex.hpp"
 #include "mac/dcf_mac.hpp"
 #include "net/scenarios.hpp"
@@ -29,6 +30,10 @@ enum class Protocol {
   k2paStaticCw,      ///< Ablation: 2PA phase-1 shares + intra-node weighted
                      ///< queueing, but a static 1/node-share contention
                      ///< window instead of the tag/backoff feedback loop.
+  k2paDistributedCtrl,  ///< 2PA, phase 1 run *in-band* by per-node AllocAgents
+                        ///< over real control frames (src/ctrl): no oracle
+                        ///< pushes shares; the network converges on its own,
+                        ///< and re-converges after faults the same way.
 };
 
 const char* to_string(Protocol p);
@@ -65,6 +70,9 @@ struct SimConfig {
   /// Jain index, queue-depth percentiles, MAC retry rate, channel
   /// utilization). 0 (default) disables the registry and sampler entirely.
   double metrics_period_seconds = 0.0;
+  /// In-band control plane tuning (k2paDistributedCtrl only; ignored by
+  /// every other protocol).
+  CtrlConfig ctrl;
 };
 
 struct RunResult {
@@ -141,6 +149,24 @@ struct RunResult {
   /// at deterministic instants: identical across reruns and BatchRunner
   /// thread counts for a fixed seed.
   MetricsTimeSeries metrics;
+
+  /// In-band control plane summary (k2paDistributedCtrl only; all-zero /
+  /// empty otherwise). The counters aggregate every node's AllocAgent; the
+  /// applied shares are what actually sits in the TagSchedulers when the
+  /// run ends — i.e. the state the network converged to, as opposed to the
+  /// oracle targets in target_subflow_share / epoch_flow_share.
+  struct CtrlSummary {
+    std::uint64_t hello_sent = 0;       ///< Queued HELLO broadcasts.
+    std::uint64_t constraint_sent = 0;  ///< Queued CONSTRAINT messages.
+    std::uint64_t rate_sent = 0;        ///< Queued RATE messages.
+    std::uint64_t msgs_received = 0;    ///< Decoded control payloads.
+    std::uint64_t solves = 0;           ///< Source-local LP solves.
+    std::uint64_t ctrl_bytes = 0;       ///< Wire bytes of queued dedicated frames.
+    std::uint64_t ctrl_frames = 0;      ///< kCtrl frames actually transmitted.
+    std::vector<double> applied_subflow_share;  ///< Final lane shares (sim ids).
+    bool operator==(const CtrlSummary&) const = default;
+  };
+  CtrlSummary ctrl;
 
   /// Measured share of subflow s in units of B:
   /// delivered · payload_bits / (T · B).

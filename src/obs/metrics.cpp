@@ -82,9 +82,11 @@ std::string metrics_sample_jsonl(const MetricsSample& s) {
   return strformat(
       "{\"t_s\":%.17g,\"flow_goodput_pps\":%s,\"jain\":%.17g,"
       "\"queue_p50\":%.17g,\"queue_p95\":%.17g,\"queue_max\":%.17g,"
-      "\"mac_retry_rate\":%.17g,\"channel_utilization\":%.17g}",
+      "\"mac_retry_rate\":%.17g,\"channel_utilization\":%.17g,"
+      "\"ctrl_bytes\":%.17g,\"ctrl_overhead\":%.17g}",
       s.t_s, goodput.c_str(), s.jain, s.queue_depth_p50, s.queue_depth_p95,
-      s.queue_depth_max, s.mac_retry_rate, s.channel_utilization);
+      s.queue_depth_max, s.mac_retry_rate, s.channel_utilization, s.ctrl_bytes,
+      s.ctrl_overhead);
 }
 
 bool write_metrics_jsonl(const MetricsTimeSeries& ts, const std::string& path,

@@ -73,6 +73,11 @@ struct MetricsSample {
   /// Σ frame airtime / window length. Sums over *all* transmissions, so
   /// spatial reuse (concurrent cliques) pushes it above 1.
   double channel_utilization = 0.0;
+  /// In-band control plane (2PA-Dctrl only; 0 for every other protocol):
+  /// control wire bytes queued by the AllocAgents this window, and the
+  /// cumulative control-bytes / data-bytes overhead ratio at window end.
+  double ctrl_bytes = 0.0;
+  double ctrl_overhead = 0.0;
 
   bool operator==(const MetricsSample&) const = default;
 };

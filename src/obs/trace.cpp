@@ -45,6 +45,10 @@ const char* to_string(TraceEvent e) {
     case TraceEvent::kLpResolve: return "lp_resolve";
     case TraceEvent::kFlowTarget: return "flow_target";
     case TraceEvent::kDelivery: return "delivery";
+    case TraceEvent::kCtrlSend: return "ctrl_send";
+    case TraceEvent::kCtrlRecv: return "ctrl_recv";
+    case TraceEvent::kCtrlSolve: return "ctrl_solve";
+    case TraceEvent::kCtrlRate: return "ctrl_rate";
   }
   return "unknown";
 }
@@ -61,6 +65,7 @@ const char* to_string(TraceCat c) {
     case TraceCat::kFault: return "fault";
     case TraceCat::kLp: return "lp";
     case TraceCat::kFlow: return "flow";
+    case TraceCat::kCtrl: return "ctrl";
   }
   return "unknown";
 }
@@ -85,7 +90,7 @@ bool parse_trace_filter(const std::string& spec, std::uint32_t* mask,
       continue;
     }
     bool found = false;
-    for (std::uint32_t bit = 0; bit < 10; ++bit) {
+    for (std::uint32_t bit = 0; bit < kTraceCategoryCount; ++bit) {
       const TraceCat c = static_cast<TraceCat>(bit);
       if (name == to_string(c)) {
         m |= trace_bit(c);
@@ -95,7 +100,7 @@ bool parse_trace_filter(const std::string& spec, std::uint32_t* mask,
     }
     if (!found) {
       *error = "unknown trace category: " + name +
-               " (expected meta|phy|mac|backoff|tag|vclock|queue|fault|lp|flow|all)";
+               " (expected meta|phy|mac|backoff|tag|vclock|queue|fault|lp|flow|ctrl|all)";
       return false;
     }
   }

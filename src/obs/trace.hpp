@@ -44,12 +44,14 @@ enum class TraceCat : std::uint32_t {
   kFault = 7,    ///< Fault epoch transitions.
   kLp = 8,       ///< Phase-1 (re-)solves and the resulting flow targets.
   kFlow = 9,     ///< End-to-end deliveries per logical flow.
+  kCtrl = 10,    ///< In-band allocation control plane (HELLO/CONSTRAINT/RATE).
 };
 
 constexpr std::uint32_t trace_bit(TraceCat c) {
   return 1u << static_cast<std::uint32_t>(c);
 }
-constexpr std::uint32_t kTraceAllCategories = 0x3ffu;
+constexpr std::uint32_t kTraceCategoryCount = 11;
+constexpr std::uint32_t kTraceAllCategories = (1u << kTraceCategoryCount) - 1u;
 
 #ifndef E2EFA_TRACE_COMPILED_CATEGORIES
 #define E2EFA_TRACE_COMPILED_CATEGORIES 0xffffffffu
@@ -79,6 +81,10 @@ enum class TraceEvent : std::uint16_t {
   kLpResolve = 16,      ///< a=epoch index, b=LpStatus, v0=epoch start (seconds).
   kFlowTarget = 17,     ///< a=logical flow, v0=target share (units of B); 0 = inactive/suspended.
   kDelivery = 18,       ///< node=destination, a=logical flow, v0=end-to-end delay (s).
+  kCtrlSend = 19,       ///< node=sender, a=CtrlMsg::Kind, b=directed target (-1 bcast), v0=wire bytes, v1=seq.
+  kCtrlRecv = 20,       ///< node=receiver, a=CtrlMsg::Kind, b=origin, v0=wire bytes, v1=1 if piggybacked.
+  kCtrlSolve = 21,      ///< node=source, a=flow, b=LpStatus, v0=solved share (units of B), v1=accumulated clique count.
+  kCtrlRate = 22,       ///< node, a=subflow, b=flow, v0=applied lane share (units of B).
 };
 
 /// Category an event belongs to (drives filtering).
@@ -103,6 +109,10 @@ constexpr TraceCat trace_category(TraceEvent e) {
     case TraceEvent::kLpResolve:
     case TraceEvent::kFlowTarget: return TraceCat::kLp;
     case TraceEvent::kDelivery: return TraceCat::kFlow;
+    case TraceEvent::kCtrlSend:
+    case TraceEvent::kCtrlRecv:
+    case TraceEvent::kCtrlSolve:
+    case TraceEvent::kCtrlRate: return TraceCat::kCtrl;
   }
   return TraceCat::kMeta;
 }

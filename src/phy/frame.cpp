@@ -8,6 +8,7 @@ const char* to_string(FrameType t) {
     case FrameType::kCts: return "CTS";
     case FrameType::kData: return "DATA";
     case FrameType::kAck: return "ACK";
+    case FrameType::kCtrl: return "CTRL";
   }
   return "?";
 }

@@ -6,6 +6,7 @@
 // RTS/CTS/ACK so neighbors can maintain their local tag tables (Sec. IV-C).
 #pragma once
 
+#include <memory>
 #include <optional>
 
 #include "phy/packet.hpp"
@@ -13,7 +14,9 @@
 
 namespace e2efa {
 
-enum class FrameType { kRts, kCts, kData, kAck };
+/// kCtrl: broadcast allocation-control frame (src/ctrl HELLO / CONSTRAINT /
+/// RATE); sent once without ACK, rx = -1, robustness via periodic resend.
+enum class FrameType { kRts, kCts, kData, kAck, kCtrl };
 
 const char* to_string(FrameType t);
 
@@ -43,6 +46,11 @@ struct Frame {
   /// 2PA piggyback on ACK: the receiver-estimated backoff component R for
   /// the sender's future packets.
   double ack_backoff_r = 0.0;
+  /// Allocation-control payload (src/ctrl): the whole message of a kCtrl
+  /// frame, or a small table delta piggybacked on RTS/CTS. Opaque to the
+  /// PHY/MAC; null for protocols without a control plane. Shared so the
+  /// channel's pooled frame copies stay cheap.
+  std::shared_ptr<const struct CtrlMsg> ctrl;
 };
 
 }  // namespace e2efa

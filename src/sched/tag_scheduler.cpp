@@ -173,6 +173,12 @@ void TagScheduler::update_share(std::int32_t subflow, double share) {
       l.external_finish = l.start_tag + packet_vtime(l.q.front()) / node_share_;
 }
 
+double TagScheduler::share_of(std::int32_t subflow) const {
+  const auto it = lane_index_.find(subflow);
+  E2EFA_ASSERT_MSG(it != lane_index_.end(), "share_of: subflow has no lane at this node");
+  return lanes_[it->second].cfg.share;
+}
+
 double TagScheduler::head_tag() const {
   select_head();
   return lanes_[static_cast<std::size_t>(selected_)].start_tag;

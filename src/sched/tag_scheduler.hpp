@@ -69,6 +69,11 @@ class TagScheduler : public TxQueue, public TagAgent {
   /// re-derived from the current virtual clock. share must be > 0.
   void update_share(std::int32_t subflow, double share);
 
+  /// Current allocated share c^j of one lane (asserts if the subflow has no
+  /// lane here). Lets the in-band control plane skip no-op RATE updates and
+  /// tests read back what was applied.
+  double share_of(std::int32_t subflow) const;
+
   /// Installs the trace sink for tag/vclock events at this node. The
   /// scheduler's TxQueue interface carries `now` on every mutating call, so
   /// emissions reuse the caller's timestamp (tracked in trace_now_); for the

@@ -100,6 +100,45 @@ TEST(Cli, RejectsTraceFilterWithoutTrace) {
   EXPECT_NE(err.find("--trace-filter requires --trace"), std::string::npos);
 }
 
+TEST(Cli, ParsesInBandControlProtocol) {
+  std::string err;
+  const auto opt = parse({"--protocol", "2pa-dctrl"}, &err);
+  ASSERT_TRUE(opt.has_value()) << err;
+  EXPECT_EQ(opt->protocol, Protocol::k2paDistributedCtrl);
+  EXPECT_NE(cli_usage().find("2pa-dctrl"), std::string::npos);
+}
+
+// Naming the ctrl trace category only makes sense when the protocol runs a
+// control plane; every other protocol would write a silently-empty stream.
+TEST(Cli, RejectsCtrlTraceCategoryWithoutControlPlane) {
+  std::string err;
+  // Default protocol (2pa-c): no control plane.
+  EXPECT_FALSE(
+      parse({"--trace", "t.bin", "--trace-filter", "ctrl"}, &err).has_value());
+  EXPECT_NE(err.find("no control plane"), std::string::npos);
+  // Same in a comma list, with the protocol named explicitly — and option
+  // order must not matter.
+  EXPECT_FALSE(parse({"--trace", "t.bin", "--trace-filter", "mac,ctrl",
+                      "--protocol", "2pa-d"},
+                     &err)
+                   .has_value());
+  EXPECT_NE(err.find("no control plane"), std::string::npos);
+  EXPECT_FALSE(parse({"--protocol", "802.11", "--trace", "t.bin",
+                      "--trace-filter", "ctrl"},
+                     &err)
+                   .has_value());
+
+  // Accepted with the in-band protocol, and "all" stays protocol-agnostic.
+  EXPECT_TRUE(parse({"--protocol", "2pa-dctrl", "--trace", "t.bin",
+                     "--trace-filter", "ctrl,lp"},
+                    &err)
+                  .has_value())
+      << err;
+  EXPECT_TRUE(
+      parse({"--trace", "t.bin", "--trace-filter", "all"}, &err).has_value())
+      << err;
+}
+
 TEST(Cli, RejectsMetricsPeriodWithoutMetricsOut) {
   std::string err;
   EXPECT_FALSE(parse({"--metrics-period", "1"}, &err).has_value());

@@ -24,7 +24,7 @@ const Protocol kAllProtocols[] = {
     Protocol::k80211,          Protocol::kTwoTier,
     Protocol::kTwoTierBalanced, Protocol::k2paCentralized,
     Protocol::k2paDistributed,  Protocol::kMaxMin,
-    Protocol::k2paStaticCw};
+    Protocol::k2paStaticCw,     Protocol::k2paDistributedCtrl};
 
 SimConfig golden_config() {
   SimConfig cfg;
@@ -140,6 +140,9 @@ void expect_identical(const RunResult& a, const RunResult& b) {
   EXPECT_EQ(a.channel.airtime_ns, b.channel.airtime_ns);
   EXPECT_EQ(a.recoveries, b.recoveries);
   EXPECT_EQ(a.metrics, b.metrics);
+  // In-band control plane: counters, wire bytes, and the final applied lane
+  // shares (bitwise) must all reproduce.
+  EXPECT_EQ(a.ctrl, b.ctrl);
 }
 
 TEST(Determinism, SameSeedSameResultAllProtocols) {

@@ -52,6 +52,7 @@ void expect_identical(const RunResult& a, const RunResult& b) {
   EXPECT_EQ(a.link_failures, b.link_failures);
   EXPECT_EQ(a.epoch_end_to_end, b.epoch_end_to_end);
   EXPECT_EQ(a.recoveries, b.recoveries);
+  EXPECT_EQ(a.ctrl, b.ctrl);
 }
 
 /// 3-node chain A-B-C with one flow A->B->C. Crashing B partitions the flow
@@ -184,6 +185,52 @@ TEST(Fault, RouteRepairUsesSurvivingPath) {
   ASSERT_EQ(r.recoveries.size(), 1u);
   EXPECT_DOUBLE_EQ(r.recoveries[0].fault_s, 10.0);
   EXPECT_LT(r.recoveries[0].recovered_s, 11.0);
+}
+
+// Tentpole acceptance: crash the diamond's provisioned relay under the
+// in-band protocol. For 2pa-dctrl the runner never pushes oracle shares
+// into the schedulers — at the fault epoch it only tells the agents which
+// subflows are now (in)active. The agents must drop the dead neighbor via
+// HELLO staleness, re-exchange knowledge over the surviving topology,
+// re-solve at the source, and RATE-update the schedulers, settling the
+// applied shares onto the surviving-topology oracle (the runner's masked
+// solve, recorded as the last epoch's target) with no out-of-band re-solve.
+TEST(Fault, InBandReconvergenceAfterRelayCrash) {
+  Scenario sc = diamond_scenario();
+  sc.faults.node_down(1, 10.0);
+
+  SimConfig cfg;
+  cfg.sim_seconds = 30.0;
+  cfg.seed = 11;
+  const RunResult r = run_scenario(sc, Protocol::k2paDistributedCtrl, cfg);
+
+  // The flow re-routed over C and kept delivering.
+  EXPECT_EQ(r.suspended_packets, 0);
+  ASSERT_EQ(r.recoveries.size(), 1u);
+  EXPECT_DOUBLE_EQ(r.recoveries[0].fault_s, 10.0);
+  EXPECT_GT(r.epoch_end_to_end[1][0], 500);
+
+  // Surviving-topology oracle: the masked solve of the post-crash epoch.
+  ASSERT_EQ(r.epoch_flow_share.size(), 2u);
+  const double target = r.epoch_flow_share[1][0];
+  ASSERT_GT(target, 0.0);
+
+  // Sim subflows: provisioned A-B-D (0, 1) + repair A-C-D (2, 3). The live
+  // repair lanes re-converged in-band to within 5% of the masked oracle,
+  // while the dead provisioned lanes sit at the inactive floor.
+  ASSERT_EQ(r.ctrl.applied_subflow_share.size(), 4u);
+  EXPECT_NEAR(r.ctrl.applied_subflow_share[2], target, 0.05 * target);
+  EXPECT_NEAR(r.ctrl.applied_subflow_share[3], target, 0.05 * target);
+  EXPECT_LT(r.ctrl.applied_subflow_share[0], 1e-3);
+  EXPECT_LT(r.ctrl.applied_subflow_share[1], 1e-3);
+
+  // Converging twice (provisioned route, then repair route) takes at least
+  // two source solves and real control traffic both before and after.
+  EXPECT_GE(r.ctrl.solves, 2u);
+  EXPECT_GT(r.ctrl.ctrl_frames, 0u);
+
+  // Byte-identical rerun, control plane included.
+  expect_identical(r, run_scenario(sc, Protocol::k2paDistributedCtrl, cfg));
 }
 
 // A link cut (both nodes stay alive) also triggers route repair, and the
