@@ -1,0 +1,363 @@
+#include "check/check.hpp"
+
+#include <algorithm>
+#include <cmath>
+
+#include "contention/contention_graph.hpp"
+#include "util/assert.hpp"
+#include "util/strings.hpp"
+
+namespace e2efa {
+
+const char* to_string(CheckViolation::Category c) {
+  switch (c) {
+    case CheckViolation::Category::kMac: return "mac";
+    case CheckViolation::Category::kConservation: return "conservation";
+    case CheckViolation::Category::kSched: return "sched";
+    case CheckViolation::Category::kQueue: return "queue";
+    case CheckViolation::Category::kAlloc: return "alloc";
+  }
+  return "?";
+}
+
+CheckContext::CheckContext(CheckConfig cfg) : cfg_(cfg) {
+  E2EFA_ASSERT(cfg_.max_violations >= 1);
+  E2EFA_ASSERT(cfg_.alloc_eps >= 0.0);
+}
+
+void CheckContext::begin_run(const CheckRunInfo& info) {
+  E2EFA_ASSERT(info.node_count >= 1);
+  info_ = info;
+  mac_.assign(static_cast<std::size_t>(info.node_count), NodeMacState{});
+  lane_watermark_.clear();
+  vclock_floor_.assign(static_cast<std::size_t>(info.node_count), 0.0);
+  const std::size_t S = info_.subflows.size();
+  offered_.assign(S, 0);
+  accepted_.assign(S, 0);
+  rejected_.assign(S, 0);
+  sent_.assign(S, 0);
+  mac_dropped_.assign(S, 0);
+  delivered_.assign(S, 0);
+}
+
+void CheckContext::fail(CheckViolation::Category cat, NodeId node, TimeNs now,
+                        std::string message) {
+  ++total_violations_;
+  if (static_cast<int>(violations_.size()) < cfg_.max_violations)
+    violations_.push_back({cat, to_seconds(now), node, std::move(message)});
+}
+
+int CheckContext::expected_capacity() const {
+  return cfg_.queue_capacity_override >= 0 ? cfg_.queue_capacity_override
+                                           : info_.queue_capacity;
+}
+
+int CheckContext::escalated_window(int cw_min, int retries) const {
+  const int k = std::min(retries, 16);
+  const long long w = (static_cast<long long>(cw_min) + 1) * (1LL << k) - 1;
+  return static_cast<int>(std::min<long long>(w, info_.cw_max));
+}
+
+// ------------------------------------------------------------- PHY / MAC
+
+void CheckContext::on_frame_transmit(const Frame& f, TimeNs now) {
+  if (!cfg_.mac) return;
+  E2EFA_ASSERT(f.tx >= 0 && f.tx < info_.node_count);
+  NodeMacState& s = mac_[static_cast<std::size_t>(f.tx)];
+
+  // Recency window for responder frames: the MAC schedules CTS, DATA, and
+  // ACK exactly one SIFS after the frame they answer.
+  const TimeNs answer_window = info_.sifs + info_.slot;
+  auto answered = [&](const std::unordered_map<NodeId, TimeNs>& from) {
+    const auto it = from.find(f.rx);
+    return it != from.end() && now - it->second <= answer_window;
+  };
+
+  // Contention-initiated frames must respect the virtual carrier sense this
+  // context derived from its own overheard-frame model. (The MAC's rule is
+  // strictly stronger: NAV expired a full DIFS+slot before transmitting.)
+  const bool contention_initiated =
+      f.type == FrameType::kRts || f.type == FrameType::kCtrl ||
+      (f.type == FrameType::kData && !info_.use_rts_cts);
+  if (contention_initiated && s.nav_until > now)
+    fail(CheckViolation::Category::kMac, f.tx, now,
+         strformat("%s transmitted %.3f us before the NAV reservation expires",
+                   f.type == FrameType::kRts    ? "RTS"
+                   : f.type == FrameType::kCtrl ? "CTRL"
+                                                : "DATA",
+                   static_cast<double>(s.nav_until - now) * 1e-3));
+
+  switch (f.type) {
+    case FrameType::kRts:
+      if (!info_.use_rts_cts)
+        fail(CheckViolation::Category::kMac, f.tx, now,
+             "RTS transmitted in basic-access mode");
+      break;
+    case FrameType::kCts:
+      if (!info_.use_rts_cts)
+        fail(CheckViolation::Category::kMac, f.tx, now,
+             "CTS transmitted in basic-access mode");
+      else if (!answered(s.rts_from))
+        fail(CheckViolation::Category::kMac, f.tx, now,
+             strformat("CTS to node %d without an RTS from it within SIFS",
+                       f.rx));
+      break;
+    case FrameType::kData:
+      if (info_.use_rts_cts && !answered(s.cts_from))
+        fail(CheckViolation::Category::kMac, f.tx, now,
+             strformat("DATA to node %d without a prior RTS/CTS handshake "
+                       "on that link",
+                       f.rx));
+      break;
+    case FrameType::kAck:
+      if (!answered(s.data_from))
+        fail(CheckViolation::Category::kMac, f.tx, now,
+             strformat("ACK to node %d without a DATA from it within SIFS",
+                       f.rx));
+      break;
+    case FrameType::kCtrl:
+      break;  // broadcast, no handshake role
+  }
+}
+
+void CheckContext::on_frame_receive(NodeId rx_node, const Frame& f, TimeNs end) {
+  if (!cfg_.mac) return;
+  E2EFA_ASSERT(rx_node >= 0 && rx_node < info_.node_count);
+  NodeMacState& s = mac_[static_cast<std::size_t>(rx_node)];
+  if (f.type == FrameType::kCtrl) return;  // no NAV, no handshake role
+  if (f.rx != rx_node) {
+    // Overheard: mirror the MAC's virtual-carrier-sense update.
+    s.nav_until = std::max(s.nav_until, end + f.nav);
+    return;
+  }
+  switch (f.type) {
+    case FrameType::kRts: s.rts_from[f.tx] = end; break;
+    case FrameType::kCts: s.cts_from[f.tx] = end; break;
+    case FrameType::kData: s.data_from[f.tx] = end; break;
+    default: break;
+  }
+}
+
+void CheckContext::on_backoff_draw(NodeId n, int slots, int retries, double lag,
+                                   bool ctrl_only, TimeNs now) {
+  if (!cfg_.mac) return;
+  if (ctrl_only) {
+    if (slots < 1 || slots > info_.ctrl_cw + 1)
+      fail(CheckViolation::Category::kMac, n, now,
+           strformat("control backoff draw %d outside [1, %d]", slots,
+                     info_.ctrl_cw + 1));
+    return;
+  }
+  // The scaled-CW ablation widens the base window by 1/node-share; only the
+  // cw_max envelope is oracle-checkable there. Everything else draws from
+  // [0, CW(retries) + max(Q, R, 0)], capped like TagBackoff.
+  const double base =
+      info_.scaled_cw ? static_cast<double>(info_.cw_max)
+                      : static_cast<double>(escalated_window(info_.cw_min, retries));
+  const long long max_slots =
+      std::llround(std::min(base + std::max(lag, 0.0), 16383.0));
+  if (slots < 0 || slots > max_slots)
+    fail(CheckViolation::Category::kMac, n, now,
+         strformat("backoff draw %d outside [0, %lld] (retries %d, lag %.2f)",
+                   slots, max_slots, retries, lag));
+}
+
+// ------------------------------------------------------ queue / scheduler
+
+void CheckContext::on_lane_enqueue(NodeId n, std::int32_t subflow, int depth,
+                                   TimeNs now) {
+  if (!cfg_.queue) return;
+  if (depth > expected_capacity())
+    fail(CheckViolation::Category::kQueue, n, now,
+         strformat("subflow %d lane depth %d exceeds capacity %d", subflow,
+                   depth, expected_capacity()));
+}
+
+void CheckContext::on_fifo_enqueue(NodeId n, int depth, TimeNs now) {
+  if (!cfg_.queue) return;
+  if (depth > expected_capacity())
+    fail(CheckViolation::Category::kQueue, n, now,
+         strformat("FIFO depth %d exceeds capacity %d", depth,
+                   expected_capacity()));
+}
+
+void CheckContext::on_lane_serve(NodeId n, std::int32_t subflow,
+                                 double internal_finish, TimeNs now) {
+  if (!cfg_.sched) return;
+  const std::uint64_t key = (static_cast<std::uint64_t>(static_cast<std::uint32_t>(n))
+                             << 32) |
+                            static_cast<std::uint32_t>(subflow);
+  const auto it = lane_watermark_.find(key);
+  if (it != lane_watermark_.end() && internal_finish < it->second - 1e-9)
+    fail(CheckViolation::Category::kSched, n, now,
+         strformat("subflow %d served with internal finish tag %.6f below "
+                   "the previous %.6f (no share update in between)",
+                   subflow, internal_finish, it->second));
+  lane_watermark_[key] = internal_finish;
+}
+
+void CheckContext::on_share_update(NodeId n, std::int32_t subflow) {
+  // A share change legitimately re-derives tags from the current virtual
+  // clock (they may drop); restart the monotonicity watermark.
+  const std::uint64_t key = (static_cast<std::uint64_t>(static_cast<std::uint32_t>(n))
+                             << 32) |
+                            static_cast<std::uint32_t>(subflow);
+  lane_watermark_.erase(key);
+}
+
+void CheckContext::on_vclock(NodeId n, double prev, double next, TimeNs now) {
+  if (!cfg_.sched) return;
+  if (next < prev - 1e-9)
+    fail(CheckViolation::Category::kSched, n, now,
+         strformat("virtual clock moved backwards: %.6f -> %.6f", prev, next));
+  double& floor = vclock_floor_[static_cast<std::size_t>(n)];
+  if (next < floor - 1e-9)
+    fail(CheckViolation::Category::kSched, n, now,
+         strformat("virtual clock %.6f below the node's watermark %.6f", next,
+                   floor));
+  floor = std::max(floor, next);
+}
+
+// ---------------------------------------------------------- conservation
+
+void CheckContext::on_offered(std::int32_t subflow) {
+  if (cfg_.conservation) ++offered_[static_cast<std::size_t>(subflow)];
+}
+void CheckContext::on_accepted(std::int32_t subflow) {
+  if (cfg_.conservation) ++accepted_[static_cast<std::size_t>(subflow)];
+}
+void CheckContext::on_rejected(std::int32_t subflow) {
+  if (cfg_.conservation) ++rejected_[static_cast<std::size_t>(subflow)];
+}
+void CheckContext::on_sent(std::int32_t subflow) {
+  if (cfg_.conservation) ++sent_[static_cast<std::size_t>(subflow)];
+}
+void CheckContext::on_mac_dropped(std::int32_t subflow) {
+  if (cfg_.conservation) ++mac_dropped_[static_cast<std::size_t>(subflow)];
+}
+void CheckContext::on_delivered(std::int32_t subflow) {
+  if (cfg_.conservation) ++delivered_[static_cast<std::size_t>(subflow)];
+}
+
+void CheckContext::finalize(const std::vector<int>& backlog_per_node, TimeNs now) {
+  if (!cfg_.conservation) return;
+  E2EFA_ASSERT(static_cast<int>(backlog_per_node.size()) == info_.node_count);
+  const std::size_t S = info_.subflows.size();
+
+  // Per-subflow ledger: every offer is either accepted or drop-tailed, a
+  // forwarded offer exists for exactly every unique upstream delivery, and
+  // unique deliveries never exceed accepts (each accepted packet can be
+  // delivered in order at most once).
+  for (std::size_t s = 0; s < S; ++s) {
+    const CheckRunInfo::SubflowInfo& m = info_.subflows[s];
+    const std::int32_t id = static_cast<std::int32_t>(s);
+    if (offered_[s] != accepted_[s] + rejected_[s])
+      fail(CheckViolation::Category::kConservation, m.src, now,
+           strformat("subflow %d: offered %lld != accepted %lld + rejected %lld",
+                     id, static_cast<long long>(offered_[s]),
+                     static_cast<long long>(accepted_[s]),
+                     static_cast<long long>(rejected_[s])));
+    if (m.prev_subflow >= 0) {
+      const std::int64_t up = delivered_[static_cast<std::size_t>(m.prev_subflow)];
+      if (offered_[s] != up)
+        fail(CheckViolation::Category::kConservation, m.src, now,
+             strformat("subflow %d: offered %lld != upstream subflow %d "
+                       "deliveries %lld",
+                       id, static_cast<long long>(offered_[s]), m.prev_subflow,
+                       static_cast<long long>(up)));
+    }
+    if (delivered_[s] > accepted_[s])
+      fail(CheckViolation::Category::kConservation, m.dst, now,
+           strformat("subflow %d: %lld unique deliveries exceed %lld accepts",
+                     id, static_cast<long long>(delivered_[s]),
+                     static_cast<long long>(accepted_[s])));
+  }
+
+  // Per-node conservation: everything a node's queues accepted either left
+  // via an ACK-confirmed pop, was dropped at the retry limit, or is still
+  // buffered when the run ends.
+  std::vector<std::int64_t> in(static_cast<std::size_t>(info_.node_count), 0);
+  std::vector<std::int64_t> gone(static_cast<std::size_t>(info_.node_count), 0);
+  for (std::size_t s = 0; s < S; ++s) {
+    const std::size_t n = static_cast<std::size_t>(info_.subflows[s].src);
+    in[n] += accepted_[s];
+    gone[n] += sent_[s] + mac_dropped_[s];
+  }
+  for (int n = 0; n < info_.node_count; ++n) {
+    const std::int64_t queued = backlog_per_node[static_cast<std::size_t>(n)];
+    if (in[static_cast<std::size_t>(n)] != gone[static_cast<std::size_t>(n)] + queued)
+      fail(CheckViolation::Category::kConservation, n, now,
+           strformat("node %d: accepted %lld != sent+dropped %lld + queued %lld",
+                     n, static_cast<long long>(in[static_cast<std::size_t>(n)]),
+                     static_cast<long long>(gone[static_cast<std::size_t>(n)]),
+                     static_cast<long long>(queued)));
+  }
+}
+
+// --------------------------------------------------------------- phase 1
+
+void CheckContext::check_allocation(const ContentionGraph& g, const Allocation& a,
+                                    bool expect_floor, bool strict_clique,
+                                    double t_s) {
+  if (!cfg_.alloc) return;
+  const TimeNs t = from_seconds(t_s);
+  // Globally-solved allocations must fit every clique exactly. The
+  // distributed family (Sec. IV-B) solves one local LP per source with
+  // partial knowledge, and the per-source optima need not agree — mild
+  // clique oversubscription is by design, and the MAC absorbs it (tags
+  // throttle proportionally). Empirically the worst load over 3000 random
+  // weighted topologies is 1.46, so anything past the envelope below is a
+  // genuine allocator regression, not local-knowledge slack.
+  const double cap =
+      strict_clique ? 1.0 + cfg_.alloc_eps : kDistributedCliqueEnvelope;
+  const double load = max_clique_load(g, a.subflow_share);
+  if (load > cap)
+    fail(CheckViolation::Category::kAlloc, kInvalidNode, t,
+         strformat("clique capacity violated: max clique load %.9f > %g",
+                   load, cap));
+  if (!expect_floor) return;
+  if (!satisfies_basic_fairness(g, a.flow_share, cfg_.alloc_eps)) {
+    // Name the worst offender for the report.
+    const std::vector<double> floor = basic_shares(g);
+    double worst = 0.0;
+    FlowId worst_flow = -1;
+    for (FlowId f = 0; f < g.flows().flow_count(); ++f) {
+      const double deficit = floor[static_cast<std::size_t>(f)] -
+                             a.flow_share[static_cast<std::size_t>(f)];
+      if (deficit > worst) {
+        worst = deficit;
+        worst_flow = f;
+      }
+    }
+    fail(CheckViolation::Category::kAlloc, kInvalidNode, t,
+         strformat("basic fairness floor violated: flow %d is %.9f below its "
+                   "basic share",
+                   worst_flow, worst));
+  }
+}
+
+// ---------------------------------------------------------------- report
+
+std::string CheckContext::report() const {
+  if (ok()) return "";
+  std::string out = strformat("%lld invariant violation(s):\n",
+                              static_cast<long long>(total_violations_));
+  for (const CheckViolation& v : violations_) {
+    out += strformat("  [%s] t=%.6fs", to_string(v.category), v.t_s);
+    if (v.node >= 0) out += strformat(" node %d", v.node);
+    out += ": " + v.message + "\n";
+  }
+  if (total_violations_ > static_cast<std::int64_t>(violations_.size()))
+    out += strformat("  ... and %lld more (recording capped at %d)\n",
+                     static_cast<long long>(total_violations_) -
+                         static_cast<long long>(violations_.size()),
+                     cfg_.max_violations);
+  return out;
+}
+
+void CheckContext::clear() {
+  total_violations_ = 0;
+  violations_.clear();
+}
+
+}  // namespace e2efa

@@ -2,6 +2,7 @@
 
 #include <algorithm>
 
+#include "check/check.hpp"
 #include "util/assert.hpp"
 
 namespace e2efa {
@@ -73,11 +74,22 @@ void DcfMac::start_access(bool redraw) {
             static_cast<std::int16_t>(self_), backoff_remaining_, retries_,
             tags_ != nullptr ? tags_->q_slots(sim_.now()) : 0.0,
             tags_ != nullptr ? tags_->head_last_r() : 0.0);
+      if (check_ != nullptr) {
+        const double lag =
+            tags_ != nullptr
+                ? std::max({tags_->q_slots(sim_.now()), tags_->head_last_r(), 0.0})
+                : 0.0;
+        check_->on_backoff_draw(self_, backoff_remaining_, retries_, lag,
+                                /*ctrl_only=*/false, sim_.now());
+      }
     } else {
       // Control-only backlog: the BackoffPolicy reads the scheduler head
       // (empty here), so draw uniformly from the MAC's own stream instead.
       backoff_remaining_ =
           1 + static_cast<int>(rng_.uniform_u64(static_cast<std::uint64_t>(cfg_.ctrl_cw) + 1));
+      if (check_ != nullptr)
+        check_->on_backoff_draw(self_, backoff_remaining_, retries_, 0.0,
+                                /*ctrl_only=*/true, sim_.now());
     }
     backoff_drawn_ = true;
   }

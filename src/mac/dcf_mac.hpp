@@ -113,6 +113,10 @@ class DcfMac : public PhyListener {
   /// Q/R terms, retries, retry-limit drops). Null (default) = disabled.
   void set_trace(TraceSink* trace) { trace_ = trace; }
 
+  /// Installs the invariant-check observer (backoff-bound oracle). Not
+  /// owned; never mutates MAC state or draws randomness.
+  void set_check(CheckContext* check) { check_ = check; }
+
  private:
   enum class State {
     kIdle,        ///< Nothing to send, no exchange in progress.
@@ -163,6 +167,7 @@ class DcfMac : public PhyListener {
   Rng rng_;
   TagAgent* tags_;
   TraceSink* trace_ = nullptr;
+  CheckContext* check_ = nullptr;
 
   struct CtrlEntry {
     std::shared_ptr<const CtrlMsg> msg;

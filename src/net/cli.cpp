@@ -38,6 +38,8 @@ std::string cli_usage() {
       "  --queue N       per-queue capacity (default 50)\n"
       "  --loss P        default per-link packet-error rate in [0,1] (default 0)\n"
       "  --shares        also print phase-1 target shares\n"
+      "  --check         arm every invariant oracle (src/check); violations\n"
+      "                  are reported after the table and exit nonzero\n"
       "  --trace PATH    write a structured event trace (.jsonl suffix = text,\n"
       "                  anything else = compact binary for trace-tool)\n"
       "  --trace-filter C  comma-separated trace categories (meta, phy, mac,\n"
@@ -66,6 +68,10 @@ std::optional<CliOptions> parse_cli(int argc, const char* const* argv,
     }
     if (arg == "--shares") {
       opt.list_shares = true;
+      continue;
+    }
+    if (arg == "--check") {
+      opt.check = true;
       continue;
     }
     const auto value = next();

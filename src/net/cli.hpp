@@ -34,6 +34,10 @@ struct CliOptions {
   /// SimConfig::metrics_period_seconds and is rejected without a path;
   /// a path alone defaults the period to 1 s.
   std::string metrics_out;
+  /// --check: run with every invariant oracle armed (src/check) and report
+  /// violations after the table; a violation makes the tool exit nonzero.
+  /// The checked trajectory is bit-identical to an unchecked run.
+  bool check = false;
 };
 
 /// Parses argv. On error returns nullopt and fills *error with a message

@@ -1,5 +1,6 @@
 #include "net/node_stack.hpp"
 
+#include "check/check.hpp"
 #include "util/assert.hpp"
 
 namespace e2efa {
@@ -25,8 +26,10 @@ void NodeStack::enqueue_and_notify(Packet p) {
   const std::int32_t subflow = p.subflow;
   // backlog() walks the scheduler lanes — gate on the category, not just
   // the sink, so a filtered trace costs nothing here.
+  if (check_ != nullptr) check_->on_offered(subflow);
   if (queue_->enqueue(p, sim_.now())) {
     if (measuring) ++c.enqueued;
+    if (check_ != nullptr) check_->on_accepted(subflow);
     if (trace_ != nullptr && trace_->enabled<TraceCat::kQueue>())
       trace_->record<TraceCat::kQueue>(sim_.now(), TraceEvent::kQueueEnqueue,
                                        static_cast<std::int16_t>(self_), subflow,
@@ -34,6 +37,7 @@ void NodeStack::enqueue_and_notify(Packet p) {
     mac_->notify_queue_nonempty();
   } else {
     if (measuring) ++c.dropped_queue;
+    if (check_ != nullptr) check_->on_rejected(subflow);
     if (trace_ != nullptr && trace_->enabled<TraceCat::kQueue>())
       trace_->record<TraceCat::kQueue>(sim_.now(), TraceEvent::kQueueDrop,
                                        static_cast<std::int16_t>(self_), subflow,
@@ -59,6 +63,7 @@ void NodeStack::on_packet_delivered(const Packet& p) {
   if (p.seq <= it->second) return;  // duplicate (lost ACK, sender retried)
   it->second = p.seq;
   if (stats_.measuring(sim_.now())) ++stats_.subflow(p.subflow).delivered;
+  if (check_ != nullptr) check_->on_delivered(p.subflow);
 
   const Flow& f = flows_.flow(p.flow);
   if (p.hop + 1 >= f.length()) {
@@ -75,10 +80,13 @@ void NodeStack::on_packet_delivered(const Packet& p) {
   enqueue_and_notify(fwd);
 }
 
-void NodeStack::on_packet_sent(const Packet&) {}
+void NodeStack::on_packet_sent(const Packet& p) {
+  if (check_ != nullptr) check_->on_sent(p.subflow);
+}
 
 void NodeStack::on_packet_dropped(const Packet& p) {
   if (stats_.measuring(sim_.now())) ++stats_.subflow(p.subflow).dropped_mac;
+  if (check_ != nullptr) check_->on_mac_dropped(p.subflow);
   if (on_link_failure_) on_link_failure_(p, sim_.now());
 }
 

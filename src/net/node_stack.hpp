@@ -43,6 +43,13 @@ class NodeStack : public MacCallbacks {
     mac_->set_trace(trace);
   }
 
+  /// Installs the invariant-check observer (conservation ledger) and
+  /// forwards it to the MAC (backoff oracle). Null (default) = disabled.
+  void set_check(CheckContext* check) {
+    check_ = check;
+    mac_->set_check(check);
+  }
+
   /// Observer for link-layer delivery failure: invoked whenever the MAC
   /// exhausts its retry limit and drops a packet at this node — the
   /// upstream signal ("link to next hop is not delivering") that route
@@ -67,6 +74,7 @@ class NodeStack : public MacCallbacks {
   std::unordered_map<std::int32_t, std::int64_t> last_seq_;
   LinkFailureListener on_link_failure_;
   TraceSink* trace_ = nullptr;
+  CheckContext* check_ = nullptr;
 };
 
 }  // namespace e2efa

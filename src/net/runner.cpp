@@ -6,6 +6,7 @@
 
 #include "alloc/centralized.hpp"
 #include "alloc/distributed.hpp"
+#include "check/check.hpp"
 #include "alloc/maxmin.hpp"
 #include "alloc/two_tier.hpp"
 #include "contention/contention_graph.hpp"
@@ -116,7 +117,7 @@ struct EpochAllocation {
 EpochAllocation allocate_epoch(Protocol proto, const Topology& topo,
                                const FlowSet& all_flows,
                                const std::vector<FlowId>& active, double start_s,
-                               const TopologyMask* mask) {
+                               const TopologyMask* mask, CheckContext* check) {
   EpochAllocation out;
   out.start_s = start_s;
   out.flow_share.assign(static_cast<std::size_t>(all_flows.flow_count()), 0.0);
@@ -133,6 +134,23 @@ EpochAllocation allocate_epoch(Protocol proto, const Topology& topo,
   E2EFA_ASSERT_MSG(out.status == LpStatus::kOptimal,
                    "phase-1 allocation infeasible: basic shares exceed clique capacity");
   if (!out.has_target) return out;
+  if (check != nullptr) {
+    // Post-solve oracle. Only centralized 2PA *rejects* solves whose
+    // flow-level basic-share floors had to be relaxed, so only it promises
+    // the floor (two-tier floors per-subflow shares — the end-to-end gap is
+    // the paper's critique of it — and the distributed variants keep their
+    // by-design local relaxations); everything else is held to clique
+    // feasibility alone.
+    const bool expect_floor = proto == Protocol::k2paCentralized ||
+                              proto == Protocol::k2paStaticCw;
+    // The distributed family's per-source local solves may mildly
+    // oversubscribe a clique (partial knowledge); they get the documented
+    // envelope instead of the strict bound.
+    const bool strict_clique = proto != Protocol::k2paDistributed &&
+                               proto != Protocol::k2paDistributedCtrl;
+    ContentionGraph graph(topo, sub);
+    check->check_allocation(graph, a, expect_floor, strict_clique, start_s);
+  }
   for (std::size_t i = 0; i < active.size(); ++i) {
     const FlowId g = active[i];
     out.flow_share[static_cast<std::size_t>(g)] = a.flow_share[i];
@@ -267,6 +285,36 @@ RunResult run_scenario(const Scenario& sc, Protocol proto, const SimConfig& cfg,
   }
   FlowSet flows(sc.topo, sim_specs);
 
+  // Invariant oracles: latch the run parameters before any hook can fire
+  // (the phase-1 post-solve checks below and every packet-sim hook).
+  CheckContext* const check = cfg.check;
+  if (check != nullptr) {
+    CheckRunInfo info;
+    info.node_count = sc.topo.node_count();
+    info.cw_min = cfg.cw_min;
+    info.cw_max = cfg.cw_max;
+    info.use_rts_cts = cfg.use_rts_cts;
+    info.scaled_cw = proto == Protocol::k2paStaticCw;
+    info.queue_capacity = cfg.queue_capacity;
+    const MacConfig mac_defaults;
+    info.ctrl_cw = mac_defaults.ctrl_cw;
+    info.slot = mac_defaults.slot;
+    info.sifs = mac_defaults.sifs;
+    info.subflows.resize(static_cast<std::size_t>(flows.subflow_count()));
+    for (int s = 0; s < flows.subflow_count(); ++s) {
+      const Subflow& sf = flows.subflow(s);
+      CheckRunInfo::SubflowInfo& m = info.subflows[static_cast<std::size_t>(s)];
+      m.flow = sf.flow;
+      m.hop = sf.hop;
+      m.src = sf.src;
+      m.dst = sf.dst;
+      m.last_hop = sf.hop + 1 >= flows.flow(sf.flow).length();
+      m.prev_subflow =
+          sf.hop > 0 ? flows.subflow_index(sf.flow, sf.hop - 1) : -1;
+    }
+    check->begin_run(info);
+  }
+
   // active_of[e][f]: sim flow carrying logical flow f in epoch e (-1 when
   // suspended — the destination is unreachable under the epoch's mask).
   std::vector<std::vector<FlowId>> active_of(
@@ -297,7 +345,8 @@ RunResult run_scenario(const Scenario& sc, Protocol proto, const SimConfig& cfg,
     }
     epochs.push_back(allocate_epoch(proto, sc.topo, flows, active, t,
                                     dctrl ? &masks[static_cast<std::size_t>(e)]
-                                          : nullptr));
+                                          : nullptr,
+                                    cfg.check));
     epoch_active_flows.push_back(std::move(active));
     if (proto != Protocol::k80211) out.epoch_lp_status.push_back(epochs.back().status);
   }
@@ -340,6 +389,7 @@ RunResult run_scenario(const Scenario& sc, Protocol proto, const SimConfig& cfg,
   // the default — keeps all hot paths on their pre-observability branch.
   TraceSink* const trace = cfg.trace;
   channel.set_trace(trace);
+  channel.set_check(check);
   if (trace != nullptr) {
     trace->record<TraceCat::kMeta>(
         0, TraceEvent::kRunMeta, -1, sc.topo.node_count(), F,
@@ -393,7 +443,9 @@ RunResult run_scenario(const Scenario& sc, Protocol proto, const SimConfig& cfg,
     std::unique_ptr<BackoffPolicy> backoff;
     TagAgent* tags = nullptr;
     if (proto == Protocol::k80211) {
-      queue = std::make_unique<FifoQueue>(cfg.queue_capacity);
+      auto fifo = std::make_unique<FifoQueue>(cfg.queue_capacity);
+      fifo->set_check(check, n);
+      queue = std::move(fifo);
       backoff = std::make_unique<BebBackoff>(cfg.cw_min, cfg.cw_max);
     } else {
       std::vector<TagScheduler::SubflowConfig> lanes;
@@ -408,6 +460,7 @@ RunResult run_scenario(const Scenario& sc, Protocol proto, const SimConfig& cfg,
       auto sched = std::make_unique<TagScheduler>(std::move(lanes), cfg.queue_capacity,
                                                   cfg.channel_bps, cfg.alpha);
       sched->set_trace(trace, static_cast<std::int16_t>(n));
+      sched->set_check(check, n);
       tag_scheds[static_cast<std::size_t>(n)] = sched.get();
       if (proto == Protocol::k2paStaticCw) {
         // Ablation: weighted queueing, but no tag feedback over the air.
@@ -423,6 +476,7 @@ RunResult run_scenario(const Scenario& sc, Protocol proto, const SimConfig& cfg,
                                                  std::move(queue), std::move(backoff),
                                                  master.split(), tags));
     stacks.back()->set_trace(trace);
+    stacks.back()->set_check(check);
     stacks.back()->set_link_failure_listener(
         [&link_failures](const Packet&, TimeNs) { ++link_failures; });
   }
@@ -718,6 +772,14 @@ RunResult run_scenario(const Scenario& sc, Protocol proto, const SimConfig& cfg,
 
   sim.run_until(horizon);
   if (multi) snapshot_epoch();  // close the final epoch
+
+  // Close the conservation ledger against what is still buffered.
+  if (check != nullptr) {
+    std::vector<int> backlog;
+    backlog.reserve(stacks.size());
+    for (const auto& stack : stacks) backlog.push_back(stack->backlog());
+    check->finalize(backlog, sim.now());
+  }
 
   // ---- Collect. Per-flow figures aggregate every route variant back onto
   // the scenario flow; per-subflow figures stay at sim granularity (their

@@ -73,6 +73,12 @@ struct SimConfig {
   /// In-band control plane tuning (k2paDistributedCtrl only; ignored by
   /// every other protocol).
   CtrlConfig ctrl;
+  /// Invariant-check observer (src/check/check.hpp). Null (default)
+  /// disables all oracles; like the trace sink, an installed observer never
+  /// mutates sim state or draws randomness, so checked runs are
+  /// bit-identical to unchecked ones. Not owned; not thread-safe across
+  /// BatchRunner threads. The runner calls begin_run and finalize itself.
+  CheckContext* check = nullptr;
 };
 
 struct RunResult {

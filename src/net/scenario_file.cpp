@@ -203,4 +203,48 @@ Scenario load_scenario_file(const std::string& path) {
   return parse_scenario_text(buf.str(), path);
 }
 
+std::string serialize_scenario_text(const Scenario& sc) {
+  std::string out = "# scenario: " + sc.name + "\n";
+  out += strformat("range %.17g\n", sc.topo.tx_range());
+  if (sc.topo.interference_range() != sc.topo.tx_range())
+    out += strformat("irange %.17g\n", sc.topo.interference_range());
+  for (NodeId n = 0; n < sc.topo.node_count(); ++n) {
+    const Point& p = sc.topo.position(n);
+    const std::string label = sc.topo.label(n);
+    E2EFA_ASSERT_MSG(!label.empty() &&
+                         label.find_first_of(" \t#") == std::string::npos,
+                     "node label is not a serializable token");
+    out += strformat("node %s %.17g %.17g\n", label.c_str(), p.x, p.y);
+  }
+  for (const Flow& f : sc.flow_specs) {
+    // Multi-hop paths are written explicitly: a 2-endpoint form would be
+    // re-routed min-hop on parse, and a routing tie could pick a different
+    // path. Single-hop flows have no tie to break.
+    out += "flow";
+    for (NodeId n : f.path) out += " " + sc.topo.label(n);
+    out += strformat(" weight %.17g\n", f.weight);
+  }
+  for (const FaultEvent& e : sc.faults.events()) {
+    const char* cmd =
+        e.kind == FaultEvent::Kind::kNodeDown || e.kind == FaultEvent::Kind::kLinkDown
+            ? "fault"
+            : "recover";
+    const bool link = e.kind == FaultEvent::Kind::kLinkDown ||
+                      e.kind == FaultEvent::Kind::kLinkUp;
+    if (link)
+      out += strformat("%s link %s %s %.17g\n", cmd,
+                       sc.topo.label(e.node).c_str(), sc.topo.label(e.peer).c_str(),
+                       e.at_s);
+    else
+      out += strformat("%s node %s %.17g\n", cmd, sc.topo.label(e.node).c_str(),
+                       e.at_s);
+  }
+  for (const LossRule& r : sc.faults.loss_rules())
+    out += strformat("loss %s %s %.17g\n", sc.topo.label(r.a).c_str(),
+                     sc.topo.label(r.b).c_str(), r.per);
+  if (sc.faults.default_loss() > 0.0)
+    out += strformat("loss default %.17g\n", sc.faults.default_loss());
+  return out;
+}
+
 }  // namespace e2efa

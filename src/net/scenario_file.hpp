@@ -40,4 +40,12 @@ Scenario parse_scenario_text(const std::string& text, std::string name = "file")
 /// Loads and parses a scenario file from disk.
 Scenario load_scenario_file(const std::string& path);
 
+/// Serializes a scenario back to the text format above, such that
+/// parse_scenario_text(serialize_scenario_text(sc)) reproduces the same
+/// topology, flows (multi-hop paths are written explicitly, so routing ties
+/// cannot change them), fault schedule, and loss rules. Values are printed
+/// with round-trip precision. Node labels must be whitespace-free tokens
+/// (the default numeric labels always are).
+std::string serialize_scenario_text(const Scenario& sc);
+
 }  // namespace e2efa

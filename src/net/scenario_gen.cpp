@@ -1,0 +1,65 @@
+#include "net/scenario_gen.hpp"
+
+#include <cmath>
+#include <utility>
+#include <vector>
+
+#include "route/routing.hpp"
+#include "topology/builders.hpp"
+#include "util/assert.hpp"
+#include "util/rng.hpp"
+#include "util/strings.hpp"
+
+namespace e2efa {
+
+Scenario generate_scenario(std::uint64_t seed, const GenConfig& cfg) {
+  E2EFA_ASSERT(cfg.min_nodes >= 2 && cfg.max_nodes >= cfg.min_nodes);
+  E2EFA_ASSERT(cfg.min_flows >= 1 && cfg.max_flows >= cfg.min_flows);
+  E2EFA_ASSERT(cfg.horizon_s > 0.0);
+  Rng rng(seed);
+
+  const int n = static_cast<int>(rng.uniform_i64(cfg.min_nodes, cfg.max_nodes));
+  const double side = cfg.density_m * std::sqrt(static_cast<double>(n));
+  Scenario sc{strformat("fuzz-%llu", static_cast<unsigned long long>(seed)),
+              make_random(n, side, side, rng),
+              {},
+              {}};
+
+  const int flows =
+      static_cast<int>(rng.uniform_i64(cfg.min_flows, cfg.max_flows));
+  for (int f = 0; f < flows; ++f) {
+    NodeId a, b;
+    do {
+      a = static_cast<NodeId>(rng.uniform_u64(static_cast<std::uint64_t>(n)));
+      b = static_cast<NodeId>(rng.uniform_u64(static_cast<std::uint64_t>(n)));
+    } while (a == b);
+    sc.flow_specs.push_back(
+        make_routed_flow(sc.topo, a, b, rng.uniform(1.0, cfg.max_weight)));
+  }
+
+  if (rng.uniform01() < cfg.p_faults) {
+    const double at = rng.uniform(0.2, 0.7) * cfg.horizon_s;
+    const bool recovers = rng.bernoulli(0.5);
+    const double back = at + rng.uniform(0.1, 0.25) * cfg.horizon_s;
+    if (rng.bernoulli(0.5)) {
+      const NodeId v =
+          static_cast<NodeId>(rng.uniform_u64(static_cast<std::uint64_t>(n)));
+      sc.faults.node_down(v, at);
+      if (recovers) sc.faults.node_up(v, back);
+    } else {
+      // Cut a random existing link (every connected topology has one).
+      std::vector<std::pair<NodeId, NodeId>> links;
+      for (NodeId a = 0; a < n; ++a)
+        for (NodeId b : sc.topo.neighbors(a))
+          if (a < b) links.emplace_back(a, b);
+      const auto [a, b] = links[rng.uniform_u64(links.size())];
+      sc.faults.link_down(a, b, at);
+      if (recovers) sc.faults.link_up(a, b, back);
+    }
+  }
+  if (rng.uniform01() < cfg.p_loss)
+    sc.faults.set_default_loss(rng.uniform(0.0, cfg.max_loss));
+  return sc;
+}
+
+}  // namespace e2efa

@@ -1,0 +1,41 @@
+// Seeded random scenario generation for the fuzzer and property sweeps:
+// connected geometric topologies, weighted multi-hop flow sets, and
+// optional fault plans / loss models, all derived deterministically from a
+// single seed (same seed + same GenConfig = same Scenario, byte for byte
+// after serialize_scenario_text).
+#pragma once
+
+#include <cstdint>
+
+#include "net/scenarios.hpp"
+
+namespace e2efa {
+
+struct GenConfig {
+  int min_nodes = 4;
+  int max_nodes = 12;
+  int min_flows = 1;
+  int max_flows = 4;
+  /// Field side grows as side = density_m * sqrt(nodes), keeping the mean
+  /// neighbor count roughly constant as the network scales.
+  double density_m = 220.0;
+  /// Flow weights are drawn uniformly from [1, max_weight].
+  double max_weight = 4.0;
+  /// Probability the scenario carries a fault plan (node crash or link cut,
+  /// each with a recovery half the time).
+  double p_faults = 0.3;
+  /// Probability the scenario carries a loss model (default-loss rate drawn
+  /// from [0, max_loss]).
+  double p_loss = 0.3;
+  double max_loss = 0.1;
+  /// Fault times are drawn within (0, horizon_s); keep this below the
+  /// fuzzer's simulated seconds so every event actually fires.
+  double horizon_s = 5.0;
+};
+
+/// Generates one random scenario. Throws only if the random placement
+/// cannot produce a connected topology (practically impossible at the
+/// default density).
+Scenario generate_scenario(std::uint64_t seed, const GenConfig& cfg = {});
+
+}  // namespace e2efa

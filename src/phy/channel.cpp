@@ -1,5 +1,6 @@
 #include "phy/channel.hpp"
 
+#include "check/check.hpp"
 #include "util/assert.hpp"
 
 namespace e2efa {
@@ -99,6 +100,8 @@ TimeNs Channel::transmit(NodeId sender, Frame frame) {
         now, TraceEvent::kFrameTx, static_cast<std::int16_t>(sender),
         static_cast<std::int32_t>(frame.type), frame.rx,
         static_cast<double>(frame.bytes), silent ? 1.0 : 0.0);
+  // Crashed senders still follow the MAC protocol; the oracle sees them too.
+  if (check_ != nullptr) check_->on_frame_transmit(frame, now);
 
   // Half-duplex: transmitting kills any reception in progress at the sender.
   {
@@ -201,6 +204,7 @@ void Channel::finish_transmission(std::uint32_t slot) {
               end, TraceEvent::kFrameRx, static_cast<std::int16_t>(r),
               static_cast<std::int32_t>(frame.type), sender,
               static_cast<double>(frame.bytes));
+        if (check_ != nullptr) check_->on_frame_receive(r, frame, end);
         if (s.listener) s.listener->on_frame_received(frame);
       } else {
         ++stats_.frames_corrupted;

@@ -24,6 +24,8 @@
 
 namespace e2efa {
 
+class CheckContext;
+
 /// Per-node PHY event sink (implemented by the MAC).
 class PhyListener {
  public:
@@ -96,6 +98,10 @@ class Channel {
   /// the pre-observability hot path: a single pointer test per emission.
   void set_trace(TraceSink* trace) { trace_ = trace; }
 
+  /// Installs (or clears) the invariant-check observer. Not owned; the
+  /// observer never mutates channel state or draws randomness.
+  void set_check(CheckContext* check) { check_ = check; }
+
   std::int64_t bps() const { return bps_; }
 
   /// Airtime of a frame of `bytes` bytes at the channel rate.
@@ -156,6 +162,7 @@ class Channel {
   const Topology& topo_;
   FaultModel* faults_ = nullptr;
   TraceSink* trace_ = nullptr;
+  CheckContext* check_ = nullptr;
   std::int64_t bps_;
   std::vector<NodeState> nodes_;
   std::uint64_t next_tx_id_ = 1;

@@ -1,5 +1,6 @@
 #include "sched/fifo_queue.hpp"
 
+#include "check/check.hpp"
 #include "util/assert.hpp"
 
 namespace e2efa {
@@ -8,9 +9,11 @@ FifoQueue::FifoQueue(int capacity) : capacity_(capacity) {
   E2EFA_ASSERT(capacity >= 1);
 }
 
-bool FifoQueue::enqueue(Packet p, TimeNs) {
+bool FifoQueue::enqueue(Packet p, TimeNs now) {
   if (static_cast<int>(q_.size()) >= capacity_) return false;
   q_.push_back(p);
+  if (check_ != nullptr)
+    check_->on_fifo_enqueue(check_node_, static_cast<int>(q_.size()), now);
   return true;
 }
 

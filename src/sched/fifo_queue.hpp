@@ -8,6 +8,8 @@
 
 namespace e2efa {
 
+class CheckContext;
+
 class FifoQueue : public TxQueue {
  public:
   explicit FifoQueue(int capacity);
@@ -19,10 +21,18 @@ class FifoQueue : public TxQueue {
   Packet pop_drop(TimeNs now) override;
   int backlog() const override { return static_cast<int>(q_.size()); }
 
+  /// Installs the invariant-check observer (depth-vs-capacity oracle).
+  void set_check(CheckContext* check, std::int32_t node) {
+    check_ = check;
+    check_node_ = node;
+  }
+
  private:
   Packet pop_front();
   int capacity_;
   std::deque<Packet> q_;
+  CheckContext* check_ = nullptr;
+  std::int32_t check_node_ = -1;
 };
 
 }  // namespace e2efa

@@ -2,6 +2,7 @@
 
 #include <algorithm>
 
+#include "check/check.hpp"
 #include "util/assert.hpp"
 
 namespace e2efa {
@@ -61,6 +62,7 @@ void TagScheduler::set_vclock(double v) {
   if (trace_ != nullptr)
     trace_->record<TraceCat::kVClock>(trace_now_, TraceEvent::kVClockUpdate,
                                       trace_node_, -1, -1, v, vclock_);
+  if (check_ != nullptr) check_->on_vclock(check_node_, vclock_, v, trace_now_);
   vclock_ = v;
 }
 
@@ -90,6 +92,9 @@ bool TagScheduler::enqueue(Packet p, TimeNs now) {
   last_busy_ = now;
 
   lane.q.push_back(p);
+  if (check_ != nullptr)
+    check_->on_lane_enqueue(check_node_, lane.cfg.subflow,
+                            static_cast<int>(lane.q.size()), now);
   // NOTE: an arrival never displaces the currently selected head — the MAC
   // may already be mid-exchange with it; re-selection happens at pop time.
   if (lane.q.size() == 1) assign_head_tags(lane);
@@ -123,6 +128,9 @@ Packet TagScheduler::pop_selected() {
   select_head();
   Lane& lane = lanes_[static_cast<std::size_t>(selected_)];
   Packet p = lane.q.front();
+  if (check_ != nullptr)
+    check_->on_lane_serve(check_node_, lane.cfg.subflow, lane.internal_finish,
+                          trace_now_);
   lane.q.pop_front();
   lane.last_internal_finish = lane.internal_finish;
   if (!lane.q.empty()) assign_head_tags(lane);
@@ -157,6 +165,7 @@ int TagScheduler::backlog() const {
 
 void TagScheduler::update_share(std::int32_t subflow, double share) {
   E2EFA_ASSERT_MSG(share > 0.0, "subflow share must be positive");
+  if (check_ != nullptr) check_->on_share_update(check_node_, subflow);
   Lane& lane = lane_of(subflow);
   node_share_ += share - lane.cfg.share;
   lane.cfg.share = share;

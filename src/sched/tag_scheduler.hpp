@@ -31,6 +31,8 @@
 
 namespace e2efa {
 
+class CheckContext;
+
 class TagScheduler : public TxQueue, public TagAgent {
  public:
   struct SubflowConfig {
@@ -85,6 +87,13 @@ class TagScheduler : public TxQueue, public TagAgent {
   /// Refreshes the emission timestamp before calls that carry no `now`
   /// (runner epoch-boundary update_share).
   void note_time(TimeNs now) { trace_now_ = now; }
+
+  /// Installs the invariant-check observer (lane depth, tag monotonicity,
+  /// virtual-clock monotonicity oracles). Not owned; never mutates state.
+  void set_check(CheckContext* check, std::int32_t node) {
+    check_ = check;
+    check_node_ = node;
+  }
 
   /// Node share c = Σ_j c^j.
   double node_share() const { return node_share_; }
@@ -147,6 +156,8 @@ class TagScheduler : public TxQueue, public TagAgent {
   TraceSink* trace_ = nullptr;
   std::int16_t trace_node_ = -1;
   TimeNs trace_now_ = 0;  ///< Timestamp of the innermost mutating call.
+  CheckContext* check_ = nullptr;
+  std::int32_t check_node_ = -1;
 };
 
 }  // namespace e2efa

@@ -19,6 +19,14 @@ TEST(Cli, DefaultsWhenNoArgs) {
   EXPECT_EQ(opt->protocol, Protocol::k2paCentralized);
   EXPECT_DOUBLE_EQ(opt->config.sim_seconds, 60.0);
   EXPECT_FALSE(opt->list_shares);
+  EXPECT_FALSE(opt->check);
+}
+
+TEST(Cli, ParsesCheckFlag) {
+  std::string err;
+  const auto opt = parse({"--check"}, &err);
+  ASSERT_TRUE(opt.has_value()) << err;
+  EXPECT_TRUE(opt->check);
 }
 
 TEST(Cli, ParsesAllOptions) {

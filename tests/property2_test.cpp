@@ -7,10 +7,13 @@
 #include <cmath>
 
 #include "alloc/centralized.hpp"
+#include "alloc/distributed.hpp"
 #include "alloc/maxmin.hpp"
 #include "alloc/strict_fair.hpp"
+#include "check/check.hpp"
 #include "net/fluid.hpp"
 #include "net/runner.hpp"
+#include "net/scenario_gen.hpp"
 #include "net/scenarios.hpp"
 #include "route/routing.hpp"
 #include "topology/builders.hpp"
@@ -134,6 +137,68 @@ TEST_P(MaxMinProperty, FluidPredictionInternallyConsistent) {
 
 INSTANTIATE_TEST_SUITE_P(Seeds, MaxMinProperty,
                          ::testing::Values(101, 202, 303, 404, 505, 606));
+
+
+// ---------- distributed phase-1 sweep (random weighted topologies) ----------
+
+// What the Sec. IV-B distributed solve *does* guarantee on arbitrary
+// topologies, asserted over a 50-seed sweep: every flow keeps the floor its
+// own local LP promised (w_i times the local basic unit share, scaled by the
+// local relaxation), the global basic floor holds whenever no local
+// relaxation was needed (the local unit share can only exceed the global
+// one), and the combined shares stay inside the documented clique-load
+// envelope. The companion test runs the same sweep through the packet
+// simulator under the full invariant oracle for both distributed variants.
+class DistributedAllocProperty : public ::testing::TestWithParam<std::uint64_t> {};
+
+TEST_P(DistributedAllocProperty, FloorAndCliqueEnvelopeHoldOnRandomNets) {
+  GenConfig gen;
+  gen.p_faults = 0.0;
+  gen.p_loss = 0.0;
+  const Scenario sc = generate_scenario(GetParam(), gen);
+  const FlowSet flows(sc.topo, sc.flow_specs);
+  const ContentionGraph graph(sc.topo, flows);
+  const DistributedResult r = distributed_allocate(sc.topo, flows, graph);
+
+  EXPECT_LE(max_clique_load(graph, r.allocation.subflow_share),
+            kDistributedCliqueEnvelope + kTol);
+
+  const std::vector<double> global_floor = basic_shares(graph);
+  for (FlowId f = 0; f < flows.flow_count(); ++f) {
+    const LocalProblem& lp = r.locals[static_cast<std::size_t>(f)];
+    const double local_floor =
+        flows.flow(f).weight * lp.unit_basic * lp.min_relaxation;
+    EXPECT_GE(r.allocation.flow_share[static_cast<std::size_t>(f)],
+              local_floor - kTol)
+        << "seed " << GetParam() << " flow " << f;
+    if (lp.min_relaxation >= 1.0 - kTol)
+      EXPECT_GE(r.allocation.flow_share[static_cast<std::size_t>(f)],
+                global_floor[static_cast<std::size_t>(f)] - kTol)
+        << "seed " << GetParam() << " flow " << f;
+  }
+}
+
+TEST_P(DistributedAllocProperty, PacketSimVariantsPassThePhase1Oracle) {
+  GenConfig gen;
+  gen.p_faults = 0.0;
+  gen.p_loss = 0.0;
+  const Scenario sc = generate_scenario(GetParam() + 5000, gen);
+  for (Protocol proto :
+       {Protocol::k2paDistributed, Protocol::k2paDistributedCtrl}) {
+    CheckContext check;
+    SimConfig cfg;
+    cfg.sim_seconds = 0.3;
+    cfg.warmup_seconds = 0.2;
+    cfg.check = &check;
+    const RunResult r = run_scenario(sc, proto, cfg);
+    EXPECT_TRUE(r.has_target);
+    EXPECT_TRUE(check.ok()) << to_string(proto) << " seed " << GetParam()
+                            << "\n" << check.report();
+  }
+}
+
+INSTANTIATE_TEST_SUITE_P(Seeds, DistributedAllocProperty,
+                         ::testing::Range<std::uint64_t>(1, 51));
 
 // ---------- dynamic-run determinism ----------
 

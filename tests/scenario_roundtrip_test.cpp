@@ -1,0 +1,96 @@
+// Round-trip property of the scenario serializer: generate random
+// scenarios (topology + weighted explicit-path flows + fault plan + loss
+// model), serialize to the text format, parse back, and require (a) the
+// parsed scenario is structurally identical and (b) a simulation of the
+// parsed scenario reproduces the original RunResult bit for bit — the
+// guarantee the fuzzer's repro files depend on.
+#include <gtest/gtest.h>
+
+#include "net/runner.hpp"
+#include "net/scenario_file.hpp"
+#include "net/scenario_gen.hpp"
+
+namespace e2efa {
+namespace {
+
+class ScenarioRoundTrip : public ::testing::TestWithParam<std::uint64_t> {};
+
+GenConfig eventful() {
+  GenConfig gen;
+  gen.p_faults = 1.0;  // Every scenario carries faults and loss, so the
+  gen.p_loss = 1.0;    // serializer's rarest directives are always covered.
+  return gen;
+}
+
+TEST_P(ScenarioRoundTrip, StructurallyIdenticalAfterParse) {
+  const Scenario sc = generate_scenario(GetParam(), eventful());
+  const std::string text = serialize_scenario_text(sc);
+  const Scenario back = parse_scenario_text(text, sc.name);
+
+  ASSERT_EQ(back.topo.node_count(), sc.topo.node_count());
+  EXPECT_EQ(back.topo.tx_range(), sc.topo.tx_range());
+  EXPECT_EQ(back.topo.interference_range(), sc.topo.interference_range());
+  for (NodeId n = 0; n < sc.topo.node_count(); ++n) {
+    EXPECT_EQ(back.topo.position(n).x, sc.topo.position(n).x);
+    EXPECT_EQ(back.topo.position(n).y, sc.topo.position(n).y);
+    EXPECT_EQ(back.topo.label(n), sc.topo.label(n));
+  }
+
+  ASSERT_EQ(back.flow_specs.size(), sc.flow_specs.size());
+  for (std::size_t i = 0; i < sc.flow_specs.size(); ++i) {
+    EXPECT_EQ(back.flow_specs[i].path, sc.flow_specs[i].path) << "flow " << i;
+    EXPECT_EQ(back.flow_specs[i].weight, sc.flow_specs[i].weight) << "flow " << i;
+  }
+
+  ASSERT_EQ(back.faults.events().size(), sc.faults.events().size());
+  for (std::size_t i = 0; i < sc.faults.events().size(); ++i) {
+    const FaultEvent& a = sc.faults.events()[i];
+    const FaultEvent& b = back.faults.events()[i];
+    EXPECT_EQ(b.kind, a.kind) << "event " << i;
+    EXPECT_EQ(b.at_s, a.at_s) << "event " << i;
+    EXPECT_EQ(b.node, a.node) << "event " << i;
+    EXPECT_EQ(b.peer, a.peer) << "event " << i;
+  }
+  ASSERT_EQ(back.faults.loss_rules().size(), sc.faults.loss_rules().size());
+  for (std::size_t i = 0; i < sc.faults.loss_rules().size(); ++i) {
+    EXPECT_EQ(back.faults.loss_rules()[i].a, sc.faults.loss_rules()[i].a);
+    EXPECT_EQ(back.faults.loss_rules()[i].b, sc.faults.loss_rules()[i].b);
+    EXPECT_EQ(back.faults.loss_rules()[i].per, sc.faults.loss_rules()[i].per);
+  }
+  EXPECT_EQ(back.faults.default_loss(), sc.faults.default_loss());
+
+  // A second round trip must be byte-stable (fixed point).
+  EXPECT_EQ(serialize_scenario_text(back), text);
+}
+
+TEST_P(ScenarioRoundTrip, SimulationOfParsedScenarioIsBitIdentical) {
+  const Scenario sc = generate_scenario(GetParam(), eventful());
+  const Scenario back =
+      parse_scenario_text(serialize_scenario_text(sc), sc.name);
+
+  SimConfig cfg;
+  cfg.sim_seconds = 1.0;
+  cfg.warmup_seconds = 0.5;
+  for (Protocol proto :
+       {Protocol::k2paDistributed, Protocol::k2paDistributedCtrl}) {
+    const RunResult a = run_scenario(sc, proto, cfg);
+    const RunResult b = run_scenario(back, proto, cfg);
+    EXPECT_EQ(a.delivered_per_subflow, b.delivered_per_subflow);
+    EXPECT_EQ(a.end_to_end_per_flow, b.end_to_end_per_flow);
+    EXPECT_EQ(a.total_end_to_end, b.total_end_to_end);
+    EXPECT_EQ(a.lost_packets, b.lost_packets);
+    EXPECT_EQ(a.dropped_queue, b.dropped_queue);
+    EXPECT_EQ(a.dropped_mac, b.dropped_mac);
+    EXPECT_EQ(a.target_subflow_share, b.target_subflow_share);
+    EXPECT_EQ(a.target_flow_share, b.target_flow_share);
+    EXPECT_EQ(a.suspended_per_flow, b.suspended_per_flow);
+    EXPECT_EQ(a.recoveries, b.recoveries);
+    EXPECT_EQ(a.ctrl, b.ctrl);
+  }
+}
+
+INSTANTIATE_TEST_SUITE_P(Seeds, ScenarioRoundTrip,
+                         ::testing::Values(3, 11, 25, 117, 168, 1009));
+
+}  // namespace
+}  // namespace e2efa

@@ -9,6 +9,7 @@
 #include <iostream>
 #include <string>
 
+#include "check/check.hpp"
 #include "net/cli.hpp"
 #include "obs/metrics.hpp"
 #include "obs/trace.hpp"
@@ -56,6 +57,9 @@ int main(int argc, char** argv) {
       cfg.trace = &trace;
     }
 
+    CheckContext check;
+    if (opt->check) cfg.check = &check;
+
     const RunResult r = run_scenario(sc, opt->protocol, cfg);
 
     if (cfg.trace != nullptr) {
@@ -72,6 +76,13 @@ int main(int argc, char** argv) {
                 << opt->metrics_out << "\n";
     }
     std::cout << format_run_result(sc, r, cfg, opt->list_shares);
+    if (opt->check) {
+      if (!check.ok()) {
+        std::cout << "\n" << check.report();
+        return 1;
+      }
+      std::cout << "\ninvariant checks: clean\n";
+    }
   } catch (const ContractViolation& e) {
     std::cerr << "error: " << e.what() << "\n";
     return 1;
