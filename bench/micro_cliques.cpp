@@ -54,6 +54,54 @@ void BM_MaximalCliquesRandom(benchmark::State& state) {
 }
 BENCHMARK(BM_MaximalCliquesRandom)->Arg(12)->Arg(24)->Arg(48);
 
+// Before/after pair for the scaling rework: the dense-matrix enumerator the
+// seed shipped (O(V^2) setup, per-call allocation) vs the vertex-seeded
+// bitset engine behind maximal_cliques. Same outputs — scale_parity_test
+// asserts element-wise equality — so the delta is pure enumeration cost.
+void BM_MaximalCliquesDenseReference(benchmark::State& state) {
+  RandomNet net(static_cast<int>(state.range(0)), 3 * static_cast<int>(state.range(0)), 7);
+  for (auto _ : state)
+    benchmark::DoNotOptimize(maximal_cliques_reference(*net.graph));
+}
+BENCHMARK(BM_MaximalCliquesDenseReference)->Arg(24)->Arg(48)->Arg(96);
+
+void BM_MaximalCliquesSparseSeeded(benchmark::State& state) {
+  RandomNet net(static_cast<int>(state.range(0)), 3 * static_cast<int>(state.range(0)), 7);
+  for (auto _ : state) benchmark::DoNotOptimize(maximal_cliques(*net.graph));
+}
+BENCHMARK(BM_MaximalCliquesSparseSeeded)->Arg(24)->Arg(48)->Arg(96);
+
+// Scratch reuse in the hot path: a long-lived CliqueEnumerator (what the
+// incremental store holds) vs a fresh engine per run, which re-allocates
+// frames, bitset rows, and relabel maps every call.
+void BM_EnumeratorPooledScratch(benchmark::State& state) {
+  RandomNet net(static_cast<int>(state.range(0)), 3 * static_cast<int>(state.range(0)), 7);
+  std::vector<int> all;
+  for (int v = 0; v < net.graph->vertex_count(); ++v) all.push_back(v);
+  CliqueEnumerator engine(*net.graph);
+  std::vector<std::vector<int>> out;
+  for (auto _ : state) {
+    out.clear();
+    engine.enumerate(all, out);
+    benchmark::DoNotOptimize(out);
+  }
+}
+BENCHMARK(BM_EnumeratorPooledScratch)->Arg(24)->Arg(48)->Arg(96);
+
+void BM_EnumeratorFreshScratch(benchmark::State& state) {
+  RandomNet net(static_cast<int>(state.range(0)), 3 * static_cast<int>(state.range(0)), 7);
+  std::vector<int> all;
+  for (int v = 0; v < net.graph->vertex_count(); ++v) all.push_back(v);
+  std::vector<std::vector<int>> out;
+  for (auto _ : state) {
+    out.clear();
+    CliqueEnumerator engine(*net.graph);
+    engine.enumerate(all, out);
+    benchmark::DoNotOptimize(out);
+  }
+}
+BENCHMARK(BM_EnumeratorFreshScratch)->Arg(24)->Arg(48)->Arg(96);
+
 void BM_IndependentSetsRandom(benchmark::State& state) {
   RandomNet net(static_cast<int>(state.range(0)), static_cast<int>(state.range(0)) / 3, 7);
   for (auto _ : state) benchmark::DoNotOptimize(maximal_independent_sets(*net.graph));

@@ -2,12 +2,14 @@
 
 namespace e2efa {
 
-CentralizedResult centralized_allocate(const ContentionGraph& g) {
+CentralizedResult centralized_allocate(const ContentionGraph& g,
+                                       const std::vector<std::vector<int>>* cliques) {
   const FlowSet& flows = g.flows();
   const int n = flows.flow_count();
 
   CentralizedResult out;
-  out.constraint_rows = clique_constraint_rows(g);
+  out.constraint_rows = cliques != nullptr ? clique_constraint_rows(g, *cliques)
+                                           : clique_constraint_rows(g);
   out.basic = basic_shares(g);  // group-aware (Sec. II-D defines the basic
                                 // share within a contending flow group)
 

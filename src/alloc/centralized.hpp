@@ -30,7 +30,11 @@ struct CentralizedResult {
 
 /// Runs the centralized first phase on one contending flow group (the whole
 /// FlowSet behind `g` is treated as a single group; disjoint groups may
-/// simply be solved separately — their LPs do not interact).
-CentralizedResult centralized_allocate(const ContentionGraph& g);
+/// simply be solved separately — their LPs do not interact). `cliques`, when
+/// given, is the precomputed maximal-clique list of `g` (e.g. from an
+/// incremental CliqueStore) and skips from-scratch enumeration; the result
+/// is identical.
+CentralizedResult centralized_allocate(const ContentionGraph& g,
+                                       const std::vector<std::vector<int>>* cliques = nullptr);
 
 }  // namespace e2efa

@@ -28,17 +28,37 @@ LocalProblem solve_local_problem(const FlowSet& flows, FlowId flow,
 
   // Drop cliques that are strict subsets of another accumulated clique
   // (a node with narrower knowledge may report a clique another node of
-  // the flow sees a superset of; the superset row dominates).
-  std::set<std::vector<int>> cset(cliques.begin(), cliques.end());
-  for (auto it = cset.begin(); it != cset.end();) {
-    const bool subset_of_other = std::any_of(
-        cset.begin(), cset.end(), [&](const std::vector<int>& other) {
-          return &other != &*it && other.size() > it->size() &&
-                 std::includes(other.begin(), other.end(), it->begin(), it->end());
-        });
-    it = subset_of_other ? cset.erase(it) : std::next(it);
+  // the flow sees a superset of; the superset row dominates). Dominance
+  // is found by counting shared members through a subflow→clique index —
+  // j dominates i exactly when the count reaches |i| with |j| > |i| —
+  // instead of all-pairs std::includes: city-scale sources accumulate
+  // thousands of local cliques, where the quadratic scan is minutes. The
+  // surviving set (the maximal elements under ⊆) is identical.
+  const std::set<std::vector<int>> cset(cliques.begin(), cliques.end());
+  std::vector<const std::vector<int>*> cs;
+  cs.reserve(cset.size());
+  for (const auto& c : cset) cs.push_back(&c);
+  const int nc = static_cast<int>(cs.size());
+  std::vector<std::vector<int>> member_of(
+      static_cast<std::size_t>(flows.subflow_count()));
+  for (int i = 0; i < nc; ++i)
+    for (int s : *cs[i]) member_of[static_cast<std::size_t>(s)].push_back(i);
+  std::vector<int> shared(static_cast<std::size_t>(nc), 0);
+  for (int i = 0; i < nc; ++i) {
+    const int size_i = static_cast<int>(cs[i]->size());
+    std::fill(shared.begin(), shared.end(), 0);
+    bool dominated = false;
+    for (int s : *cs[i]) {
+      for (int j : member_of[static_cast<std::size_t>(s)])
+        if (j != i && ++shared[static_cast<std::size_t>(j)] == size_i &&
+            static_cast<int>(cs[j]->size()) > size_i) {
+          dominated = true;
+          break;
+        }
+      if (dominated) break;
+    }
+    if (!dominated) lp.cliques.push_back(*cs[i]);
   }
-  lp.cliques.assign(cset.begin(), cset.end());
 
   // Variables: flows appearing in any accumulated clique.
   std::set<FlowId> vars;

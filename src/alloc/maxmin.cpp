@@ -109,15 +109,24 @@ MaxMinResult waterfill(int n, const std::vector<double>& weights,
   return out;
 }
 
-std::vector<std::vector<double>> flow_rows(const ContentionGraph& g) {
+std::vector<std::vector<double>> flow_rows(const ContentionGraph& g,
+                                           const std::vector<std::vector<int>>* cliques) {
+  const auto int_rows = cliques != nullptr ? clique_constraint_rows(g, *cliques)
+                                           : clique_constraint_rows(g);
   std::vector<std::vector<double>> rows;
-  for (const auto& r : clique_constraint_rows(g)) rows.emplace_back(r.begin(), r.end());
+  for (const auto& r : int_rows) rows.emplace_back(r.begin(), r.end());
   return rows;
 }
 
-std::vector<std::vector<double>> subflow_rows(const ContentionGraph& g) {
+std::vector<std::vector<double>> subflow_rows(const ContentionGraph& g,
+                                              const std::vector<std::vector<int>>* cliques) {
+  std::vector<std::vector<int>> local;
+  if (cliques == nullptr) {
+    local = maximal_cliques(g);
+    cliques = &local;
+  }
   std::set<std::vector<double>> rows;
-  for (const auto& clique : maximal_cliques(g)) {
+  for (const auto& clique : *cliques) {
     std::vector<double> row(static_cast<std::size_t>(g.flows().subflow_count()), 0.0);
     for (int v : clique) row[static_cast<std::size_t>(v)] = 1.0;
     rows.insert(std::move(row));
@@ -127,23 +136,25 @@ std::vector<std::vector<double>> subflow_rows(const ContentionGraph& g) {
 
 }  // namespace
 
-MaxMinResult maxmin_allocate(const ContentionGraph& g, const std::vector<double>& caps) {
+MaxMinResult maxmin_allocate(const ContentionGraph& g, const std::vector<double>& caps,
+                             const std::vector<std::vector<int>>* cliques) {
   const FlowSet& flows = g.flows();
   const int n = flows.flow_count();
   std::vector<double> weights(static_cast<std::size_t>(n));
   for (FlowId f = 0; f < n; ++f) weights[static_cast<std::size_t>(f)] = flows.flow(f).weight;
-  MaxMinResult out = waterfill(n, weights, flow_rows(g), caps);
+  MaxMinResult out = waterfill(n, weights, flow_rows(g, cliques), caps);
   out.allocation = make_equalized_allocation(flows, std::move(out.allocation.flow_share));
   return out;
 }
 
 MaxMinResult maxmin_allocate_subflows(const ContentionGraph& g,
-                                      const std::vector<double>& caps) {
+                                      const std::vector<double>& caps,
+                                      const std::vector<std::vector<int>>* cliques) {
   const FlowSet& flows = g.flows();
   const int m = flows.subflow_count();
   std::vector<double> weights(static_cast<std::size_t>(m));
   for (int s = 0; s < m; ++s) weights[static_cast<std::size_t>(s)] = flows.subflow(s).weight;
-  MaxMinResult out = waterfill(m, weights, subflow_rows(g), caps);
+  MaxMinResult out = waterfill(m, weights, subflow_rows(g, cliques), caps);
   out.allocation = make_subflow_allocation(flows, std::move(out.allocation.flow_share));
   return out;
 }

@@ -31,13 +31,17 @@ struct MaxMinResult {
 };
 
 /// Flow-level weighted max-min with optional caps (`caps` empty = greedy
-/// sources). Shares are equalized across each flow's subflows.
+/// sources). Shares are equalized across each flow's subflows. `cliques`,
+/// when given, is the precomputed maximal-clique list of `g` (identical
+/// result, no from-scratch enumeration).
 MaxMinResult maxmin_allocate(const ContentionGraph& g,
-                             const std::vector<double>& caps = {});
+                             const std::vector<double>& caps = {},
+                             const std::vector<std::vector<int>>* cliques = nullptr);
 
 /// Subflow-level weighted max-min (each subflow an independent single-hop
 /// flow, as in previous work); `caps` per subflow, empty = greedy.
 MaxMinResult maxmin_allocate_subflows(const ContentionGraph& g,
-                                      const std::vector<double>& caps = {});
+                                      const std::vector<double>& caps = {},
+                                      const std::vector<std::vector<int>>* cliques = nullptr);
 
 }  // namespace e2efa

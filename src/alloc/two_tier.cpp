@@ -4,7 +4,8 @@
 
 namespace e2efa {
 
-TwoTierResult two_tier_allocate(const ContentionGraph& g) {
+TwoTierResult two_tier_allocate(const ContentionGraph& g,
+                                const std::vector<std::vector<int>>* cliques) {
   const FlowSet& flows = g.flows();
   const int m = flows.subflow_count();
 
@@ -17,9 +18,14 @@ TwoTierResult two_tier_allocate(const ContentionGraph& g) {
   for (int s = 0; s < m; ++s)
     lp.weights[static_cast<std::size_t>(s)] = flows.subflow(s).weight;
 
+  std::vector<std::vector<int>> local;
+  if (cliques == nullptr) {
+    local = maximal_cliques(g);
+    cliques = &local;
+  }
   // Deduplicated 0/1 rows over subflows, one per maximal clique.
   std::set<std::vector<double>> rows;
-  for (const auto& clique : maximal_cliques(g)) {
+  for (const auto& clique : *cliques) {
     std::vector<double> row(static_cast<std::size_t>(m), 0.0);
     for (int v : clique) row[static_cast<std::size_t>(v)] = 1.0;
     rows.insert(std::move(row));

@@ -31,6 +31,9 @@ struct TwoTierResult {
   double total_single_hop = 0.0;
 };
 
-TwoTierResult two_tier_allocate(const ContentionGraph& g);
+/// `cliques`, when given, is the precomputed maximal-clique list of `g`
+/// (identical result, no from-scratch enumeration).
+TwoTierResult two_tier_allocate(const ContentionGraph& g,
+                                const std::vector<std::vector<int>>* cliques = nullptr);
 
 }  // namespace e2efa

@@ -309,7 +309,7 @@ void CheckContext::check_allocation(const ContentionGraph& g, const Allocation& 
   // weighted topologies is 1.46, so anything past the envelope below is a
   // genuine allocator regression, not local-knowledge slack.
   const double cap =
-      strict_clique ? 1.0 + cfg_.alloc_eps : kDistributedCliqueEnvelope;
+      strict_clique ? 1.0 + cfg_.alloc_eps : cfg_.distributed_clique_envelope;
   const double load = max_clique_load(g, a.subflow_share);
   if (load > cap)
     fail(CheckViolation::Category::kAlloc, kInvalidNode, t,

@@ -1,0 +1,176 @@
+#include "contention/clique_store.hpp"
+
+#include <algorithm>
+
+#include "util/assert.hpp"
+
+namespace e2efa {
+
+CliqueStore::CliqueStore(const ContentionGraph& g, std::vector<char> active)
+    : g_(&g), active_(std::move(active)), enumerator_(g) {
+  const std::size_t n = static_cast<std::size_t>(g.vertex_count());
+  if (active_.empty()) active_.assign(n, 1);
+  E2EFA_ASSERT_MSG(active_.size() == n, "active flags must match vertex count");
+  active_count_ = static_cast<int>(std::count(active_.begin(), active_.end(), char{1}));
+  vertex_cliques_.resize(n);
+  dirty_mark_.assign(n, 0);
+  seed_mark_.assign(n, 0);
+  rebuild_all();
+}
+
+void CliqueStore::rebuild_all() {
+  std::vector<int> verts;
+  for (int v = 0; v < g_->vertex_count(); ++v)
+    if (active_[static_cast<std::size_t>(v)]) verts.push_back(v);
+  found_.clear();
+  enumerator_.enumerate(verts, found_);
+  for (auto& c : found_) add_clique(std::move(c));
+  found_.clear();
+}
+
+void CliqueStore::add_clique(std::vector<int> clique) {
+  int id;
+  if (!free_ids_.empty()) {
+    id = free_ids_.back();
+    free_ids_.pop_back();
+    cliques_[static_cast<std::size_t>(id)] = std::move(clique);
+  } else {
+    id = static_cast<int>(cliques_.size());
+    cliques_.push_back(std::move(clique));
+    live_.push_back(0);
+  }
+  live_[static_cast<std::size_t>(id)] = 1;
+  ++live_count_;
+  for (int v : cliques_[static_cast<std::size_t>(id)])
+    vertex_cliques_[static_cast<std::size_t>(v)].push_back(id);
+}
+
+void CliqueStore::remove_clique(int id) {
+  auto& members = cliques_[static_cast<std::size_t>(id)];
+  for (int v : members) {
+    auto& ids = vertex_cliques_[static_cast<std::size_t>(v)];
+    auto it = std::find(ids.begin(), ids.end(), id);
+    E2EFA_ASSERT(it != ids.end());
+    *it = ids.back();
+    ids.pop_back();
+  }
+  members.clear();  // keeps capacity for slab reuse
+  live_[static_cast<std::size_t>(id)] = 0;
+  --live_count_;
+  free_ids_.push_back(id);
+}
+
+CliqueStore::UpdateStats CliqueStore::update(const std::vector<int>& activate,
+                                             const std::vector<int>& deactivate) {
+  UpdateStats stats;
+  // Apply the toggles first: seeds and candidate sets are read against the
+  // *new* active set.
+  for (int v : deactivate) {
+    E2EFA_ASSERT_MSG(is_active(v), "deactivating an inactive vertex");
+    active_[static_cast<std::size_t>(v)] = 0;
+    --active_count_;
+  }
+  for (int v : activate) {
+    E2EFA_ASSERT_MSG(!is_active(v), "activating an active vertex");
+    active_[static_cast<std::size_t>(v)] = 1;
+    ++active_count_;
+  }
+
+  // Dirty region N[Δ]: stored cliques touching it are discarded; its
+  // active part re-seeds enumeration.
+  seeds_.clear();
+  auto mark = [&](int v) {
+    if (dirty_mark_[static_cast<std::size_t>(v)]) return;
+    dirty_mark_[static_cast<std::size_t>(v)] = 1;
+    if (active_[static_cast<std::size_t>(v)]) {
+      seed_mark_[static_cast<std::size_t>(v)] = 1;
+      seeds_.push_back(v);
+    }
+  };
+  for (int delta : activate) {
+    mark(delta);
+    for (int u : g_->neighbors_of(delta)) mark(u);
+  }
+  for (int delta : deactivate) {
+    mark(delta);
+    for (int u : g_->neighbors_of(delta)) mark(u);
+  }
+
+  doomed_.clear();
+  auto doom_at = [&](int v) {
+    for (int id : vertex_cliques_[static_cast<std::size_t>(v)]) doomed_.push_back(id);
+  };
+  for (int delta : activate) {
+    doom_at(delta);
+    for (int u : g_->neighbors_of(delta)) doom_at(u);
+  }
+  for (int delta : deactivate) {
+    doom_at(delta);
+    for (int u : g_->neighbors_of(delta)) doom_at(u);
+  }
+  for (int id : doomed_) {
+    if (!live_[static_cast<std::size_t>(id)]) continue;  // already removed this round
+    remove_clique(id);
+    ++stats.removed;
+  }
+
+  // Re-derive every maximal clique of the new active subgraph that meets
+  // the dirty region: seed Bron–Kerbosch at each dirty vertex v, with the
+  // dirty seeds u < v excluded via X so each clique is found exactly once
+  // (from its smallest dirty vertex). A clique containing v lies inside
+  // N[v], and maximality against all of N(v) ∩ active is enforced by the
+  // P/X emptiness check, so the result is globally maximal.
+  std::sort(seeds_.begin(), seeds_.end());
+  stats.seeds = static_cast<int>(seeds_.size());
+  for (int v : seeds_) {
+    p0_.clear();
+    x0_.clear();
+    for (int u : g_->neighbors_of(v)) {
+      if (!active_[static_cast<std::size_t>(u)]) continue;
+      if (seed_mark_[static_cast<std::size_t>(u)] && u < v)
+        x0_.push_back(u);
+      else
+        p0_.push_back(u);
+    }
+    found_.clear();
+    enumerator_.enumerate_from({v}, p0_, x0_, found_);
+    for (auto& c : found_) {
+      add_clique(std::move(c));
+      ++stats.added;
+    }
+  }
+  found_.clear();
+
+  for (int v : seeds_) seed_mark_[static_cast<std::size_t>(v)] = 0;
+  for (int delta : activate) {
+    dirty_mark_[static_cast<std::size_t>(delta)] = 0;
+    for (int u : g_->neighbors_of(delta)) dirty_mark_[static_cast<std::size_t>(u)] = 0;
+  }
+  for (int delta : deactivate) {
+    dirty_mark_[static_cast<std::size_t>(delta)] = 0;
+    for (int u : g_->neighbors_of(delta)) dirty_mark_[static_cast<std::size_t>(u)] = 0;
+  }
+  return stats;
+}
+
+CliqueStore::UpdateStats CliqueStore::set_active(const std::vector<char>& active) {
+  E2EFA_ASSERT_MSG(active.size() == active_.size(), "active flags must match vertex count");
+  std::vector<int> on, off;
+  for (int v = 0; v < g_->vertex_count(); ++v) {
+    const bool want = active[static_cast<std::size_t>(v)] != 0;
+    if (want && !is_active(v)) on.push_back(v);
+    if (!want && is_active(v)) off.push_back(v);
+  }
+  return update(on, off);
+}
+
+std::vector<std::vector<int>> CliqueStore::cliques() const {
+  std::vector<std::vector<int>> out;
+  out.reserve(static_cast<std::size_t>(live_count_));
+  for (std::size_t id = 0; id < cliques_.size(); ++id)
+    if (live_[id]) out.push_back(cliques_[id]);
+  std::sort(out.begin(), out.end());
+  return out;
+}
+
+}  // namespace e2efa

@@ -1,5 +1,6 @@
 #include "contention/contention_graph.hpp"
 
+#include <algorithm>
 #include <numeric>
 #include <queue>
 
@@ -7,53 +8,72 @@
 
 namespace e2efa {
 
-namespace {
-/// Endpoint-range contention rule: any endpoint of a within interference
-/// range of any endpoint of b (a node is trivially within range of itself).
-bool subflows_contend(const Topology& topo, const Subflow& a, const Subflow& b) {
-  const NodeId ea[2] = {a.src, a.dst};
-  const NodeId eb[2] = {b.src, b.dst};
-  for (NodeId x : ea)
-    for (NodeId y : eb)
-      if (x == y || topo.interferes(x, y)) return true;
-  return false;
+void ContentionGraph::build_incidence(int node_count) {
+  incident_.assign(static_cast<std::size_t>(node_count), {});
+  for (int s = 0; s < n_; ++s) {
+    const Subflow& sf = flows_->subflow(s);
+    incident_[static_cast<std::size_t>(sf.src)].push_back(s);
+    incident_[static_cast<std::size_t>(sf.dst)].push_back(s);
+  }
+  // Subflows are visited in ascending id order and a subflow's endpoints are
+  // distinct, so each per-node list is ascending with no duplicates.
 }
-}  // namespace
 
 ContentionGraph::ContentionGraph(const Topology& topo, const FlowSet& flows)
     : flows_(&flows), n_(flows.subflow_count()) {
-  adj_.assign(static_cast<std::size_t>(n_), std::vector<bool>(static_cast<std::size_t>(n_), false));
+  build_incidence(topo.node_count());
+  adj_.resize(static_cast<std::size_t>(n_));
+  // b contends with a iff some endpoint of b equals, or interferes with,
+  // some endpoint of a — i.e. iff b is incident to a node in the closed
+  // interference neighborhood of a.src or a.dst. Walking those
+  // neighborhoods enumerates exactly the contenders; a stamp array
+  // deduplicates subflows reachable through several nodes.
+  std::vector<int> stamp(static_cast<std::size_t>(n_), -1);
   for (int a = 0; a < n_; ++a) {
-    for (int b = a + 1; b < n_; ++b) {
-      if (subflows_contend(topo, flows.subflow(a), flows.subflow(b))) {
-        adj_[a][b] = adj_[b][a] = true;
+    const Subflow& sa = flows.subflow(a);
+    auto& out = adj_[static_cast<std::size_t>(a)];
+    auto visit_node = [&](NodeId y) {
+      for (int b : incident_[static_cast<std::size_t>(y)]) {
+        if (b == a || stamp[static_cast<std::size_t>(b)] == a) continue;
+        stamp[static_cast<std::size_t>(b)] = a;
+        out.push_back(b);
       }
-    }
+    };
+    auto visit_endpoint = [&](NodeId x) {
+      visit_node(x);
+      for (NodeId y : topo.interference_neighbors(x)) visit_node(y);
+    };
+    visit_endpoint(sa.src);
+    visit_endpoint(sa.dst);
+    std::sort(out.begin(), out.end());
   }
 }
 
 ContentionGraph::ContentionGraph(const FlowSet& flows,
                                  const std::vector<std::pair<int, int>>& edges)
     : flows_(&flows), n_(flows.subflow_count()) {
-  adj_.assign(static_cast<std::size_t>(n_), std::vector<bool>(static_cast<std::size_t>(n_), false));
+  build_incidence(flows.topology().node_count());
+  adj_.resize(static_cast<std::size_t>(n_));
   for (const auto& [a, b] : edges) {
     check_vertex(a);
     check_vertex(b);
     E2EFA_ASSERT_MSG(a != b, "self edge in contention graph");
-    adj_[a][b] = adj_[b][a] = true;
+    adj_[static_cast<std::size_t>(a)].push_back(b);
+    adj_[static_cast<std::size_t>(b)].push_back(a);
   }
-  add_intra_flow_edges();
-}
-
-void ContentionGraph::add_intra_flow_edges() {
-  for (int a = 0; a < n_; ++a) {
-    for (int b = a + 1; b < n_; ++b) {
-      const Subflow& sa = flows_->subflow(a);
-      const Subflow& sb = flows_->subflow(b);
-      const bool share_node =
-          sa.src == sb.src || sa.src == sb.dst || sa.dst == sb.src || sa.dst == sb.dst;
-      if (share_node) adj_[a][b] = adj_[b][a] = true;
-    }
+  // Node-sharing subflows contend automatically (for intra-flow pairs this
+  // is the paper's trivial-contention rule); the incidence index gives the
+  // sharing pairs directly.
+  for (const auto& at_node : incident_) {
+    for (std::size_t i = 0; i < at_node.size(); ++i)
+      for (std::size_t j = i + 1; j < at_node.size(); ++j) {
+        adj_[static_cast<std::size_t>(at_node[i])].push_back(at_node[j]);
+        adj_[static_cast<std::size_t>(at_node[j])].push_back(at_node[i]);
+      }
+  }
+  for (auto& nbrs : adj_) {
+    std::sort(nbrs.begin(), nbrs.end());
+    nbrs.erase(std::unique(nbrs.begin(), nbrs.end()), nbrs.end());
   }
 }
 
@@ -64,38 +84,40 @@ void ContentionGraph::check_vertex(int v) const {
 bool ContentionGraph::contend(int a, int b) const {
   check_vertex(a);
   check_vertex(b);
-  return adj_[a][b];
+  const auto& nbrs = adj_[static_cast<std::size_t>(a)];
+  return std::binary_search(nbrs.begin(), nbrs.end(), b);
 }
 
-std::vector<int> ContentionGraph::neighbors_of(int v) const {
+const std::vector<int>& ContentionGraph::neighbors_of(int v) const {
   check_vertex(v);
-  std::vector<int> out;
-  for (int u = 0; u < n_; ++u)
-    if (adj_[v][u]) out.push_back(u);
-  return out;
+  return adj_[static_cast<std::size_t>(v)];
 }
 
 int ContentionGraph::degree(int v) const {
   check_vertex(v);
-  int d = 0;
-  for (int u = 0; u < n_; ++u) d += adj_[v][u] ? 1 : 0;
-  return d;
+  return static_cast<int>(adj_[static_cast<std::size_t>(v)].size());
+}
+
+const std::vector<int>& ContentionGraph::incident_subflows(NodeId n) const {
+  E2EFA_ASSERT_MSG(n >= 0 && n < static_cast<NodeId>(incident_.size()),
+                   "node id out of range");
+  return incident_[static_cast<std::size_t>(n)];
 }
 
 std::vector<std::vector<int>> ContentionGraph::components() const {
   std::vector<int> comp(static_cast<std::size_t>(n_), -1);
   int next = 0;
   for (int start = 0; start < n_; ++start) {
-    if (comp[start] != -1) continue;
+    if (comp[static_cast<std::size_t>(start)] != -1) continue;
     std::queue<int> q;
     q.push(start);
-    comp[start] = next;
+    comp[static_cast<std::size_t>(start)] = next;
     while (!q.empty()) {
       const int u = q.front();
       q.pop();
-      for (int v = 0; v < n_; ++v) {
-        if (adj_[u][v] && comp[v] == -1) {
-          comp[v] = next;
+      for (int v : adj_[static_cast<std::size_t>(u)]) {
+        if (comp[static_cast<std::size_t>(v)] == -1) {
+          comp[static_cast<std::size_t>(v)] = next;
           q.push(v);
         }
       }
@@ -103,7 +125,7 @@ std::vector<std::vector<int>> ContentionGraph::components() const {
     ++next;
   }
   std::vector<std::vector<int>> out(static_cast<std::size_t>(next));
-  for (int v = 0; v < n_; ++v) out[static_cast<std::size_t>(comp[v])].push_back(v);
+  for (int v = 0; v < n_; ++v) out[static_cast<std::size_t>(comp[static_cast<std::size_t>(v)])].push_back(v);
   return out;
 }
 

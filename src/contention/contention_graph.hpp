@@ -10,6 +10,13 @@
 // constructed directly from an explicit edge list for analytic examples
 // where the paper gives the graph rather than node positions (Fig. 4,
 // Fig. 5 pentagon).
+//
+// Storage is sparse: sorted adjacency lists plus a node -> incident-subflow
+// index. The geometric build walks each endpoint's interference
+// neighborhood (via the topology's cached lists) instead of testing all
+// subflow pairs, so construction is O(S * local density) rather than O(S^2)
+// and stays exact — subflow b contends with a iff b has an endpoint in the
+// closed interference neighborhood of one of a's endpoints.
 #pragma once
 
 #include <vector>
@@ -18,7 +25,7 @@
 
 namespace e2efa {
 
-/// Adjacency-matrix contention graph over the subflows of a FlowSet.
+/// Sparse adjacency-list contention graph over the subflows of a FlowSet.
 class ContentionGraph {
  public:
   /// Builds from geometry: subflows a and b contend iff any endpoint of a is
@@ -35,10 +42,14 @@ class ContentionGraph {
   bool contend(int a, int b) const;
 
   /// Neighbor list (contending subflows) of vertex v, ascending.
-  std::vector<int> neighbors_of(int v) const;
+  const std::vector<int>& neighbors_of(int v) const;
 
   /// Degree of vertex v.
   int degree(int v) const;
+
+  /// Subflows with an endpoint at node n, ascending. Maps topology-level
+  /// deltas (node/link up-down) to the contention-graph vertices they touch.
+  const std::vector<int>& incident_subflows(NodeId n) const;
 
   /// Connected components over subflow vertices; each component is an
   /// ascending list of subflow indices.
@@ -54,12 +65,13 @@ class ContentionGraph {
   bool same_flow(int a, int b) const;
 
  private:
-  void add_intra_flow_edges();
+  void build_incidence(int node_count);
   void check_vertex(int v) const;
 
   const FlowSet* flows_;
   int n_ = 0;
-  std::vector<std::vector<bool>> adj_;
+  std::vector<std::vector<int>> adj_;       // sorted neighbor lists
+  std::vector<std::vector<int>> incident_;  // per topology node, ascending
 };
 
 }  // namespace e2efa

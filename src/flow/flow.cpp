@@ -44,6 +44,17 @@ FlowSet::FlowSet(const Topology& topo, std::vector<Flow> flows)
       subflows_.push_back(s);
     }
   }
+  // Subflows are appended in ascending global order, so per-node lists are
+  // ascending without a sort.
+  sourced_at_.resize(static_cast<std::size_t>(topo.node_count()));
+  for (int s = 0; s < subflow_count(); ++s)
+    sourced_at_[static_cast<std::size_t>(subflows_[static_cast<std::size_t>(s)].src)]
+        .push_back(s);
+}
+
+const std::vector<int>& FlowSet::sourced_at(NodeId n) const {
+  E2EFA_ASSERT(n >= 0 && n < static_cast<NodeId>(sourced_at_.size()));
+  return sourced_at_[static_cast<std::size_t>(n)];
 }
 
 const Flow& FlowSet::flow(FlowId f) const {

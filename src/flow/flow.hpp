@@ -66,6 +66,11 @@ class FlowSet {
   /// Global subflow index of hop `hop` of flow `f`.
   int subflow_index(FlowId f, int hop) const;
 
+  /// Global indices of the subflows transmitted *from* node n (their src),
+  /// ascending. Lets per-node loops (scheduler lanes, agents) run in
+  /// O(subflows at n) instead of scanning every subflow.
+  const std::vector<int>& sourced_at(NodeId n) const;
+
   /// Virtual length of flow f.
   int virtual_length_of(FlowId f) const { return virtual_length(flow(f).length()); }
 
@@ -85,6 +90,7 @@ class FlowSet {
   std::vector<Flow> flows_;
   std::vector<Subflow> subflows_;
   std::vector<std::vector<int>> subflow_index_;  // [flow][hop] -> global index
+  std::vector<std::vector<int>> sourced_at_;     // [node] -> subflows with src == node
 };
 
 }  // namespace e2efa

@@ -1,0 +1,87 @@
+#include "geom/spatial_index.hpp"
+
+#include <algorithm>
+#include <cmath>
+
+#include "util/assert.hpp"
+
+namespace e2efa {
+
+SpatialGrid::SpatialGrid(const std::vector<Point>& points, double cell_size)
+    : points_(points), cell_(cell_size) {
+  E2EFA_ASSERT(cell_ > 0.0);
+  if (points_.empty()) {
+    cols_ = rows_ = 1;
+    cell_start_.assign(2, 0);
+    return;
+  }
+  double max_x = points_[0].x, max_y = points_[0].y;
+  min_x_ = points_[0].x;
+  min_y_ = points_[0].y;
+  for (const Point& p : points_) {
+    min_x_ = std::min(min_x_, p.x);
+    min_y_ = std::min(min_y_, p.y);
+    max_x = std::max(max_x, p.x);
+    max_y = std::max(max_y, p.y);
+  }
+  cols_ = static_cast<int>(std::floor((max_x - min_x_) / cell_)) + 1;
+  rows_ = static_cast<int>(std::floor((max_y - min_y_) / cell_)) + 1;
+
+  // Counting sort into CSR buckets; point ids within a cell stay ascending
+  // because the fill pass visits them in id order.
+  const std::size_t cells = static_cast<std::size_t>(cols_) * static_cast<std::size_t>(rows_);
+  cell_start_.assign(cells + 1, 0);
+  for (const Point& p : points_) ++cell_start_[static_cast<std::size_t>(cell_of(p)) + 1];
+  for (std::size_t c = 1; c <= cells; ++c) cell_start_[c] += cell_start_[c - 1];
+  cell_points_.resize(points_.size());
+  std::vector<std::int32_t> next(cell_start_.begin(), cell_start_.end() - 1);
+  for (std::size_t i = 0; i < points_.size(); ++i) {
+    const int c = cell_of(points_[i]);
+    cell_points_[static_cast<std::size_t>(next[static_cast<std::size_t>(c)]++)] =
+        static_cast<std::int32_t>(i);
+  }
+}
+
+int SpatialGrid::cell_of(const Point& p) const {
+  int cx = static_cast<int>(std::floor((p.x - min_x_) / cell_));
+  int cy = static_cast<int>(std::floor((p.y - min_y_) / cell_));
+  cx = std::clamp(cx, 0, cols_ - 1);
+  cy = std::clamp(cy, 0, rows_ - 1);
+  return cy * cols_ + cx;
+}
+
+void SpatialGrid::gather(const Point& p, double range, int exclude) const {
+  scratch_.clear();
+  E2EFA_ASSERT(range >= 0.0);
+  if (points_.empty()) return;
+  const double r2 = range * range;
+  // Cell ring wide enough for the query radius (1 when range <= cell size).
+  const int reach = std::max(1, static_cast<int>(std::ceil(range / cell_)));
+  const int cx = std::clamp(static_cast<int>(std::floor((p.x - min_x_) / cell_)), 0, cols_ - 1);
+  const int cy = std::clamp(static_cast<int>(std::floor((p.y - min_y_) / cell_)), 0, rows_ - 1);
+  const int x0 = std::max(0, cx - reach), x1 = std::min(cols_ - 1, cx + reach);
+  const int y0 = std::max(0, cy - reach), y1 = std::min(rows_ - 1, cy + reach);
+  for (int y = y0; y <= y1; ++y) {
+    for (int x = x0; x <= x1; ++x) {
+      const std::size_t c = static_cast<std::size_t>(y) * static_cast<std::size_t>(cols_) +
+                            static_cast<std::size_t>(x);
+      for (std::int32_t k = cell_start_[c]; k < cell_start_[c + 1]; ++k) {
+        const int j = cell_points_[static_cast<std::size_t>(k)];
+        if (j == exclude) continue;
+        if (distance_sq(p, points_[static_cast<std::size_t>(j)]) <= r2)
+          scratch_.push_back(j);
+      }
+    }
+  }
+  // Cells are visited row-major, so ids arrive grouped by cell; one sort
+  // restores the global ascending order the all-pairs loop produces.
+  std::sort(scratch_.begin(), scratch_.end());
+}
+
+std::vector<int> SpatialGrid::in_range_of(int i, double range) const {
+  E2EFA_ASSERT(i >= 0 && i < point_count());
+  gather(points_[static_cast<std::size_t>(i)], range, i);
+  return scratch_;
+}
+
+}  // namespace e2efa

@@ -9,6 +9,7 @@
 #include "check/check.hpp"
 #include "alloc/maxmin.hpp"
 #include "alloc/two_tier.hpp"
+#include "contention/clique_store.hpp"
 #include "contention/contention_graph.hpp"
 #include "net/node_stack.hpp"
 #include "route/routing.hpp"
@@ -55,13 +56,14 @@ constexpr double kInactiveShare = 1e-6;
 /// distributed form keeps its by-design local relaxations.
 LpStatus compute_allocation(Protocol proto, const Topology& topo, const FlowSet& flows,
                             const TopologyMask* mask, Allocation* out,
-                            bool* has_target) {
+                            bool* has_target,
+                            const std::vector<std::vector<int>>* cliques = nullptr) {
   *has_target = false;
   if (proto == Protocol::k80211) return LpStatus::kOptimal;
   ContentionGraph graph(topo, flows);
   switch (proto) {
     case Protocol::kTwoTier: {
-      const TwoTierResult r = two_tier_allocate(graph);
+      const TwoTierResult r = two_tier_allocate(graph, cliques);
       if (r.status != LpStatus::kOptimal) return r.status;
       if (r.min_relaxation < 1.0 - 1e-9) return LpStatus::kInfeasible;
       *out = r.allocation;
@@ -69,16 +71,16 @@ LpStatus compute_allocation(Protocol proto, const Topology& topo, const FlowSet&
       return LpStatus::kOptimal;
     }
     case Protocol::kTwoTierBalanced:
-      *out = maxmin_allocate_subflows(graph).allocation;
+      *out = maxmin_allocate_subflows(graph, {}, cliques).allocation;
       *has_target = true;
       return LpStatus::kOptimal;
     case Protocol::kMaxMin:
-      *out = maxmin_allocate(graph).allocation;
+      *out = maxmin_allocate(graph, {}, cliques).allocation;
       *has_target = true;
       return LpStatus::kOptimal;
     case Protocol::k2paCentralized:
     case Protocol::k2paStaticCw: {
-      const CentralizedResult r = centralized_allocate(graph);
+      const CentralizedResult r = centralized_allocate(graph, cliques);
       if (r.status != LpStatus::kOptimal) return r.status;
       if (r.min_relaxation < 1.0 - 1e-9) return LpStatus::kInfeasible;
       *out = r.allocation;
@@ -117,7 +119,8 @@ struct EpochAllocation {
 EpochAllocation allocate_epoch(Protocol proto, const Topology& topo,
                                const FlowSet& all_flows,
                                const std::vector<FlowId>& active, double start_s,
-                               const TopologyMask* mask, CheckContext* check) {
+                               const TopologyMask* mask, CheckContext* check,
+                               CliqueStore* store) {
   EpochAllocation out;
   out.start_s = start_s;
   out.flow_share.assign(static_cast<std::size_t>(all_flows.flow_count()), 0.0);
@@ -129,8 +132,41 @@ EpochAllocation allocate_epoch(Protocol proto, const Topology& topo,
   specs.reserve(active.size());
   for (FlowId f : active) specs.push_back(all_flows.flow(f));
   FlowSet sub(topo, specs);
+
+  // Incremental clique path (centralized family): the store maintains the
+  // maximal cliques of the *sim* contention graph restricted to the
+  // epoch's active subflows, so an epoch boundary re-derives only the
+  // cliques around the flows that toggled. The epoch's subgraph is
+  // vertex-for-vertex the graph over `sub` (contention is pure geometry of
+  // the unchanged endpoints), so relabeling the snapshot into sub ids and
+  // re-canonicalizing yields exactly what from-scratch enumeration on
+  // `sub` would — downstream LP rows are bit-identical.
+  std::vector<std::vector<int>> epoch_cliques;
+  const std::vector<std::vector<int>>* cliques = nullptr;
+  if (store != nullptr) {
+    std::vector<char> want(static_cast<std::size_t>(all_flows.subflow_count()), 0);
+    std::vector<int> sub_id(static_cast<std::size_t>(all_flows.subflow_count()), -1);
+    for (std::size_t i = 0; i < active.size(); ++i) {
+      const FlowId g = active[i];
+      for (int h = 0; h < all_flows.flow(g).length(); ++h) {
+        const int full = all_flows.subflow_index(g, h);
+        want[static_cast<std::size_t>(full)] = 1;
+        sub_id[static_cast<std::size_t>(full)] =
+            sub.subflow_index(static_cast<FlowId>(i), h);
+      }
+    }
+    store->set_active(want);
+    epoch_cliques = store->cliques();
+    for (auto& c : epoch_cliques) {
+      for (int& v : c) v = sub_id[static_cast<std::size_t>(v)];
+      std::sort(c.begin(), c.end());
+    }
+    std::sort(epoch_cliques.begin(), epoch_cliques.end());
+    cliques = &epoch_cliques;
+  }
+
   Allocation a;
-  out.status = compute_allocation(proto, topo, sub, mask, &a, &out.has_target);
+  out.status = compute_allocation(proto, topo, sub, mask, &a, &out.has_target, cliques);
   E2EFA_ASSERT_MSG(out.status == LpStatus::kOptimal,
                    "phase-1 allocation infeasible: basic shares exceed clique capacity");
   if (!out.has_target) return out;
@@ -332,6 +368,21 @@ RunResult run_scenario(const Scenario& sc, Protocol proto, const SimConfig& cfg,
   // AllocAgents must converge to it on their own, so it is computed against
   // the epoch's surviving topology but never pushed into the schedulers. ----
   const bool dctrl = proto == Protocol::k2paDistributedCtrl;
+  // The centralized family solves over global cliques; maintain them
+  // incrementally across epochs (the distributed variants enumerate
+  // per-node local cliques instead, which are already neighborhood-sized).
+  const bool centralized_family =
+      proto == Protocol::kTwoTier || proto == Protocol::kTwoTierBalanced ||
+      proto == Protocol::kMaxMin || proto == Protocol::k2paCentralized ||
+      proto == Protocol::k2paStaticCw;
+  std::unique_ptr<ContentionGraph> sim_graph;
+  std::unique_ptr<CliqueStore> clique_store;
+  if (centralized_family) {
+    sim_graph = std::make_unique<ContentionGraph>(sc.topo, flows);
+    // Start all-inactive: epoch 0's set_active seeds the first enumeration.
+    clique_store = std::make_unique<CliqueStore>(
+        *sim_graph, std::vector<char>(static_cast<std::size_t>(flows.subflow_count()), 0));
+  }
   std::vector<EpochAllocation> epochs;
   std::vector<std::vector<FlowId>> epoch_active_flows;
   for (int e = 0; e < E; ++e) {
@@ -346,7 +397,7 @@ RunResult run_scenario(const Scenario& sc, Protocol proto, const SimConfig& cfg,
     epochs.push_back(allocate_epoch(proto, sc.topo, flows, active, t,
                                     dctrl ? &masks[static_cast<std::size_t>(e)]
                                           : nullptr,
-                                    cfg.check));
+                                    cfg.check, clique_store.get()));
     epoch_active_flows.push_back(std::move(active));
     if (proto != Protocol::k80211) out.epoch_lp_status.push_back(epochs.back().status);
   }
@@ -449,14 +500,12 @@ RunResult run_scenario(const Scenario& sc, Protocol proto, const SimConfig& cfg,
       backoff = std::make_unique<BebBackoff>(cfg.cw_min, cfg.cw_max);
     } else {
       std::vector<TagScheduler::SubflowConfig> lanes;
-      for (int s = 0; s < flows.subflow_count(); ++s) {
-        // In-band runs must not start from the oracle's answer: lanes begin
-        // at the inactive floor and the agents bootstrap them locally.
-        if (flows.subflow(s).src == n)
-          lanes.push_back(
-              {s, dctrl ? kInactiveShare
-                        : epochs.front().subflow_share[static_cast<std::size_t>(s)]});
-      }
+      // In-band runs must not start from the oracle's answer: lanes begin
+      // at the inactive floor and the agents bootstrap them locally.
+      for (int s : flows.sourced_at(n))
+        lanes.push_back(
+            {s, dctrl ? kInactiveShare
+                      : epochs.front().subflow_share[static_cast<std::size_t>(s)]});
       auto sched = std::make_unique<TagScheduler>(std::move(lanes), cfg.queue_capacity,
                                                   cfg.channel_bps, cfg.alpha);
       sched->set_trace(trace, static_cast<std::int16_t>(n));

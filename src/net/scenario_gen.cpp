@@ -1,5 +1,6 @@
 #include "net/scenario_gen.hpp"
 
+#include <algorithm>
 #include <cmath>
 #include <utility>
 #include <vector>
@@ -27,7 +28,48 @@ Scenario generate_scenario(std::uint64_t seed, const GenConfig& cfg) {
 
   const int flows =
       static_cast<int>(rng.uniform_i64(cfg.min_flows, cfg.max_flows));
+  // Scratch for the bounded-hop mode, reused across flows.
+  std::vector<NodeId> parent, ball;
+  std::vector<int> dist;
+  if (cfg.max_hops > 0) {
+    parent.assign(static_cast<std::size_t>(n), kInvalidNode);
+    dist.assign(static_cast<std::size_t>(n), -1);
+  }
   for (int f = 0; f < flows; ++f) {
+    if (cfg.max_hops > 0) {
+      // Destination from the source's max_hops-hop BFS ball: per-flow cost
+      // is the ball size, not the network size. The parent tree doubles as
+      // the route (BFS with ascending neighbor lists matches
+      // shortest_path's smallest-id-parent tie-break).
+      const NodeId a =
+          static_cast<NodeId>(rng.uniform_u64(static_cast<std::uint64_t>(n)));
+      ball.clear();
+      dist[static_cast<std::size_t>(a)] = 0;
+      ball.push_back(a);
+      for (std::size_t head = 0; head < ball.size(); ++head) {
+        const NodeId u = ball[head];
+        if (dist[static_cast<std::size_t>(u)] >= cfg.max_hops) continue;
+        for (NodeId v : sc.topo.neighbors(u)) {
+          if (dist[static_cast<std::size_t>(v)] >= 0) continue;
+          dist[static_cast<std::size_t>(v)] = dist[static_cast<std::size_t>(u)] + 1;
+          parent[static_cast<std::size_t>(v)] = u;
+          ball.push_back(v);
+        }
+      }
+      // The topology is connected with >= 2 nodes, so the ball always has
+      // at least one node besides the source.
+      const NodeId b =
+          ball[1 + rng.uniform_u64(static_cast<std::uint64_t>(ball.size() - 1))];
+      Flow spec;
+      spec.path.push_back(b);
+      for (NodeId w = b; w != a; w = parent[static_cast<std::size_t>(w)])
+        spec.path.push_back(parent[static_cast<std::size_t>(w)]);
+      std::reverse(spec.path.begin(), spec.path.end());
+      spec.weight = rng.uniform(1.0, cfg.max_weight);
+      sc.flow_specs.push_back(std::move(spec));
+      for (NodeId u : ball) dist[static_cast<std::size_t>(u)] = -1;
+      continue;
+    }
     NodeId a, b;
     do {
       a = static_cast<NodeId>(rng.uniform_u64(static_cast<std::uint64_t>(n)));

@@ -31,6 +31,14 @@ struct GenConfig {
   /// Fault times are drawn within (0, horizon_s); keep this below the
   /// fuzzer's simulated seconds so every event actually fires.
   double horizon_s = 5.0;
+  /// 0 (default) routes each flow with a full-graph BFS to a uniformly
+  /// random destination — fine at paper scale, O(nodes) per flow. > 0
+  /// caps flow length: the destination is drawn from the source's
+  /// max_hops-hop BFS ball, so per-flow cost is O(neighborhood) and a
+  /// 10k-node / 100k-flow scenario generates in seconds. Changing it from
+  /// 0 changes the RNG draw sequence, so existing seeds keep their
+  /// scenarios only at the default.
+  int max_hops = 0;
 };
 
 /// Generates one random scenario. Throws only if the random placement

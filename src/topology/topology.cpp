@@ -26,21 +26,29 @@ Topology::Topology(std::vector<Point> positions, double tx_range_m,
                    std::optional<double> interference_range_m)
     : positions_(std::move(positions)),
       tx_range_(tx_range_m),
-      if_range_(interference_range_m.value_or(tx_range_m)) {
+      if_range_(interference_range_m.value_or(tx_range_m)),
+      grid_(positions_, if_range_) {
   E2EFA_ASSERT(tx_range_ > 0.0);
   E2EFA_ASSERT_MSG(if_range_ >= tx_range_,
                    "interference range must be at least the transmission range");
   const int n = node_count();
   neighbors_.resize(static_cast<std::size_t>(n));
   if_neighbors_.resize(static_cast<std::size_t>(n));
+  // One grid query per node covers both ranges: the interference
+  // neighborhood is a superset of the transmission neighborhood (if_range >=
+  // tx_range), and the grid reports it in the same ascending order the
+  // all-pairs double loop produced, so the cached lists are bit-identical
+  // to the quadratic build.
+  const double tx2 = tx_range_ * tx_range_;
   for (NodeId i = 0; i < n; ++i) {
-    for (NodeId j = 0; j < n; ++j) {
-      if (i == j) continue;
-      if (within_range(positions_[i], positions_[j], tx_range_))
-        neighbors_[i].push_back(j);
-      if (within_range(positions_[i], positions_[j], if_range_))
-        if_neighbors_[i].push_back(j);
-    }
+    auto& tx = neighbors_[static_cast<std::size_t>(i)];
+    auto& ifr = if_neighbors_[static_cast<std::size_t>(i)];
+    grid_.for_each_in_range_of(i, if_range_, [&](int j) {
+      ifr.push_back(j);
+      if (distance_sq(positions_[static_cast<std::size_t>(i)],
+                      positions_[static_cast<std::size_t>(j)]) <= tx2)
+        tx.push_back(j);
+    });
   }
 }
 

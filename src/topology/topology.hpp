@@ -14,6 +14,7 @@
 #include <vector>
 
 #include "geom/geom.hpp"
+#include "geom/spatial_index.hpp"
 
 namespace e2efa {
 
@@ -70,6 +71,12 @@ class Topology {
   /// True when the connectivity graph is a single connected component.
   bool connected() const;
 
+  /// The uniform-grid index over the node positions (cell size =
+  /// interference range) that built the neighbor lists; exposed so
+  /// scenario generation and other geometric passes can run their own
+  /// range queries without an all-pairs scan.
+  const SpatialGrid& grid() const { return grid_; }
+
   /// Optional human-readable labels ("A", "B", ...) used in printed tables.
   void set_labels(std::vector<std::string> labels);
   /// Label for node n; defaults to its numeric id.
@@ -81,6 +88,7 @@ class Topology {
   std::vector<Point> positions_;
   double tx_range_;
   double if_range_;
+  SpatialGrid grid_;
   std::vector<std::vector<NodeId>> neighbors_;
   std::vector<std::vector<NodeId>> if_neighbors_;
   std::vector<std::string> labels_;
