@@ -16,6 +16,7 @@ const char* to_string(CheckViolation::Category c) {
     case CheckViolation::Category::kSched: return "sched";
     case CheckViolation::Category::kQueue: return "queue";
     case CheckViolation::Category::kAlloc: return "alloc";
+    case CheckViolation::Category::kAdmission: return "admission";
   }
   return "?";
 }
@@ -38,6 +39,54 @@ void CheckContext::begin_run(const CheckRunInfo& info) {
   sent_.assign(S, 0);
   mac_dropped_.assign(S, 0);
   delivered_.assign(S, 0);
+  active_flow_.clear();
+}
+
+// ------------------------------------------------------- admission oracle
+
+namespace {
+// Lanes of inactive flows idle at the runner's / control plane's 1e-6
+// floor; anything above this ceiling on an inactive lane is a real rate.
+constexpr double kIdleFloorCeiling = 2e-6;
+}  // namespace
+
+void CheckContext::on_admission(std::int32_t flow, bool admitted,
+                                double worst_load, bool distributed_gate,
+                                TimeNs now) {
+  if (!cfg_.admission) return;
+  const char* gate = distributed_gate ? "distributed" : "centralized";
+  if (admitted && worst_load > 1.0 + cfg_.alloc_eps) {
+    fail(CheckViolation::Category::kAdmission, kInvalidNode, now,
+         "flow " + std::to_string(flow) + " admitted by the " + gate +
+             " gate with infeasible clique load " + std::to_string(worst_load));
+  } else if (!admitted && worst_load <= 1.0 + cfg_.alloc_eps) {
+    fail(CheckViolation::Category::kAdmission, kInvalidNode, now,
+         "flow " + std::to_string(flow) + " rejected by the " + gate +
+             " gate at feasible clique load " + std::to_string(worst_load));
+  }
+}
+
+void CheckContext::note_active_flows(const std::vector<char>& flow_active,
+                                     TimeNs now) {
+  (void)now;
+  active_flow_ = flow_active;
+}
+
+void CheckContext::on_rate_applied(NodeId n, std::int32_t subflow, double share,
+                                   TimeNs now) {
+  if (!cfg_.admission) return;
+  if (active_flow_.empty()) return;  // static run: every flow is active
+  const auto s = static_cast<std::size_t>(subflow);
+  if (s >= info_.subflows.size()) return;
+  const std::int32_t flow = info_.subflows[s].flow;
+  if (flow < 0 || static_cast<std::size_t>(flow) >= active_flow_.size()) return;
+  if (!active_flow_[static_cast<std::size_t>(flow)] &&
+      share > kIdleFloorCeiling) {
+    fail(CheckViolation::Category::kAdmission, n, now,
+         "stale rate " + std::to_string(share) + " applied to subflow " +
+             std::to_string(subflow) + " of inactive flow " +
+             std::to_string(flow));
+  }
 }
 
 void CheckContext::fail(CheckViolation::Category cat, NodeId node, TimeNs now,

@@ -31,6 +31,11 @@
 //   alloc        phase-1 post-solve: clique feasibility Σ r̂ <= B and the
 //                basic fairness floor r̂_i >= w_i·B / Σ_j w_j·v_j with
 //                v_j = min(l_j, 3) (protocols that guarantee it).
+//   admission    churn safety: an admitted arrival never carries a clique
+//                load past feasibility, a rejection is never issued against
+//                a feasible load (false reject), and no lane of a departed
+//                (inactive) flow is ever re-raised above the idle floor by
+//                a late RATE message (the no-stale-rate invariant).
 #pragma once
 
 #include <cstdint>
@@ -59,6 +64,7 @@ struct CheckConfig {
   bool sched = true;
   bool queue = true;
   bool alloc = true;
+  bool admission = true;
   /// Violations beyond this are counted but not stored (memory bound under
   /// a genuinely broken invariant firing per packet).
   int max_violations = 32;
@@ -78,7 +84,7 @@ struct CheckConfig {
 };
 
 struct CheckViolation {
-  enum class Category { kMac, kConservation, kSched, kQueue, kAlloc };
+  enum class Category { kMac, kConservation, kSched, kQueue, kAlloc, kAdmission };
   Category category = Category::kMac;
   double t_s = 0.0;            ///< Simulation time of the violation.
   NodeId node = kInvalidNode;  ///< Offending node (-1 when not node-local).
@@ -155,6 +161,22 @@ class CheckContext {
   void on_mac_dropped(std::int32_t subflow);  ///< Retry limit exhausted.
   void on_delivered(std::int32_t subflow);  ///< Unique in-order delivery.
 
+  // --- Admission / churn hooks (runner + AllocAgent) -------------------
+  /// The runner's authoritative admission decision for one arrival.
+  /// Violations: admitted while worst_load exceeds feasibility (+eps), or
+  /// rejected while the load was feasible (false reject).
+  /// `distributed_gate` only labels the message (which evaluator decided).
+  void on_admission(std::int32_t flow, bool admitted, double worst_load,
+                    bool distributed_gate, TimeNs now);
+  /// Epoch-boundary activity snapshot (sim flow ids). The runner calls this
+  /// *before* the control plane reacts to the boundary, so any lane update
+  /// the agents make is judged against the current population.
+  void note_active_flows(const std::vector<char>& flow_active, TimeNs now);
+  /// An AllocAgent applied `share` to node n's lane of `subflow`.
+  /// Violation: the subflow's flow is inactive and the share is above the
+  /// idle floor — a stale RATE resurrected a departed flow's lane.
+  void on_rate_applied(NodeId n, std::int32_t subflow, double share, TimeNs now);
+
   // --- Phase-1 post-solve hook (runner) --------------------------------
   /// `expect_floor` asserts the basic-fairness floor in addition to clique
   /// feasibility (protocols whose solve guarantees it). `strict_clique`
@@ -212,6 +234,10 @@ class CheckContext {
   // Conservation counters (warmup-free, per sim subflow).
   std::vector<std::int64_t> offered_, accepted_, rejected_, sent_, mac_dropped_,
       delivered_;
+
+  // Admission oracle state: current per-sim-flow activity (empty until the
+  // runner's first note_active_flows — every flow then counts as active).
+  std::vector<char> active_flow_;
 };
 
 }  // namespace e2efa

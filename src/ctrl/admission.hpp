@@ -1,0 +1,99 @@
+// Distributed admission control for flow arrivals (Ganesan-style clique
+// bound under the paper's contention model).
+//
+// Phase 1 assumes the flow set is fixed while it converges; open-loop churn
+// breaks that unless arrivals are gated. The gate enforces the same
+// condition the centralized allocator's feasibility check does: with the
+// candidate admitted, every maximal clique the candidate's subflows touch
+// must still accommodate all basic (weighted-floor) shares,
+//
+//     sum_{s in clique} w_{flow(s)} * r0  <=  1,    r0 = 1 / sum_j w_j*v_j,
+//
+// where the sums range over the admitted flows plus the candidate. Cliques
+// the candidate does not touch only get *lighter* on admission (the
+// denominator grows), so the local check is sound.
+//
+// Two evaluators share that rule:
+//  - admission_check_centralized: the oracle twin — global knowledge,
+//    global denominator. This is what gates traffic in the runner and what
+//    the differential fuzzer compares against.
+//  - admission_check_distributed: what a real network can evaluate — each
+//    transmitting node of the candidate judges only the cliques visible in
+//    its exchanged knowledge K(v) (plus the candidate's own subflows, which
+//    arrive with the ADMIT_REQ), using the *local* denominator over flows
+//    it can see. Local denominators are never larger than the global one,
+//    so local loads are never smaller: the distributed gate is exactly as
+//    strict or stricter (it can reject a flow the oracle would admit, never
+//    the reverse).
+// The per-node kernel (admission_local_worst_load) is also what the in-band
+// AllocAgent evaluates when an ADMIT_REQ walks the candidate's path, so the
+// offline distributed gate is the oracle for the in-band round.
+#pragma once
+
+#include <vector>
+
+#include "contention/contention_graph.hpp"
+#include "flow/flow.hpp"
+#include "topology/topology.hpp"
+
+namespace e2efa {
+
+/// Feasibility slack: a clique load up to 1 + kAdmissionEps still admits.
+inline constexpr double kAdmissionEps = 1e-9;
+
+/// Typed admission outcome. Values are stable (they are persisted in
+/// RunResult::Admission::reason as ints).
+enum class AdmissionReason : int {
+  kAdmitted = 0,        ///< Every checked clique stays feasible.
+  kCliqueOverload = 1,  ///< Some clique's basic-share load would exceed 1.
+  kTimeout = 2,         ///< In-band round never completed (loss/partition).
+};
+
+const char* to_string(AdmissionReason r);
+
+struct AdmissionDecision {
+  bool admitted = true;
+  AdmissionReason reason = AdmissionReason::kAdmitted;
+  /// Load of the worst candidate-touching clique under the evaluator's
+  /// denominator (0 when the candidate touches no clique).
+  double worst_load = 0.0;
+  /// The clique attaining worst_load (global subflow ids, ascending).
+  std::vector<int> worst_clique;
+};
+
+/// Per-node verdict kernel: the worst load over cliques of the subgraph
+/// induced by `knowledge` (ascending global subflow ids — must already
+/// include the candidate's subflows) that contain at least one candidate
+/// subflow, with the basic-share denominator taken over the flows visible
+/// in `knowledge`. Returns 0 when no clique touches the candidate. Used by
+/// both the offline distributed gate and the in-band AllocAgent, so the two
+/// agree by construction.
+double admission_local_worst_load(const FlowSet& flows,
+                                  const ContentionGraph& g,
+                                  const std::vector<int>& knowledge,
+                                  FlowId candidate,
+                                  std::vector<int>* worst_clique = nullptr);
+
+/// The centralized twin: judges the candidate against the maximal cliques
+/// of the contention graph restricted to active ∪ {candidate} subflows with
+/// the global basic-share denominator. `active` has one entry per flow in
+/// `flows` (nonzero = currently admitted and active); the candidate's own
+/// entry is ignored. `g` must be the contention graph of `flows`.
+AdmissionDecision admission_check_centralized(const FlowSet& flows,
+                                              const ContentionGraph& g,
+                                              const std::vector<char>& active,
+                                              FlowId candidate);
+
+/// The distributed gate: evaluates admission_local_worst_load at every
+/// transmitting node of the candidate's path over that node's exchanged
+/// knowledge K(v) of *active* flows (mask-restricted, like the in-band
+/// HELLO exchange) unioned with the candidate's subflows, and ANDs the
+/// verdicts — exactly the computation the in-band ADMIT round performs.
+AdmissionDecision admission_check_distributed(const Topology& topo,
+                                              const FlowSet& flows,
+                                              const ContentionGraph& g,
+                                              const std::vector<char>& active,
+                                              FlowId candidate,
+                                              const TopologyMask* mask = nullptr);
+
+}  // namespace e2efa

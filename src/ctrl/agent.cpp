@@ -3,7 +3,9 @@
 #include <algorithm>
 
 #include "alloc/knowledge.hpp"
+#include "check/check.hpp"
 #include "contention/cliques.hpp"
+#include "ctrl/admission.hpp"
 #include "util/assert.hpp"
 
 namespace e2efa {
@@ -24,6 +26,7 @@ AllocAgent::AllocAgent(Simulator& sim, DcfMac& mac, const Topology& topo,
       self_(mac.self()) {
   E2EFA_ASSERT(&graph_.flows() == &flows_);
   active_.assign(static_cast<std::size_t>(flows_.subflow_count()), 1);
+  flow_gen_.assign(static_cast<std::size_t>(flows_.flow_count()), 0);
   full_own_ = overheard_subflow_sets(topo_, flows_)[static_cast<std::size_t>(self_)];
 }
 
@@ -42,6 +45,15 @@ void AllocAgent::start() {
 
 void AllocAgent::note_active_set(const std::vector<char>& subflow_active) {
   E2EFA_ASSERT(subflow_active.size() == active_.size());
+  // Every activity toggle advances the flow's epoch generation. All agents
+  // see the same note_active_set sequence, so generations agree everywhere
+  // without any messaging — a hardened receiver can therefore drop a
+  // CONSTRAINT/RATE composed before the flow's latest arrival/departure.
+  for (FlowId f = 0; f < flows_.flow_count(); ++f) {
+    const auto s0 = static_cast<std::size_t>(flows_.subflow_index(f, 0));
+    if (active_[s0] != subflow_active[s0])
+      ++flow_gen_[static_cast<std::size_t>(f)];
+  }
   active_ = subflow_active;
   if (!started_) return;  // start() derives everything from active_.
   reconfigure(sim_.now());
@@ -77,6 +89,7 @@ void AllocAgent::reconfigure(TimeNs now) {
           h + 1 < fl.length() ? fl.path[static_cast<std::size_t>(h + 1)] : kInvalidNode;
       fc.acc_sent = false;  // re-advertise after any reconfiguration
       fc.solve_dirty = true;
+      fc.solve_dirty_since = now;
       next.emplace(fl.id, std::move(fc));
       break;  // paths are simple: self appears at most once
     }
@@ -117,24 +130,30 @@ void AllocAgent::rebuild_own(TimeNs now) {
 void AllocAgent::refresh_knowledge(TimeNs now) {
   // A neighbor unheard past the timeout takes its advertised Own set with
   // it — this is how a crashed relay leaves K(v) without any oracle help.
+  // The table itself survives, marked stale: a reappearing node (mobility,
+  // healed link) re-enters K(v) the moment anything from it decodes again,
+  // with its sequence baseline intact so a matching-seq HELLO_DELTA merges
+  // immediately instead of being ignored until the next full HELLO.
   const TimeNs timeout = from_seconds(cfg_.neighbor_timeout_s);
-  for (auto it = tables_.begin(); it != tables_.end();) {
-    if (now - it->second.heard > timeout) {
-      it = tables_.erase(it);
+  any_fresh_neighbor_ = tables_.empty();
+  for (auto& [u, t] : tables_) {
+    if (!t.stale && now - t.heard > timeout) {
+      t.stale = true;
       knowledge_dirty_ = true;
       last_knowledge_change_ = now;
-    } else {
-      ++it;
     }
+    if (!t.stale) any_fresh_neighbor_ = true;
   }
   if (!knowledge_dirty_) return;
   knowledge_dirty_ = false;
 
   std::set<int> k(own_.begin(), own_.end());
-  for (const auto& [u, t] : tables_)
+  for (const auto& [u, t] : tables_) {
+    if (t.stale) continue;
     for (int s : t.subflows)
       if (s >= 0 && s < flows_.subflow_count() && active_[static_cast<std::size_t>(s)])
         k.insert(s);
+  }
   std::vector<int> nk(k.begin(), k.end());
   if (nk == knowledge_) return;
   knowledge_ = std::move(nk);
@@ -150,6 +169,7 @@ bool AllocAgent::rebuild_acc(FlowId f, FlowCtrl& fc, TimeNs now) {
   fc.acc = std::move(acc);
   fc.last_acc_change = now;
   fc.acc_sent = false;
+  if (!fc.solve_dirty) fc.solve_dirty_since = now;
   fc.solve_dirty = true;
   return true;
 }
@@ -183,14 +203,71 @@ void AllocAgent::tick() {
           fc.ticks_since_rate >= cfg_.refresh_ticks)
         send_rate(f, fc);
     }
+    if (cfg_.hardened) {
+      // Bounded retransmission with exponential backoff: a directed send
+      // still unacknowledged (no overheard forward from the peer) after its
+      // backoff window is resent, at most retx_limit times — after that the
+      // periodic refresh_ticks cadence is the safety net.
+      if (fc.ctr_await && fc.upstream != kInvalidNode &&
+          ++fc.ctr_timer >= fc.ctr_wait) {
+        if (fc.ctr_retx >= cfg_.retx_limit) {
+          fc.ctr_await = false;
+        } else if (room) {
+          ++fc.ctr_retx;
+          fc.ctr_wait = std::min(fc.ctr_wait * 2, cfg_.refresh_ticks);
+          ++stats_.retransmits;
+          send_constraint(f, fc, /*retx=*/true);
+        }
+      }
+      if (fc.rate_await && fc.have_rate && fc.downstream != kInvalidNode &&
+          ++fc.rate_timer >= fc.rate_wait) {
+        if (fc.rate_retx >= cfg_.retx_limit) {
+          fc.rate_await = false;
+        } else if (room) {
+          ++fc.rate_retx;
+          fc.rate_wait = std::min(fc.rate_wait * 2, cfg_.refresh_ticks);
+          ++stats_.retransmits;
+          send_rate(f, fc, /*retx=*/true);
+        }
+      }
+    }
+  }
+  if (cfg_.hardened) {
+    for (auto& [f, st] : admits_) {
+      if (st.done) continue;
+      if (++st.timer < st.wait) continue;
+      if (st.retx >= cfg_.retx_limit) {
+        st.done = true;
+        st.timed_out = true;
+        continue;
+      }
+      if (!room) continue;
+      ++st.retx;
+      st.timer = 0;
+      st.wait = std::min(st.wait * 2, cfg_.refresh_ticks);
+      ++stats_.retransmits;
+      send_admit_req(f);
+    }
   }
   sim_.schedule_in(from_seconds(cfg_.hello_period_s), [this] { tick(); });
 }
 
 void AllocAgent::maybe_solve(FlowId f, FlowCtrl& fc, TimeNs now) {
   if (!fc.solve_dirty) return;
+  // Graceful degradation: when every neighbor has timed out (partition, or
+  // the node walked away), a fresh solve would see an almost-empty K(v) and
+  // grab far more than its converged share — keep the last-known-good rate
+  // until somebody is heard again.
+  if (cfg_.hardened && fc.have_rate && !any_fresh_neighbor_) return;
   const TimeNs q = from_seconds(cfg_.quiesce_s);
-  if (now - last_knowledge_change_ < q || now - fc.last_acc_change < q) return;
+  if (now - last_knowledge_change_ < q || now - fc.last_acc_change < q) {
+    // Degraded solve: churn can keep knowledge from ever quiescing; after
+    // max_staleness_s of blocked dirtiness, solve with what is on hand.
+    if (!cfg_.hardened ||
+        now - fc.solve_dirty_since < from_seconds(cfg_.max_staleness_s))
+      return;
+    ++stats_.forced_solves;
+  }
   fc.solve_dirty = false;
   LocalProblem lp = solve_local_problem(
       flows_, f, {fc.acc.begin(), fc.acc.end()}, knowledge_);
@@ -216,6 +293,8 @@ void AllocAgent::set_lane(FlowId f, int hop, double share) {
   if (sched_->share_of(sf) == share) return;
   sched_->note_time(sim_.now());
   sched_->update_share(sf, share);
+  if (check_ != nullptr)
+    check_->on_rate_applied(self_, sf, share, sim_.now());
   if (trace_ != nullptr)
     trace_->record<TraceCat::kCtrl>(sim_.now(), TraceEvent::kCtrlRate,
                                     static_cast<std::int16_t>(self_), sf, f, share);
@@ -244,7 +323,7 @@ void AllocAgent::send_hello() {
   send(std::move(m));
 }
 
-void AllocAgent::send_constraint(FlowId f, FlowCtrl& fc) {
+void AllocAgent::send_constraint(FlowId f, FlowCtrl& fc, bool retx) {
   E2EFA_ASSERT(fc.upstream != kInvalidNode);
   auto m = std::make_shared<CtrlMsg>();
   m->kind = CtrlMsg::Kind::kConstraint;
@@ -252,14 +331,25 @@ void AllocAgent::send_constraint(FlowId f, FlowCtrl& fc) {
   m->to = fc.upstream;
   m->seq = ++ctrl_seq_;
   m->flow = f;
+  m->gen = flow_gen_[static_cast<std::size_t>(f)];
   m->cliques.assign(fc.acc.begin(), fc.acc.end());
   fc.acc_sent = true;
   fc.ticks_since_constraint = 0;
+  if (cfg_.hardened && fc.hop >= 2) {
+    // The ack is overhearing the upstream hop forward its own CONSTRAINT —
+    // only possible when the upstream is not already the source.
+    fc.ctr_await = true;
+    fc.ctr_timer = 0;
+    if (!retx) {
+      fc.ctr_retx = 0;
+      fc.ctr_wait = 1;
+    }
+  }
   ++stats_.constraint_sent;
   send(std::move(m));
 }
 
-void AllocAgent::send_rate(FlowId f, FlowCtrl& fc) {
+void AllocAgent::send_rate(FlowId f, FlowCtrl& fc, bool retx) {
   E2EFA_ASSERT(fc.downstream != kInvalidNode && fc.have_rate);
   auto m = std::make_shared<CtrlMsg>();
   m->kind = CtrlMsg::Kind::kRate;
@@ -267,8 +357,19 @@ void AllocAgent::send_rate(FlowId f, FlowCtrl& fc) {
   m->to = fc.downstream;
   m->seq = fc.rate_seq;
   m->flow = f;
+  m->gen = flow_gen_[static_cast<std::size_t>(f)];
   m->rate = fc.rate;
   fc.ticks_since_rate = 0;
+  if (cfg_.hardened && fc.hop + 2 < flows_.flow(f).length()) {
+    // The ack is overhearing the downstream hop forward the RATE — only
+    // possible when the downstream is not already the last transmitter.
+    fc.rate_await = true;
+    fc.rate_timer = 0;
+    if (!retx) {
+      fc.rate_retx = 0;
+      fc.rate_wait = 1;
+    }
+  }
   ++stats_.rate_sent;
   send(std::move(m));
 }
@@ -283,12 +384,25 @@ void AllocAgent::on_ctrl(const Frame& fr) {
   ++stats_.msgs_received;
   trace_recv(fr, now);
 
-  // Any decoded message is a liveness proof for its origin.
+  // Any decoded message is a liveness proof for its origin — including one
+  // timed out as stale: it rejoins K(v) immediately, sequence baseline
+  // intact (the staleness fix for mobile nodes that wander back).
   NeighborTable& t = tables_[m.origin];
   t.heard = now;
+  if (t.stale) {
+    t.stale = false;
+    knowledge_dirty_ = true;
+    last_knowledge_change_ = now;
+  }
 
   switch (m.kind) {
     case CtrlMsg::Kind::kHello:
+      if (cfg_.hardened && t.have_hello && m.seq > t.seq + 1 &&
+          t.gap_seq != m.seq) {
+        // We missed at least one whole advertisement generation.
+        ++stats_.seq_gaps;
+        t.gap_seq = m.seq;
+      }
       if (!t.have_hello || t.seq != m.seq || t.subflows != m.subflows) {
         if (t.subflows != m.subflows) {
           knowledge_dirty_ = true;
@@ -301,6 +415,13 @@ void AllocAgent::on_ctrl(const Frame& fr) {
       break;
 
     case CtrlMsg::Kind::kHelloDelta:
+      if (cfg_.hardened && t.have_hello && m.seq > t.seq && t.gap_seq != m.seq) {
+        // A delta against a table generation we never received: the full
+        // HELLO carrying it was lost. The periodic re-advertisement heals
+        // the table; the counter records that the gap happened.
+        ++stats_.seq_gaps;
+        t.gap_seq = m.seq;
+      }
       // Additive merge, valid only against the matching full table.
       if (t.have_hello && t.seq == m.seq && !m.subflows.empty()) {
         bool changed = false;
@@ -319,6 +440,18 @@ void AllocAgent::on_ctrl(const Frame& fr) {
       break;
 
     case CtrlMsg::Kind::kConstraint: {
+      if (cfg_.hardened && m.flow >= 0 && m.flow < flows_.flow_count() &&
+          m.gen != flow_gen_[static_cast<std::size_t>(m.flow)]) {
+        ++stats_.stale_dropped;  // composed before the flow's last toggle
+        break;
+      }
+      {
+        // Overhearing the upstream hop advertise its own accumulation
+        // implicitly acks the CONSTRAINT we sent it.
+        const auto ack = flows_ctrl_.find(m.flow);
+        if (ack != flows_ctrl_.end() && m.origin == ack->second.upstream)
+          ack->second.ctr_await = false;
+      }
       if (m.to != self_) break;  // overheard someone else's accumulation
       const auto it = flows_ctrl_.find(m.flow);
       if (it == flows_ctrl_.end()) break;
@@ -333,6 +466,19 @@ void AllocAgent::on_ctrl(const Frame& fr) {
     }
 
     case CtrlMsg::Kind::kRate: {
+      if (cfg_.hardened && m.flow >= 0 && m.flow < flows_.flow_count() &&
+          m.gen != flow_gen_[static_cast<std::size_t>(m.flow)]) {
+        // The no-stale-rate guarantee: a RATE composed before the flow's
+        // latest departure/arrival can never resurrect its lanes.
+        ++stats_.stale_dropped;
+        break;
+      }
+      {
+        // Overhearing the downstream hop forward the RATE acks ours.
+        const auto ack = flows_ctrl_.find(m.flow);
+        if (ack != flows_ctrl_.end() && m.origin == ack->second.downstream)
+          ack->second.rate_await = false;
+      }
       if (m.to != self_) break;
       const auto it = flows_ctrl_.find(m.flow);
       if (it == flows_ctrl_.end()) break;
@@ -347,7 +493,131 @@ void AllocAgent::on_ctrl(const Frame& fr) {
         send_rate(m.flow, fc);
       break;
     }
+
+    case CtrlMsg::Kind::kAdmitReq:
+    case CtrlMsg::Kind::kAdmitRsp:
+      handle_admit(m, now);
+      break;
   }
+}
+
+// ------------------------------------------------------------- admission
+
+int AllocAgent::candidate_hop(FlowId f) const {
+  const Flow& fl = flows_.flow(f);
+  for (int h = 0; h < fl.length(); ++h)
+    if (fl.path[static_cast<std::size_t>(h)] == self_) return h;
+  return -1;
+}
+
+bool AllocAgent::local_admit_ok(FlowId f, TimeNs now) {
+  refresh_knowledge(now);
+  // Judge the candidate against what this node can currently see: K(v)
+  // plus the candidate's own subflows (they travel with the ADMIT_REQ).
+  std::vector<int> kv = knowledge_;
+  const Flow& fl = flows_.flow(f);
+  for (int h = 0; h < fl.length(); ++h) kv.push_back(flows_.subflow_index(f, h));
+  std::sort(kv.begin(), kv.end());
+  kv.erase(std::unique(kv.begin(), kv.end()), kv.end());
+  const double load = admission_local_worst_load(flows_, graph_, kv, f);
+  const bool ok = load <= 1.0 + kAdmissionEps;
+  if (trace_ != nullptr)
+    trace_->record<TraceCat::kCtrl>(now, TraceEvent::kCtrlAdmit,
+                                    static_cast<std::int16_t>(self_), f,
+                                    ok ? 1 : 0, load);
+  return ok;
+}
+
+void AllocAgent::request_admission(FlowId f) {
+  E2EFA_ASSERT_MSG(cfg_.hardened, "ADMIT rounds require hardened mode");
+  E2EFA_ASSERT(flows_.flow(f).source() == self_);
+  AdmitState st;
+  const TimeNs now = sim_.now();
+  const bool ok = local_admit_ok(f, now);
+  if (!ok || flows_.flow(f).length() < 2) {
+    // A local rejection decides the round; so does a single-transmitter
+    // flow (the source's verdict is the whole path's).
+    st.done = true;
+    st.verdict = ok;
+    admits_[f] = st;
+    return;
+  }
+  admits_[f] = st;
+  send_admit_req(f);
+}
+
+int AllocAgent::inband_admission(FlowId f) const {
+  const auto it = admits_.find(f);
+  if (it == admits_.end() || !it->second.done || it->second.timed_out) return -1;
+  return it->second.verdict ? 1 : 0;
+}
+
+void AllocAgent::send_admit_req(FlowId f) {
+  const Flow& fl = flows_.flow(f);
+  auto m = std::make_shared<CtrlMsg>();
+  m->kind = CtrlMsg::Kind::kAdmitReq;
+  m->origin = self_;
+  m->to = fl.path[1];
+  m->seq = ++ctrl_seq_;
+  m->flow = f;
+  m->gen = flow_gen_[static_cast<std::size_t>(f)];
+  for (int h = 0; h < fl.length(); ++h)
+    m->subflows.push_back(flows_.subflow_index(f, h));
+  m->admit_ok = true;  // the source's own verdict held, or we wouldn't send
+  ++stats_.admit_req_sent;
+  send(std::move(m));
+}
+
+void AllocAgent::handle_admit(const CtrlMsg& m, TimeNs now) {
+  if (!cfg_.hardened || m.to != self_) return;
+  if (m.flow < 0 || m.flow >= flows_.flow_count()) return;
+  const FlowId f = m.flow;
+  const int h = candidate_hop(f);
+  if (h < 0) return;  // not on the candidate's path (stale/corrupt target)
+  const Flow& fl = flows_.flow(f);
+
+  if (m.kind == CtrlMsg::Kind::kAdmitReq) {
+    const bool ok = m.admit_ok && local_admit_ok(f, now);
+    if (h + 1 < fl.length()) {
+      // More transmitters downstream: AND our verdict in and pass it on.
+      auto fwd = std::make_shared<CtrlMsg>(m);
+      fwd->origin = self_;
+      fwd->to = fl.path[static_cast<std::size_t>(h + 1)];
+      fwd->seq = ++ctrl_seq_;
+      fwd->admit_ok = ok;
+      ++stats_.admit_req_sent;
+      send(std::move(fwd));
+    } else {
+      // Last transmitter: the verdict is final — return it upstream.
+      auto rsp = std::make_shared<CtrlMsg>();
+      rsp->kind = CtrlMsg::Kind::kAdmitRsp;
+      rsp->origin = self_;
+      rsp->to = fl.path[static_cast<std::size_t>(h - 1)];
+      rsp->seq = ++ctrl_seq_;
+      rsp->flow = f;
+      rsp->gen = m.gen;
+      rsp->admit_ok = ok;
+      ++stats_.admit_rsp_sent;
+      send(std::move(rsp));
+    }
+    return;
+  }
+
+  // kAdmitRsp
+  if (h == 0) {
+    const auto it = admits_.find(f);
+    if (it != admits_.end() && !it->second.done) {
+      it->second.done = true;
+      it->second.verdict = m.admit_ok;
+    }
+    return;
+  }
+  auto rsp = std::make_shared<CtrlMsg>(m);
+  rsp->origin = self_;
+  rsp->to = fl.path[static_cast<std::size_t>(h - 1)];
+  rsp->seq = ++ctrl_seq_;
+  ++stats_.admit_rsp_sent;
+  send(std::move(rsp));
 }
 
 void AllocAgent::trace_recv(const Frame& fr, TimeNs now) const {

@@ -44,6 +44,8 @@
 
 namespace e2efa {
 
+class CheckContext;
+
 struct CtrlConfig {
   /// HELLO cadence; also the agent's housekeeping tick. Each agent offsets
   /// its first tick by a random phase within one period so HELLOs from
@@ -65,6 +67,22 @@ struct CtrlConfig {
   /// Share applied to lanes of flows that went inactive (matches the
   /// runner's kInactiveShare floor; TagScheduler shares must stay > 0).
   double inactive_share = 1e-6;
+  /// Loss-hardened mode. Off (default) the control plane is exactly the
+  /// PR 4 fire-and-forget protocol (bit-identical goldens); on — the runner
+  /// enables it automatically for runs with faults, churn, or mobility —
+  /// the agent additionally (a) stamps CONSTRAINT/RATE with per-flow epoch
+  /// generations and drops stale ones, (b) retransmits unacknowledged
+  /// CONSTRAINT/RATE with exponential backoff (overhearing the peer's
+  /// forward acts as the ack), (c) counts HELLO sequence gaps, (d) forces a
+  /// degraded solve when quiescence is never reached within
+  /// max_staleness_s, and keeps last-known-good rates while every neighbor
+  /// is timed out, and (e) answers in-band ADMIT rounds.
+  bool hardened = false;
+  /// Max CONSTRAINT/RATE/ADMIT_REQ retransmissions per send (hardened).
+  int retx_limit = 3;
+  /// A dirty solve still blocked by the quiescence gate after this long is
+  /// forced through with whatever state is on hand (hardened).
+  double max_staleness_s = 2.0;
 };
 
 /// Final applied state and traffic counters of one agent (collected into
@@ -77,6 +95,13 @@ struct CtrlAgentStats {
   std::uint64_t msgs_received = 0;
   std::uint64_t solves = 0;
   std::uint64_t ctrl_bytes_sent = 0;  ///< Dedicated frames only (not piggybacks).
+  // Hardened-mode counters (all zero when CtrlConfig::hardened is off).
+  std::uint64_t admit_req_sent = 0;
+  std::uint64_t admit_rsp_sent = 0;
+  std::uint64_t retransmits = 0;
+  std::uint64_t seq_gaps = 0;
+  std::uint64_t stale_dropped = 0;
+  std::uint64_t forced_solves = 0;
 };
 
 class AllocAgent : public CtrlPiggyback {
@@ -106,6 +131,23 @@ class AllocAgent : public CtrlPiggyback {
   /// the lane is not local). Test/collection helper.
   double applied_share(std::int32_t subflow) const;
 
+  /// Starts an in-band ADMIT round for flow `f` (hardened mode; self must
+  /// be f's source). The request walks the candidate's transmitting nodes,
+  /// each ANDing its local clique-bound verdict (the shared
+  /// admission_local_worst_load kernel) into the message; the last hop's
+  /// ADMIT_RSP returns the verdict hop-by-hop. Lost legs are retransmitted
+  /// with backoff up to retx_limit, then the round times out.
+  void request_admission(FlowId f);
+
+  /// Outcome of the ADMIT round started for `f`: 1 admitted, 0 rejected,
+  /// -1 still pending / timed out / never requested.
+  int inband_admission(FlowId f) const;
+
+  /// Arms the invariant observer: every lane-share application is reported
+  /// through CheckContext::on_rate_applied (no-stale-rate invariant). Pure
+  /// observation — an armed agent's trajectory is bit-identical.
+  void set_check(CheckContext* check) { check_ = check; }
+
   // --- CtrlPiggyback ---
   std::shared_ptr<const CtrlMsg> piggyback_payload(int* extra_bytes) override;
 
@@ -115,6 +157,12 @@ class AllocAgent : public CtrlPiggyback {
     std::vector<int> subflows;  ///< Ascending advertised Own set.
     TimeNs heard = 0;           ///< Last time *anything* from this origin decoded.
     bool have_hello = false;    ///< Deltas merge only after a full HELLO.
+    /// Timed out of K(v). The table itself is kept (sequence baseline and
+    /// advertised set survive) so a reappearing neighbor — mobility, healed
+    /// link — re-enters the instant anything from it decodes again, instead
+    /// of being dropped until its next full HELLO.
+    bool stale = false;
+    std::uint32_t gap_seq = 0;  ///< Last delta seq counted as a gap.
   };
 
   /// Per managed flow (self is a transmitting node of an active flow).
@@ -132,6 +180,23 @@ class AllocAgent : public CtrlPiggyback {
     bool have_rate = false;
     int ticks_since_constraint = 0;
     int ticks_since_rate = 0;
+    /// Hardened-mode retransmit state. A directed send arms the await flag
+    /// and an exponentially backed-off tick timer; overhearing the peer
+    /// forward the same stream (its own CONSTRAINT upstream / RATE
+    /// downstream) clears it. At most retx_limit resends per fresh send.
+    bool ctr_await = false;
+    int ctr_retx = 0, ctr_wait = 1, ctr_timer = 0;
+    bool rate_await = false;
+    int rate_retx = 0, rate_wait = 1, rate_timer = 0;
+    TimeNs solve_dirty_since = 0;  ///< When solve_dirty last went true.
+  };
+
+  /// One pending / completed in-band ADMIT round at the candidate's source.
+  struct AdmitState {
+    bool done = false;
+    bool verdict = false;
+    bool timed_out = false;
+    int retx = 0, wait = 1, timer = 0;
   };
 
   void tick();
@@ -142,11 +207,15 @@ class AllocAgent : public CtrlPiggyback {
   void refresh_knowledge(TimeNs now);  ///< Rebuilds K(v) + local cliques if dirty.
   bool rebuild_acc(FlowId f, FlowCtrl& fc, TimeNs now);  ///< True if acc changed.
   void send_hello();
-  void send_constraint(FlowId f, FlowCtrl& fc);
-  void send_rate(FlowId f, FlowCtrl& fc);
+  void send_constraint(FlowId f, FlowCtrl& fc, bool retx = false);
+  void send_rate(FlowId f, FlowCtrl& fc, bool retx = false);
   void maybe_solve(FlowId f, FlowCtrl& fc, TimeNs now);
   void set_lane(FlowId f, int hop, double share);
   void send(std::shared_ptr<const CtrlMsg> m);
+  void send_admit_req(FlowId f);
+  void handle_admit(const CtrlMsg& m, TimeNs now);
+  bool local_admit_ok(FlowId f, TimeNs now);
+  int candidate_hop(FlowId f) const;  ///< Self's hop on f's path, -1 if none.
   void rebuild_beacon();
   double local_basic_estimate(FlowId f) const;
   void trace_recv(const Frame& f, TimeNs now) const;
@@ -174,6 +243,14 @@ class AllocAgent : public CtrlPiggyback {
   std::vector<std::vector<int>> local_cliques_;
 
   std::map<FlowId, FlowCtrl> flows_ctrl_;
+  std::map<FlowId, AdmitState> admits_;  ///< Source-side ADMIT rounds.
+
+  /// Per-flow epoch generation: bumped on every activity toggle the runner
+  /// announces. Deterministically identical across agents (every agent sees
+  /// the same note_active_set sequence), so a hardened receiver can drop a
+  /// CONSTRAINT/RATE composed before the flow's last arrival/departure.
+  std::vector<std::uint16_t> flow_gen_;
+  bool any_fresh_neighbor_ = true;  ///< False when every table is stale.
 
   std::shared_ptr<const CtrlMsg> beacon_;  ///< Cached piggyback payload.
   int beacon_bytes_ = 0;
@@ -182,6 +259,7 @@ class AllocAgent : public CtrlPiggyback {
 
   bool started_ = false;
   CtrlAgentStats stats_;
+  CheckContext* check_ = nullptr;
 };
 
 }  // namespace e2efa

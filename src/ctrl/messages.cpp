@@ -17,6 +17,8 @@ const char* to_string(CtrlMsg::Kind k) {
     case CtrlMsg::Kind::kHelloDelta: return "HELLO_DELTA";
     case CtrlMsg::Kind::kConstraint: return "CONSTRAINT";
     case CtrlMsg::Kind::kRate: return "RATE";
+    case CtrlMsg::Kind::kAdmitReq: return "ADMIT_REQ";
+    case CtrlMsg::Kind::kAdmitRsp: return "ADMIT_RSP";
   }
   return "?";
 }

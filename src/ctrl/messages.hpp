@@ -16,9 +16,24 @@
 //   RATE        directed downstream along a flow: the source's solved share;
 //               every transmitting hop applies it to its TagScheduler lane
 //               and forwards it on.
+//   ADMIT_REQ   directed downstream along a *candidate* flow's path before
+//               it starts: each transmitting hop evaluates the local
+//               clique-bound admission check (src/ctrl/admission.hpp) over
+//               its current knowledge, ANDs its verdict into the message,
+//               and forwards it. Hardened mode only.
+//   ADMIT_RSP   the final hop's verdict returned upstream hop-by-hop to the
+//               candidate's source. Hardened mode only.
 //
 // All messages are fire-and-forget (kCtrl broadcast frames carry no ACK);
-// robustness comes from periodic re-advertisement, not retransmission.
+// robustness comes from periodic re-advertisement — plus, in hardened mode
+// (CtrlConfig::hardened, auto-enabled under faults/churn/mobility), bounded
+// retransmission with exponential backoff for the directed kinds, with
+// forwarding overheard from the next hop standing in for an ack.
+//
+// Directed flow-state messages additionally carry a *generation* stamp
+// (CtrlMsg::gen): every activity toggle of a flow bumps its generation, and
+// hardened receivers drop CONSTRAINT/RATE stamped with a stale generation —
+// a RATE composed before the flow departed can never resurrect its lanes.
 #pragma once
 
 #include <cstdint>
@@ -35,22 +50,31 @@ struct CtrlMsg {
     kHelloDelta = 1,
     kConstraint = 2,
     kRate = 3,
+    kAdmitReq = 4,
+    kAdmitRsp = 5,
   };
 
   Kind kind = Kind::kHello;
   NodeId origin = kInvalidNode;  ///< Node that composed the message.
   NodeId to = kInvalidNode;      ///< Directed target; kInvalidNode = broadcast.
   std::uint32_t seq = 0;         ///< Origin-local sequence per message stream.
-  FlowId flow = -1;              ///< kConstraint / kRate: subject flow.
-  /// kHello: the full Own set; kHelloDelta: ids added since `seq` began.
+  FlowId flow = -1;              ///< kConstraint/kRate/kAdmit*: subject flow.
+  /// Epoch generation of `flow` when the message was composed (bumped on
+  /// every activity toggle). Hardened receivers drop mismatches.
+  std::uint16_t gen = 0;
+  /// kHello: the full Own set; kHelloDelta: ids added since `seq` began;
+  /// kAdmitReq: the candidate's subflow ids (its path travels with it).
   std::vector<int> subflows;
   /// kConstraint: accumulated cliques (ascending global subflow ids each).
   std::vector<std::vector<int>> cliques;
   double rate = 0.0;  ///< kRate: allocated share in units of B.
+  /// kAdmitReq/kAdmitRsp: AND of the verdicts of the hops visited so far.
+  bool admit_ok = true;
 
   /// Modeled wire size in bytes (drives airtime and the overhead metric):
-  /// a 12-byte header, 2 bytes per subflow id, 1 + 2·|members| per clique,
-  /// 8 bytes for a rate.
+  /// a 12-byte header (kind, origin, to, seq, flow, generation, verdict
+  /// bit), 2 bytes per subflow id, 1 + 2·|members| per clique, 8 bytes for
+  /// a rate.
   int wire_bytes() const;
 };
 

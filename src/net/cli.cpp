@@ -1,8 +1,11 @@
 #include "net/cli.hpp"
 
+#include <algorithm>
 #include <cstdlib>
 #include <sstream>
+#include <vector>
 
+#include "ctrl/admission.hpp"
 #include "net/scenario_file.hpp"
 #include "obs/trace.hpp"
 #include "route/routing.hpp"
@@ -48,6 +51,10 @@ std::string cli_usage() {
       "  --metrics-out PATH  write periodic metrics samples as JSONL\n"
       "  --metrics-period T  metrics sampling period in seconds (default 1;\n"
       "                  requires --metrics-out)\n"
+      "  --churn R:L     open-loop flow churn: flow 0 founds the network,\n"
+      "                  later flows arrive at mean rate R/s and live L s on\n"
+      "                  average; arrivals pass the admission gate\n"
+      "  --mobility K:S  K random-waypoint walkers moving at S m/s\n"
       "  --help          this text\n";
 }
 
@@ -144,6 +151,30 @@ std::optional<CliOptions> parse_cli(int argc, const char* const* argv,
         *error = "--metrics-period must be positive";
         return std::nullopt;
       }
+    } else if (arg == "--churn") {
+      const auto colon = value->find(':');
+      if (colon == std::string::npos) {
+        *error = "--churn needs RATE:LIFE";
+        return std::nullopt;
+      }
+      opt.churn_rate = std::atof(value->substr(0, colon).c_str());
+      opt.churn_life = std::atof(value->substr(colon + 1).c_str());
+      if (opt.churn_rate <= 0 || opt.churn_life <= 0) {
+        *error = "--churn RATE and LIFE must both be positive";
+        return std::nullopt;
+      }
+    } else if (arg == "--mobility") {
+      const auto colon = value->find(':');
+      if (colon == std::string::npos) {
+        *error = "--mobility needs K:SPEED";
+        return std::nullopt;
+      }
+      opt.mobility_walkers = std::atoi(value->substr(0, colon).c_str());
+      opt.mobility_speed = std::atof(value->substr(colon + 1).c_str());
+      if (opt.mobility_walkers < 1 || opt.mobility_speed <= 0) {
+        *error = "--mobility needs K >= 1 walkers and a positive speed";
+        return std::nullopt;
+      }
     } else {
       *error = "unknown option: " + arg;
       return std::nullopt;
@@ -181,6 +212,40 @@ std::pair<std::string, std::string> split_spec(const std::string& spec) {
   return {spec.substr(0, pos), spec.substr(pos + 1)};
 }
 }  // namespace
+
+void apply_cli_dynamics(Scenario& sc, const CliOptions& opt) {
+  if (opt.churn_rate > 0.0 && sc.flow_specs.size() > 1) {
+    // A salted, dedicated stream: the run's own master RNG (same seed) must
+    // see the exact draw sequence it would without churn.
+    Rng rng(opt.config.seed ^ 0x636875726e5f31ULL);
+    sc.activity.assign(sc.flow_specs.size(), FlowActivity{});
+    double t = 0.0;
+    for (std::size_t f = 1; f < sc.activity.size(); ++f) {
+      t += rng.exponential(1.0 / opt.churn_rate);
+      sc.activity[f].start_s = t;
+      sc.activity[f].stop_s = t + rng.exponential(opt.churn_life);
+    }
+  }
+  if (opt.mobility_walkers > 0) {
+    Rng rng(opt.config.seed ^ 0x6d6f625f31ULL);
+    const int k = std::min(opt.mobility_walkers, sc.topo.node_count());
+    std::vector<NodeId> moving;
+    while (static_cast<int>(moving.size()) < k) {
+      const NodeId v = static_cast<NodeId>(
+          rng.uniform_u64(static_cast<std::uint64_t>(sc.topo.node_count())));
+      if (std::find(moving.begin(), moving.end(), v) == moving.end())
+        moving.push_back(v);
+    }
+    std::sort(moving.begin(), moving.end());
+    for (NodeId v : moving) {
+      MobilitySpec m;
+      m.node = v;
+      m.speed_mps = opt.mobility_speed;
+      m.seed = rng.uniform_u64(1u << 20);
+      sc.mobility.push_back(m);
+    }
+  }
+}
 
 Scenario make_named_scenario(const std::string& spec, Rng& rng) {
   const auto [kind, param] = split_spec(spec);
@@ -269,6 +334,41 @@ std::string format_run_result(const Scenario& sc, const RunResult& r,
        << " HELLO / " << r.ctrl.constraint_sent << " CONSTRAINT / "
        << r.ctrl.rate_sent << " RATE, " << r.ctrl.msgs_received
        << " payloads decoded, " << r.ctrl.solves << " source LP solves\n";
+    if (r.ctrl.retransmits + r.ctrl.seq_gaps + r.ctrl.stale_dropped +
+            r.ctrl.forced_solves + r.ctrl.admit_req_sent >
+        0) {
+      os << "  hardened: " << r.ctrl.retransmits << " retransmits, "
+         << r.ctrl.seq_gaps << " sequence gaps seen, " << r.ctrl.stale_dropped
+         << " stale msgs dropped, " << r.ctrl.forced_solves
+         << " forced (degraded) solves, " << r.ctrl.admit_req_sent
+         << " ADMIT_REQ / " << r.ctrl.admit_rsp_sent << " ADMIT_RSP\n";
+    }
+    if (!r.reconv_s.empty()) {
+      os << "  re-convergence per epoch (s):";
+      for (double v : r.reconv_s)
+        os << " " << (v < 0.0 ? std::string("never") : strformat("%.1f", v));
+      os << "\n";
+    }
+  }
+
+  if (!r.admissions.empty()) {
+    std::size_t admitted = 0;
+    for (const RunResult::Admission& a : r.admissions) admitted += a.admitted;
+    os << "\nadmission control: " << admitted << "/" << r.admissions.size()
+       << " arrivals admitted\n";
+    for (const RunResult::Admission& a : r.admissions) {
+      os << "  " << flows.flow(a.flow).name() << " at "
+         << strformat("%.2f", a.at_s) << " s: "
+         << (a.admitted ? "admitted" : "rejected");
+      if (!a.admitted)
+        os << " (" << to_string(static_cast<AdmissionReason>(a.reason)) << ")";
+      os << ", worst clique load " << strformat("%.3f", a.worst_load);
+      if (a.inband >= 0)
+        os << ", in-band verdict: " << (a.inband == 1 ? "admit" : "reject");
+      else if (r.protocol == Protocol::k2paDistributedCtrl)
+        os << ", in-band round incomplete";
+      os << "\n";
+    }
   }
 
   if (!sc.faults.empty()) {

@@ -38,6 +38,17 @@ struct CliOptions {
   /// violations after the table; a violation makes the tool exit nonzero.
   /// The checked trajectory is bit-identical to an unchecked run.
   bool check = false;
+  /// --churn RATE:LIFE: open-loop flow churn over the scenario's flows.
+  /// Flow 0 founds the network at t = 0; every later flow arrives after a
+  /// cumulative Exp(1/RATE) gap and departs Exp(LIFE) seconds later (both
+  /// seeded from --seed, so runs are reproducible). Arrivals pass through
+  /// the protocol's admission gate.
+  double churn_rate = 0.0;  ///< Mean arrivals per second (0 = off).
+  double churn_life = 0.0;  ///< Mean flow lifetime in seconds.
+  /// --mobility K:SPEED: K random-waypoint walkers at SPEED m/s (walker
+  /// picks and walk seeds derived from --seed).
+  int mobility_walkers = 0;
+  double mobility_speed = 0.0;
 };
 
 /// Parses argv. On error returns nullopt and fills *error with a message
@@ -54,6 +65,12 @@ std::optional<Protocol> parse_protocol(const std::string& s);
 /// Builds a scenario from its spec; throws ContractViolation on a malformed
 /// spec. `rng` seeds "random:N" placements.
 Scenario make_named_scenario(const std::string& spec, Rng& rng);
+
+/// Applies the --churn / --mobility options to a built scenario (no-op when
+/// both are off). Churn fills sc.activity as documented on CliOptions;
+/// mobility appends walkers for the first K nodes drawn without
+/// replacement. Deterministic in (sc, opt.config.seed).
+void apply_cli_dynamics(Scenario& sc, const CliOptions& opt);
 
 /// Renders a RunResult as the standard report table.
 std::string format_run_result(const Scenario& sc, const RunResult& r,

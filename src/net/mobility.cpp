@@ -1,0 +1,163 @@
+#include "net/mobility.hpp"
+
+#include <algorithm>
+#include <cmath>
+#include <string>
+#include <utility>
+
+#include "geom/geom.hpp"
+#include "util/assert.hpp"
+#include "util/rng.hpp"
+
+namespace e2efa {
+namespace {
+
+// One node's random-waypoint walk, advanced in kMobilityStepS ticks. The
+// generator is seeded from (spec seed, node id) so two specs sharing the
+// default seed still walk distinct trajectories.
+class Waypointer {
+ public:
+  Waypointer(const MobilitySpec& spec, Point home, Point lo, Point hi)
+      : spec_(spec), pos_(home), lo_(lo), hi_(hi),
+        rng_(spec.seed + 0x9e3779b97f4a7c15ULL *
+                             static_cast<std::uint64_t>(spec.node + 1)) {
+    pick_waypoint();
+  }
+
+  const Point& position() const { return pos_; }
+
+  void advance(double dt) {
+    while (dt > 0.0) {
+      if (pause_left_ > 0.0) {
+        double wait = std::min(dt, pause_left_);
+        pause_left_ -= wait;
+        dt -= wait;
+        continue;
+      }
+      double dist = distance(pos_, target_);
+      double reach = spec_.speed_mps * dt;
+      if (reach < dist) {
+        double f = reach / dist;
+        pos_.x += (target_.x - pos_.x) * f;
+        pos_.y += (target_.y - pos_.y) * f;
+        return;
+      }
+      // Arrived with time to spare: dwell, then head for a fresh waypoint.
+      dt -= spec_.speed_mps > 0.0 ? dist / spec_.speed_mps : 0.0;
+      pos_ = target_;
+      pause_left_ = spec_.pause_s;
+      pick_waypoint();
+    }
+  }
+
+ private:
+  void pick_waypoint() {
+    target_.x = rng_.uniform(lo_.x, std::nextafter(hi_.x, 1e300));
+    target_.y = rng_.uniform(lo_.y, std::nextafter(hi_.y, 1e300));
+  }
+
+  MobilitySpec spec_;
+  Point pos_;
+  Point target_{};
+  Point lo_, hi_;
+  double pause_left_ = 0.0;
+  Rng rng_;
+};
+
+}  // namespace
+
+void validate_mobility(const std::vector<MobilitySpec>& specs,
+                       const Topology& topo) {
+  std::vector<bool> seen(static_cast<std::size_t>(topo.node_count()), false);
+  for (const MobilitySpec& m : specs) {
+    E2EFA_ASSERT_MSG(m.node >= 0 && m.node < topo.node_count(),
+                     "mobility node " + std::to_string(m.node) +
+                         " out of range for " +
+                         std::to_string(topo.node_count()) + " nodes");
+    E2EFA_ASSERT_MSG(!seen[static_cast<std::size_t>(m.node)],
+                     "duplicate mobility spec for node " +
+                         std::to_string(m.node));
+    seen[static_cast<std::size_t>(m.node)] = true;
+    E2EFA_ASSERT_MSG(m.speed_mps > 0.0, "mobility speed must be positive");
+    E2EFA_ASSERT_MSG(m.pause_s >= 0.0, "mobility pause must be non-negative");
+  }
+}
+
+void compile_mobility(const Topology& topo,
+                      const std::vector<MobilitySpec>& specs, double horizon_s,
+                      FaultPlan& plan) {
+  validate_mobility(specs, topo);
+  if (specs.empty() || horizon_s <= 0.0) return;
+
+  // Arena: bounding box of the home layout (degenerate boxes are fine — the
+  // walk simply stays on the line/point).
+  Point lo = topo.position(0), hi = topo.position(0);
+  for (NodeId n = 1; n < topo.node_count(); ++n) {
+    const Point& p = topo.position(n);
+    lo.x = std::min(lo.x, p.x);
+    lo.y = std::min(lo.y, p.y);
+    hi.x = std::max(hi.x, p.x);
+    hi.y = std::max(hi.y, p.y);
+  }
+
+  // Walk specs in node order regardless of input order so the compiled
+  // schedule is a pure function of the scenario.
+  std::vector<MobilitySpec> ordered(specs);
+  std::sort(ordered.begin(), ordered.end(),
+            [](const MobilitySpec& a, const MobilitySpec& b) {
+              return a.node < b.node;
+            });
+
+  std::vector<Waypointer> walkers;
+  walkers.reserve(ordered.size());
+  std::vector<int> walker_of(static_cast<std::size_t>(topo.node_count()), -1);
+  for (const MobilitySpec& m : ordered) {
+    walker_of[static_cast<std::size_t>(m.node)] =
+        static_cast<int>(walkers.size());
+    walkers.emplace_back(m, topo.position(m.node), lo, hi);
+  }
+
+  // Home links with at least one mobile endpoint, plus their current state.
+  struct WatchedLink {
+    NodeId a, b;
+    bool up = true;
+  };
+  std::vector<WatchedLink> links;
+  for (NodeId a = 0; a < topo.node_count(); ++a) {
+    for (NodeId b = a + 1; b < topo.node_count(); ++b) {
+      if (!topo.has_link(a, b)) continue;
+      if (walker_of[static_cast<std::size_t>(a)] < 0 &&
+          walker_of[static_cast<std::size_t>(b)] < 0) {
+        continue;
+      }
+      links.push_back({a, b, true});
+    }
+  }
+  if (links.empty()) return;
+
+  auto current = [&](NodeId n) -> Point {
+    int w = walker_of[static_cast<std::size_t>(n)];
+    return w >= 0 ? walkers[static_cast<std::size_t>(w)].position()
+                  : topo.position(n);
+  };
+
+  const double drop_at = topo.tx_range();
+  const double rejoin_at = kRejoinFraction * topo.tx_range();
+  const long steps = static_cast<long>(std::floor(horizon_s / kMobilityStepS));
+  for (long k = 1; k <= steps; ++k) {
+    for (Waypointer& w : walkers) w.advance(kMobilityStepS);
+    const double t = static_cast<double>(k) * kMobilityStepS;
+    for (WatchedLink& l : links) {
+      const double d = distance(current(l.a), current(l.b));
+      if (l.up && d > drop_at) {
+        l.up = false;
+        plan.link_down(l.a, l.b, t);
+      } else if (!l.up && d <= rejoin_at) {
+        l.up = true;
+        plan.link_up(l.a, l.b, t);
+      }
+    }
+  }
+}
+
+}  // namespace e2efa

@@ -1,0 +1,51 @@
+// Random-waypoint mobility compiled into the fault schedule.
+//
+// The simulator's PHY has no notion of moving radios: connectivity is the
+// home Topology masked by a TopologyMask, and masks can only be switched at
+// precomputed fault-epoch boundaries. Mobility therefore runs entirely at
+// setup time: each MobilitySpec's random-waypoint walk is sampled on a fixed
+// grid of instants, and whenever a walking node drifts out of (or back into)
+// transmission range of a home-topology neighbor, a link_down / link_up
+// FaultEvent is appended to the plan. The runner then treats those events
+// exactly like scripted link faults — masked route repair, per-epoch
+// re-solve, in-band re-convergence — so the whole machinery built for faults
+// carries mobility for free, and runs stay bit-reproducible: the walk is
+// seeded per spec (MobilitySpec::seed), independent of the run seed.
+//
+// The model is deliberately conservative: contention geometry (interference
+// range, clique structure) stays that of the home positions; movement only
+// modulates which home links are usable. Link flapping at the range boundary
+// is damped with hysteresis — a link drops when the pair separates beyond
+// tx_range and returns only once they close within kRejoinFraction of it.
+#pragma once
+
+#include <vector>
+
+#include "net/faults.hpp"
+#include "net/scenarios.hpp"
+#include "topology/topology.hpp"
+
+namespace e2efa {
+
+/// Walk sampling period (seconds). Epoch boundaries land on multiples of it.
+inline constexpr double kMobilityStepS = 0.25;
+
+/// Hysteresis: a dropped link re-forms only when the pair closes within this
+/// fraction of tx_range (drop threshold is tx_range itself).
+inline constexpr double kRejoinFraction = 0.9;
+
+/// Validates the specs against the topology: throws ContractViolation on an
+/// out-of-range node, a duplicated node, speed <= 0, or pause < 0.
+void validate_mobility(const std::vector<MobilitySpec>& specs,
+                       const Topology& topo);
+
+/// Samples every spec's random-waypoint walk over [0, horizon_s] (arena =
+/// bounding box of the home positions) and appends link_down / link_up
+/// events for home-topology links whose endpoints drift out of / back into
+/// range. Deterministic in (specs, topo, horizon_s) alone. Calls
+/// validate_mobility first; a no-spec call leaves `plan` untouched.
+void compile_mobility(const Topology& topo,
+                      const std::vector<MobilitySpec>& specs, double horizon_s,
+                      FaultPlan& plan);
+
+}  // namespace e2efa

@@ -1,6 +1,7 @@
 #include "net/runner.hpp"
 
 #include <algorithm>
+#include <cmath>
 #include <memory>
 #include <set>
 
@@ -11,6 +12,8 @@
 #include "alloc/two_tier.hpp"
 #include "contention/clique_store.hpp"
 #include "contention/contention_graph.hpp"
+#include "ctrl/admission.hpp"
+#include "net/mobility.hpp"
 #include "net/node_stack.hpp"
 #include "route/routing.hpp"
 #include "sched/fifo_queue.hpp"
@@ -210,11 +213,11 @@ bool path_alive(const std::vector<NodeId>& path, const TopologyMask& mask) {
 }  // namespace
 
 RunResult run_scenario(const Scenario& sc, Protocol proto, const SimConfig& cfg) {
-  return run_scenario(sc, proto, cfg, {});
+  return run_scenario(sc, proto, cfg, sc.activity);
 }
 
 RunResult run_scenario(const Scenario& sc, Protocol proto, const SimConfig& cfg,
-                       const std::vector<FlowActivity>& activity) {
+                       const std::vector<FlowActivity>& activity_arg) {
   // Structural validation up front, with messages naming the actual defect
   // (FlowSet would reject these too, but less helpfully).
   for (const Flow& spec : sc.flow_specs) {
@@ -222,7 +225,17 @@ RunResult run_scenario(const Scenario& sc, Protocol proto, const SimConfig& cfg,
     E2EFA_ASSERT_MSG(spec.path.front() != spec.path.back(),
                      "flow source equals destination");
   }
-  const FaultPlan& plan = sc.faults;
+  // An explicit activity argument overrides the scenario's embedded windows
+  // (callers that predate Scenario::activity keep their behavior).
+  const std::vector<FlowActivity>& activity =
+      activity_arg.empty() ? sc.activity : activity_arg;
+  // The effective fault schedule: scripted faults plus whatever link churn
+  // the mobility walks compile down to. With no mobility this is an exact
+  // copy of sc.faults, so fault-free and scripted-fault runs are untouched.
+  FaultPlan plan = sc.faults;
+  if (!sc.mobility.empty())
+    compile_mobility(sc.topo, sc.mobility,
+                     cfg.warmup_seconds + cfg.sim_seconds, plan);
   plan.validate(sc.topo.node_count());
 
   // The scenario's own flows ("logical" flows: what the caller asked for and
@@ -351,6 +364,53 @@ RunResult run_scenario(const Scenario& sc, Protocol proto, const SimConfig& cfg,
     check->begin_run(info);
   }
 
+  // ---- Admission control over open-loop arrivals. A flow whose window
+  // starts mid-run is a *candidate*: it enters only if every clique its
+  // subflows touch keeps all admitted flows' basic shares feasible
+  // (Ganesan's clique bound). The founding population (start_s == 0) is the
+  // scenario's own responsibility. Decisions are made in arrival order
+  // against the flows admitted so far, on provisioned routes; the
+  // distributed protocols use the distributed gate (per-node partial
+  // knowledge under the arrival instant's mask — as strict or stricter than
+  // the oracle), the centralized family the centralized twin, and plain
+  // 802.11 admits everything (it allocates nothing). ----
+  std::vector<char> admitted_flag(static_cast<std::size_t>(F), 1);
+  if (dynamic && proto != Protocol::k80211) {
+    std::vector<std::pair<double, FlowId>> arrivals;
+    for (FlowId f = 0; f < F; ++f) {
+      const double t = window_of(f).start_s;
+      if (t > 0.0 && t < total_s) arrivals.emplace_back(t, f);
+    }
+    std::sort(arrivals.begin(), arrivals.end());
+    if (!arrivals.empty()) {
+      ContentionGraph gate_graph(sc.topo, logical);
+      const bool dist_gate = proto == Protocol::k2paDistributed ||
+                             proto == Protocol::k2paDistributedCtrl;
+      for (const auto& [t, f] : arrivals) {
+        std::vector<char> present(static_cast<std::size_t>(F), 0);
+        for (FlowId j = 0; j < F; ++j) {
+          if (j == f || !admitted_flag[static_cast<std::size_t>(j)]) continue;
+          const FlowActivity w = window_of(j);
+          if (w.start_s <= t && t < w.stop_s) present[static_cast<std::size_t>(j)] = 1;
+        }
+        AdmissionDecision d;
+        if (dist_gate) {
+          const TopologyMask gate_mask = plan.mask_at(t, sc.topo.node_count());
+          d = admission_check_distributed(sc.topo, logical, gate_graph, present,
+                                          f, gate_mask.all_up() ? nullptr : &gate_mask);
+        } else {
+          d = admission_check_centralized(logical, gate_graph, present, f);
+        }
+        admitted_flag[static_cast<std::size_t>(f)] = d.admitted ? 1 : 0;
+        out.admissions.push_back({f, t, d.admitted, static_cast<int>(d.reason),
+                                  d.worst_load, -1});
+        if (check != nullptr)
+          check->on_admission(f, d.admitted, d.worst_load, dist_gate,
+                              from_seconds(t));
+      }
+    }
+  }
+
   // active_of[e][f]: sim flow carrying logical flow f in epoch e (-1 when
   // suspended — the destination is unreachable under the epoch's mask).
   std::vector<std::vector<FlowId>> active_of(
@@ -389,6 +449,7 @@ RunResult run_scenario(const Scenario& sc, Protocol proto, const SimConfig& cfg,
     const double t = boundaries[static_cast<std::size_t>(e)];
     std::vector<FlowId> active;
     for (FlowId f = 0; f < F; ++f) {
+      if (!admitted_flag[static_cast<std::size_t>(f)]) continue;
       const FlowActivity w = window_of(f);
       if (!(w.start_s <= t && t < w.stop_s)) continue;
       const FlowId g = active_of[static_cast<std::size_t>(e)][static_cast<std::size_t>(f)];
@@ -545,17 +606,55 @@ RunResult run_scenario(const Scenario& sc, Protocol proto, const SimConfig& cfg,
         b[static_cast<std::size_t>(flows.subflow_index(g, h))] = 1;
     return b;
   };
+  // Per-sim-flow activity bitmap for epoch e (the admission oracle's view).
+  auto flow_bitmap_of = [&](int e) {
+    std::vector<char> b(static_cast<std::size_t>(flows.flow_count()), 0);
+    for (FlowId g : epoch_active_flows[static_cast<std::size_t>(e)])
+      b[static_cast<std::size_t>(g)] = 1;
+    return b;
+  };
+  if (check != nullptr) check->note_active_flows(flow_bitmap_of(0), 0);
   if (dctrl) {
+    // Any dynamics — scripted faults, churn windows, or mobility — turn on
+    // the loss-hardened control plane (retransmits, generation stamps,
+    // staleness degradation); a plain static run keeps the lean protocol so
+    // its trajectory is byte-identical to earlier builds.
+    CtrlConfig ctrl_cfg = cfg.ctrl;
+    if (!plan.empty() || dynamic || !sc.mobility.empty()) ctrl_cfg.hardened = true;
     ctrl_graph = std::make_unique<ContentionGraph>(sc.topo, flows);
     Rng ctrl_master = master.split();
-    for (NodeId n = 0; n < sc.topo.node_count(); ++n)
+    for (NodeId n = 0; n < sc.topo.node_count(); ++n) {
       agents.push_back(std::make_unique<AllocAgent>(
           sim, stacks[static_cast<std::size_t>(n)]->mac(), sc.topo, flows,
-          *ctrl_graph, tag_scheds[static_cast<std::size_t>(n)], cfg.ctrl,
+          *ctrl_graph, tag_scheds[static_cast<std::size_t>(n)], ctrl_cfg,
           ctrl_master.split(), trace));
+      agents.back()->set_check(check);
+    }
     const std::vector<char> b0 = active_bitmap_of(0);
     for (auto& a : agents) a->note_active_set(b0);
     for (auto& a : agents) a->start();
+  }
+
+  // In-band ADMIT rounds: at each admission-gated arrival's boundary the
+  // candidate's source runs the hop-by-hop ADMIT_REQ/ADMIT_RSP round over
+  // the live control plane. The verdict is diagnostic (the offline gate
+  // above already decided); RunResult::Admission::inband records what the
+  // network itself concluded, for differential comparison.
+  std::vector<std::vector<std::size_t>> inband_at(static_cast<std::size_t>(E));
+  std::vector<FlowId> inband_sim_flow(out.admissions.size(), -1);
+  if (dctrl) {
+    for (std::size_t i = 0; i < out.admissions.size(); ++i) {
+      const double t = out.admissions[i].at_s;
+      const auto it = std::lower_bound(boundaries.begin(), boundaries.end(), t);
+      if (it == boundaries.end() || *it != t) continue;
+      const int e = static_cast<int>(it - boundaries.begin());
+      const FlowId f = out.admissions[i].flow;
+      const int v = std::max(
+          epoch_variant[static_cast<std::size_t>(e)][static_cast<std::size_t>(f)], 0);
+      inband_sim_flow[i] =
+          sim_flow_of[static_cast<std::size_t>(f)][static_cast<std::size_t>(v)];
+      inband_at[static_cast<std::size_t>(e)].push_back(i);
+    }
   }
 
   // ---- Fault bookkeeping shared by the scheduled epoch events. ----
@@ -621,11 +720,20 @@ RunResult run_scenario(const Scenario& sc, Protocol proto, const SimConfig& cfg,
         trace->record<TraceCat::kFault>(sim.now(), TraceEvent::kFaultEpoch, -1, e,
                                         -1, boundaries[static_cast<std::size_t>(e)]);
       trace_epoch_allocation(e, sim.now());
+      // The admission/stale-rate oracle learns the new population before the
+      // control plane reacts, so every lane update at or after the boundary
+      // is judged against the current flow set.
+      if (check != nullptr) check->note_active_flows(flow_bitmap_of(e), sim.now());
       if (dctrl) {
         // No oracle push: tell the agents what went (in)active and let the
         // network re-converge through its own HELLO/CONSTRAINT/RATE cycle.
         const std::vector<char> b = active_bitmap_of(e);
         for (auto& a : agents) a->note_active_set(b);
+        for (std::size_t i : inband_at[static_cast<std::size_t>(e)]) {
+          const FlowId g = inband_sim_flow[i];
+          agents[static_cast<std::size_t>(flows.flow(g).source())]
+              ->request_admission(g);
+        }
       } else {
         const EpochAllocation& epoch = epochs[static_cast<std::size_t>(e)];
         for (int s = 0; s < flows.subflow_count(); ++s) {
@@ -673,9 +781,49 @@ RunResult run_scenario(const Scenario& sc, Protocol proto, const SimConfig& cfg,
     const FlowActivity w = window_of(f);
     const TimeNs until = std::min(horizon, from_seconds(std::min(w.stop_s, total_s)));
     CbrSource* raw = src.get();
-    sim.schedule_at(from_seconds(std::min(w.start_s, total_s)),
-                    [raw, until] { raw->start(until); });
+    // A rejected arrival's source never starts (the flow offers no traffic);
+    // the source object is still constructed so the RNG stream layout is
+    // identical whichever way the gate decided.
+    if (admitted_flag[static_cast<std::size_t>(f)])
+      sim.schedule_at(from_seconds(std::min(w.start_s, total_s)),
+                      [raw, until] { raw->start(until); });
     sources.push_back(std::move(src));
+  }
+
+  // ---- Re-convergence probe (in-band protocol, multi-epoch runs): poll the
+  // applied lane shares on a fixed grid and record, per epoch, how long the
+  // network took to bring every active lane within 10% + 0.02 of the epoch's
+  // oracle target. Pure reads — the probe never perturbs the trajectory. ----
+  std::vector<double> reconv(static_cast<std::size_t>(E), -1.0);
+  std::function<void()> reconv_sample;
+  if (dctrl && E > 1) {
+    const TimeNs reconv_period = from_seconds(0.1);
+    reconv_sample = [&, reconv_period, horizon] {
+      const double now_s = to_seconds(sim.now());
+      auto it = std::upper_bound(boundaries.begin(), boundaries.end(),
+                                 now_s + 1e-12);
+      const std::size_t e = static_cast<std::size_t>(it - boundaries.begin()) - 1;
+      if (reconv[e] < 0.0) {
+        bool converged = true;
+        for (FlowId g : epoch_active_flows[e]) {
+          for (int h = 0; converged && h < flows.flow(g).length(); ++h) {
+            const int s = flows.subflow_index(g, h);
+            const TagScheduler* sched =
+                tag_scheds[static_cast<std::size_t>(flows.subflow(s).src)];
+            const double target =
+                epochs[e].subflow_share[static_cast<std::size_t>(s)];
+            const double applied = sched != nullptr ? sched->share_of(s) : 0.0;
+            if (std::abs(applied - target) > 0.10 * target + 0.02)
+              converged = false;
+          }
+          if (!converged) break;
+        }
+        if (converged) reconv[e] = now_s - boundaries[e];
+      }
+      if (sim.now() + reconv_period <= horizon)
+        sim.schedule_in(reconv_period, reconv_sample);
+    };
+    sim.schedule_at(reconv_period, reconv_sample);
   }
 
   // Optional short-term fairness sampling: snapshot per-flow end-to-end
@@ -886,9 +1034,23 @@ RunResult run_scenario(const Scenario& sc, Protocol proto, const SimConfig& cfg,
       out.ctrl.msgs_received += as.msgs_received;
       out.ctrl.solves += as.solves;
       out.ctrl.ctrl_bytes += as.ctrl_bytes_sent;
+      out.ctrl.admit_req_sent += as.admit_req_sent;
+      out.ctrl.admit_rsp_sent += as.admit_rsp_sent;
+      out.ctrl.retransmits += as.retransmits;
+      out.ctrl.seq_gaps += as.seq_gaps;
+      out.ctrl.stale_dropped += as.stale_dropped;
+      out.ctrl.forced_solves += as.forced_solves;
       out.ctrl.ctrl_frames +=
           stacks[static_cast<std::size_t>(n)]->mac().stats().ctrl_sent;
     }
+    for (std::size_t i = 0; i < out.admissions.size(); ++i) {
+      const FlowId g = inband_sim_flow[i];
+      if (g < 0) continue;
+      out.admissions[i].inband =
+          agents[static_cast<std::size_t>(flows.flow(g).source())]
+              ->inband_admission(g);
+    }
+    if (E > 1) out.reconv_s = std::move(reconv);
     out.ctrl.applied_subflow_share.resize(
         static_cast<std::size_t>(flows.subflow_count()));
     for (int s = 0; s < flows.subflow_count(); ++s) {

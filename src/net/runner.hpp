@@ -169,21 +169,49 @@ struct RunResult {
     std::uint64_t solves = 0;           ///< Source-local LP solves.
     std::uint64_t ctrl_bytes = 0;       ///< Wire bytes of queued dedicated frames.
     std::uint64_t ctrl_frames = 0;      ///< kCtrl frames actually transmitted.
+    // Hardened-mode counters (all zero unless CtrlConfig::hardened — i.e.
+    // unless the scenario has faults, churn, or mobility).
+    std::uint64_t admit_req_sent = 0;   ///< Queued ADMIT_REQ messages.
+    std::uint64_t admit_rsp_sent = 0;   ///< Queued ADMIT_RSP messages.
+    std::uint64_t retransmits = 0;      ///< CONSTRAINT/RATE resends (no ack).
+    std::uint64_t seq_gaps = 0;         ///< HELLO sequence gaps detected.
+    std::uint64_t stale_dropped = 0;    ///< Msgs dropped for a stale epoch gen.
+    std::uint64_t forced_solves = 0;    ///< Degraded solves (quiescence never
+                                        ///< reached within max_staleness_s).
     std::vector<double> applied_subflow_share;  ///< Final lane shares (sim ids).
     bool operator==(const CtrlSummary&) const = default;
   };
   CtrlSummary ctrl;
 
+  /// One record per admission-controlled flow arrival (activity window with
+  /// start_s > 0 under an allocating protocol; plain 802.11 admits all).
+  struct Admission {
+    FlowId flow = -1;
+    double at_s = 0.0;
+    bool admitted = true;
+    /// Typed rejection reason (AdmissionReason from src/ctrl/admission.hpp,
+    /// stored as int to keep this header light): 0 = admitted,
+    /// 1 = clique overload, 2 = in-band round timed out.
+    int reason = 0;
+    /// Worst clique load (sum of basic shares) the candidate would induce.
+    double worst_load = 0.0;
+    /// In-band ADMIT round verdict under 2pa-dctrl: 1 admitted, 0 rejected,
+    /// -1 round timed out / not run (every other protocol).
+    int inband = -1;
+    bool operator==(const Admission&) const = default;
+  };
+  std::vector<Admission> admissions;
+
+  /// Per-epoch in-band re-convergence time (k2paDistributedCtrl multi-epoch
+  /// runs only; empty otherwise): reconv_s[e] = seconds after epoch e's
+  /// boundary until every active lane's applied share is within 10% + 0.02
+  /// of the epoch oracle target, or a negative value when the epoch ended
+  /// before the shares converged.
+  std::vector<double> reconv_s;
+
   /// Measured share of subflow s in units of B:
   /// delivered · payload_bits / (T · B).
   double measured_subflow_share(int s, std::int64_t bps, int payload_bytes) const;
-};
-
-/// Activity window of one flow in a dynamic run (seconds from sim start;
-/// the flow sources packets during [start_s, stop_s)).
-struct FlowActivity {
-  double start_s = 0.0;
-  double stop_s = 1e300;
 };
 
 /// Runs phase 1 + phase 2 on the scenario. Deterministic given cfg.seed —
@@ -198,17 +226,27 @@ struct FlowActivity {
 /// epoch's reachable flow set, pushing the fresh shares into the live
 /// schedulers at the epoch boundary.
 ///
+/// When the scenario carries a FlowActivity schedule (sc.activity) this
+/// overload runs the dynamic variant below with it; when it carries
+/// MobilitySpecs, each mobile node's random waypoint walk is compiled into
+/// link events merged with the fault plan (src/net/mobility.hpp).
+///
 /// Throws ContractViolation for structurally invalid inputs: a flow with
 /// src == dst or fewer than two path nodes, a fault plan referencing
-/// unknown nodes / negative times / loss rates outside [0, 1], or a
-/// phase-1 solve with infeasible basic shares (over-constrained clique).
+/// unknown nodes / negative times / loss rates outside [0, 1], an activity
+/// schedule whose size differs from the flow count, a mobility spec naming
+/// an unknown node, or a phase-1 solve with infeasible basic shares
+/// (over-constrained clique).
 RunResult run_scenario(const Scenario& sc, Protocol proto, const SimConfig& cfg);
 
 /// Dynamic variant: flows come and go per `activity` (one entry per flow).
 /// The phase-1 allocation is recomputed over the *active* flow set at every
 /// epoch boundary and pushed into the running tag schedulers — the paper's
 /// algorithm applied to backlogged-flow churn. RunResult::target_* reflect
-/// the first epoch; epoch_* record the full history.
+/// the first epoch; epoch_* record the full history. Arrivals (start_s > 0)
+/// pass through admission control under the allocating protocols: a flow
+/// whose clique-bound check fails never sources packets and is reported in
+/// RunResult::admissions with a typed reason.
 RunResult run_scenario(const Scenario& sc, Protocol proto, const SimConfig& cfg,
                        const std::vector<FlowActivity>& activity);
 

@@ -1,5 +1,6 @@
 #include "net/scenario_file.hpp"
 
+#include <algorithm>
 #include <fstream>
 #include <map>
 #include <sstream>
@@ -38,6 +39,24 @@ struct LossSpec {
   int line = 0;
 };
 
+// flow_arrive / flow_depart directives (flow ordinals resolved after all
+// flows are read).
+struct ChurnSpec {
+  bool depart = false;
+  int flow = -1;
+  double at_s = 0.0;
+  int line = 0;
+};
+
+// mobility directives, with the node label still unresolved.
+struct MobSpec {
+  std::string label;
+  double speed = 0.0;
+  double pause = 0.0;
+  std::uint64_t seed = 0;
+  int line = 0;
+};
+
 }  // namespace
 
 Scenario parse_scenario_text(const std::string& text, std::string name) {
@@ -47,6 +66,8 @@ Scenario parse_scenario_text(const std::string& text, std::string name) {
   std::vector<FlowSpec> flow_specs;
   std::vector<FaultSpec> fault_specs;
   std::vector<LossSpec> loss_specs;
+  std::vector<ChurnSpec> churn_specs;
+  std::vector<MobSpec> mob_specs;
   double range = 250.0;
   double irange = -1.0;
 
@@ -123,6 +144,40 @@ Scenario parse_scenario_text(const std::string& text, std::string name) {
       std::string extra;
       if (line >> extra) fail(lineno, "unexpected token after loss");
       loss_specs.push_back(std::move(spec));
+    } else if (cmd == "flow_arrive" || cmd == "flow_depart") {
+      ChurnSpec spec;
+      spec.depart = cmd == "flow_depart";
+      spec.line = lineno;
+      if (!(line >> spec.flow >> spec.at_s))
+        fail(lineno, cmd + " needs: flow-index time");
+      if (spec.flow < 0) fail(lineno, cmd + " flow index must not be negative");
+      if (spec.at_s < 0) fail(lineno, cmd + " time must not be negative");
+      std::string extra;
+      if (line >> extra) fail(lineno, "unexpected token after " + cmd);
+      churn_specs.push_back(spec);
+    } else if (cmd == "mobility") {
+      MobSpec spec;
+      spec.line = lineno;
+      if (!(line >> spec.label))
+        fail(lineno, "mobility needs: label speed v [pause p] [seed k]");
+      bool have_speed = false;
+      std::string key;
+      while (line >> key) {
+        if (key == "speed") {
+          if (!(line >> spec.speed)) fail(lineno, "mobility speed needs a number");
+          have_speed = true;
+        } else if (key == "pause") {
+          if (!(line >> spec.pause)) fail(lineno, "mobility pause needs a number");
+        } else if (key == "seed") {
+          if (!(line >> spec.seed)) fail(lineno, "mobility seed needs an integer");
+        } else {
+          fail(lineno, "unknown mobility option '" + key + "'");
+        }
+      }
+      if (!have_speed || spec.speed <= 0)
+        fail(lineno, "mobility needs a positive speed");
+      if (spec.pause < 0) fail(lineno, "mobility pause must not be negative");
+      mob_specs.push_back(std::move(spec));
     } else {
       fail(lineno, "unknown directive '" + cmd + "'");
     }
@@ -170,15 +225,30 @@ Scenario parse_scenario_text(const std::string& text, std::string name) {
     if (it == by_label.end()) fail(line, "unknown node label " + label);
     return it->second;
   };
+  // Per-target monotonicity: the FaultPlan applies events in file order, so
+  // a fault/recover whose time precedes an earlier directive for the same
+  // node or link would silently be overridden — reject it at the source.
+  std::map<std::pair<NodeId, NodeId>, std::pair<double, int>> last_event;
+  auto check_order = [&](NodeId a, NodeId b, double t, int line) {
+    const auto key = std::make_pair(std::min(a, b), std::max(a, b));
+    const auto it = last_event.find(key);
+    if (it != last_event.end() && t < it->second.first)
+      fail(line, strformat("out-of-order time %g: an earlier directive for the "
+                           "same target (line %d) is at t=%g",
+                           t, it->second.second, it->second.first));
+    last_event[key] = {t, line};
+  };
   for (const FaultSpec& spec : fault_specs) {
     const NodeId a = resolve(spec.a, spec.line);
     if (!spec.link) {
+      check_order(a, kInvalidNode, spec.at_s, spec.line);
       spec.recover ? sc.faults.node_up(a, spec.at_s)
                    : sc.faults.node_down(a, spec.at_s);
       continue;
     }
     const NodeId b = resolve(spec.b, spec.line);
     if (a == b) fail(spec.line, "link fault endpoints must differ");
+    check_order(a, b, spec.at_s, spec.line);
     spec.recover ? sc.faults.link_up(a, b, spec.at_s)
                  : sc.faults.link_down(a, b, spec.at_s);
   }
@@ -191,6 +261,60 @@ Scenario parse_scenario_text(const std::string& text, std::string name) {
     const NodeId b = resolve(spec.b, spec.line);
     if (a == b) fail(spec.line, "loss endpoints must differ");
     sc.faults.set_loss(a, b, spec.per);
+  }
+
+  // Flow churn windows. Ordinals index the flow list in file order; an
+  // all-default window vector is normalized away so churn-free files stay
+  // non-dynamic (and serialization is a fixed point).
+  if (!churn_specs.empty()) {
+    const int FC = static_cast<int>(sc.flow_specs.size());
+    sc.activity.assign(sc.flow_specs.size(), FlowActivity{});
+    std::vector<int> arrive_line(sc.flow_specs.size(), 0);
+    std::vector<int> depart_line(sc.flow_specs.size(), 0);
+    for (const ChurnSpec& spec : churn_specs) {
+      if (spec.flow >= FC)
+        fail(spec.line, strformat("flow index %d out of range (%d flows defined)",
+                                  spec.flow, FC));
+      const auto f = static_cast<std::size_t>(spec.flow);
+      if (spec.depart) {
+        if (depart_line[f] != 0)
+          fail(spec.line, strformat("duplicate flow_depart for flow %d (line %d)",
+                                    spec.flow, depart_line[f]));
+        depart_line[f] = spec.line;
+        sc.activity[f].stop_s = spec.at_s;
+      } else {
+        if (arrive_line[f] != 0)
+          fail(spec.line, strformat("duplicate flow_arrive for flow %d (line %d)",
+                                    spec.flow, arrive_line[f]));
+        arrive_line[f] = spec.line;
+        sc.activity[f].start_s = spec.at_s;
+      }
+    }
+    for (std::size_t f = 0; f < sc.activity.size(); ++f) {
+      if (depart_line[f] != 0 && sc.activity[f].stop_s <= sc.activity[f].start_s)
+        fail(depart_line[f],
+             strformat("flow_depart at or before flow %d's arrival (t=%g)",
+                       static_cast<int>(f), sc.activity[f].start_s));
+    }
+    if (all_default_activity(sc.activity)) sc.activity.clear();
+  }
+
+  // Mobility walks (labels resolved now; one walk per node).
+  std::map<NodeId, int> mob_line;
+  for (const MobSpec& spec : mob_specs) {
+    const NodeId n = resolve(spec.label, spec.line);
+    const auto it = mob_line.find(n);
+    if (it != mob_line.end())
+      fail(spec.line,
+           strformat("duplicate mobility for node %s (line %d)",
+                     spec.label.c_str(), it->second));
+    mob_line[n] = spec.line;
+    MobilitySpec m;
+    m.node = n;
+    m.speed_mps = spec.speed;
+    m.pause_s = spec.pause;
+    m.seed = spec.seed;
+    sc.mobility.push_back(m);
   }
   return sc;
 }
@@ -223,6 +347,31 @@ std::string serialize_scenario_text(const Scenario& sc) {
     out += "flow";
     for (NodeId n : f.path) out += " " + sc.topo.label(n);
     out += strformat(" weight %.17g\n", f.weight);
+  }
+  if (!sc.activity.empty()) {
+    E2EFA_ASSERT_MSG(sc.activity.size() == sc.flow_specs.size(),
+                     "scenario activity size mismatch");
+    for (std::size_t f = 0; f < sc.activity.size(); ++f) {
+      const FlowActivity& w = sc.activity[f];
+      if (w.start_s != 0.0)
+        out += strformat("flow_arrive %d %.17g\n", static_cast<int>(f), w.start_s);
+      if (w.stop_s != kFlowNeverStops)
+        out += strformat("flow_depart %d %.17g\n", static_cast<int>(f), w.stop_s);
+    }
+  }
+  {
+    // Sorted by node so the output is canonical whatever order the specs
+    // were added in; pause and seed are always written (their defaults are
+    // unambiguous), which makes serialization a fixed point under re-parse.
+    std::vector<MobilitySpec> mob = sc.mobility;
+    std::sort(mob.begin(), mob.end(),
+              [](const MobilitySpec& a, const MobilitySpec& b) {
+                return a.node < b.node;
+              });
+    for (const MobilitySpec& m : mob)
+      out += strformat("mobility %s speed %.17g pause %.17g seed %llu\n",
+                       sc.topo.label(m.node).c_str(), m.speed_mps, m.pause_s,
+                       static_cast<unsigned long long>(m.seed));
   }
   for (const FaultEvent& e : sc.faults.events()) {
     const char* cmd =

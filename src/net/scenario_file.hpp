@@ -20,11 +20,22 @@
 //   loss A B 0.05           # link A<->B loses 5% of clean receptions
 //   loss default 0.01       # every other link loses 1%
 //
+// Open-loop churn and mobility (all optional):
+//
+//   flow_arrive 1 5         # flow #1 (0-based, in file order) starts at t=5
+//   flow_depart 1 20        # ... and leaves at t = 20
+//   mobility C speed 3      # node C random-waypoint walks at 3 m/s
+//   mobility D speed 1.5 pause 2 seed 7
+//
 // Node labels are arbitrary tokens without whitespace; flows may mix
 // routed (2 endpoints) and explicit-path (>= 3 nodes) forms. Flows with an
-// explicit `weight` suffix apply it to either form. Fault directives may
-// reference nodes defined later in the file; all labels are resolved after
-// the whole file is read.
+// explicit `weight` suffix apply it to either form. Fault, churn and
+// mobility directives may reference nodes/flows defined later in the file;
+// all labels are resolved after the whole file is read. The parser rejects
+// (with line-numbered errors) directives naming unknown nodes or
+// out-of-range flow ordinals, duplicate arrive/depart/mobility directives
+// for one target, a departure at or before the flow's arrival, and
+// fault/recover times that go backwards for the same node or link.
 #pragma once
 
 #include <string>

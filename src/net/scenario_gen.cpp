@@ -101,6 +101,44 @@ Scenario generate_scenario(std::uint64_t seed, const GenConfig& cfg) {
   }
   if (rng.uniform01() < cfg.p_loss)
     sc.faults.set_default_loss(rng.uniform(0.0, cfg.max_loss));
+
+  // Open-loop dynamics. Both blocks are draw-guarded on their probability
+  // being nonzero, and come after every pre-existing draw, so configs that
+  // leave them at 0 reproduce historical seeds byte for byte.
+  if (cfg.p_churn > 0.0 && rng.uniform01() < cfg.p_churn) {
+    // Flow 0 stays a founding flow (the run never starts empty); the rest
+    // may arrive mid-run, depart mid-run, or both.
+    sc.activity.assign(sc.flow_specs.size(), FlowActivity{});
+    for (std::size_t f = 1; f < sc.activity.size(); ++f) {
+      FlowActivity& w = sc.activity[f];
+      if (rng.bernoulli(0.6)) w.start_s = rng.uniform(0.1, 0.6) * cfg.horizon_s;
+      if (rng.bernoulli(0.5))
+        w.stop_s = w.start_s + rng.uniform(0.2, 0.5) * cfg.horizon_s;
+    }
+    if (all_default_activity(sc.activity)) sc.activity.clear();
+  }
+  if (cfg.p_mobility > 0.0 && rng.uniform01() < cfg.p_mobility) {
+    const int walkers = n >= 3 && rng.bernoulli(0.4) ? 2 : 1;
+    std::vector<NodeId> moving;
+    while (static_cast<int>(moving.size()) < walkers) {
+      const NodeId v =
+          static_cast<NodeId>(rng.uniform_u64(static_cast<std::uint64_t>(n)));
+      if (std::find(moving.begin(), moving.end(), v) == moving.end())
+        moving.push_back(v);
+    }
+    for (NodeId v : moving) {
+      MobilitySpec m;
+      m.node = v;
+      m.speed_mps = rng.uniform(5.0, cfg.max_speed_mps);
+      m.pause_s = rng.bernoulli(0.3) ? rng.uniform(0.0, 1.0) : 0.0;
+      m.seed = rng.uniform_u64(1u << 20);
+      sc.mobility.push_back(m);
+    }
+    std::sort(sc.mobility.begin(), sc.mobility.end(),
+              [](const MobilitySpec& a, const MobilitySpec& b) {
+                return a.node < b.node;
+              });
+  }
   return sc;
 }
 

@@ -31,6 +31,16 @@ struct GenConfig {
   /// Fault times are drawn within (0, horizon_s); keep this below the
   /// fuzzer's simulated seconds so every event actually fires.
   double horizon_s = 5.0;
+  /// Probability the scenario carries open-loop flow churn: each flow past
+  /// the first may get a mid-run arrival and/or a departure window. 0 (the
+  /// default) draws nothing, so existing seeds keep their scenarios.
+  double p_churn = 0.0;
+  /// Probability the scenario carries random-waypoint mobility (one or two
+  /// walking nodes). 0 (the default) draws nothing.
+  double p_mobility = 0.0;
+  /// Walker speeds are drawn uniformly from [5, max_speed_mps] — fast
+  /// enough to cross a 250 m range boundary within a fuzz-sized horizon.
+  double max_speed_mps = 45.0;
   /// 0 (default) routes each flow with a full-graph BFS to a uniformly
   /// random destination — fine at paper scale, O(nodes) per flow. > 0
   /// caps flow length: the destination is drawn from the source's

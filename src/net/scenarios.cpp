@@ -5,6 +5,13 @@
 
 namespace e2efa {
 
+bool all_default_activity(const std::vector<FlowActivity>& activity) {
+  for (const FlowActivity& w : activity) {
+    if (w != FlowActivity{}) return false;
+  }
+  return true;
+}
+
 Scenario scenario1() {
   // A(0) B(1) C(2) carry F1; D(3) E(4) F(5) carry F2. C and E are in range
   // (200 m), which makes F1.2 contend with F2.1 and F2.2; A and B are out
@@ -19,7 +26,7 @@ Scenario scenario1() {
   };
   Topology topo(std::move(pos), /*tx_range_m=*/250.0);
   topo.set_labels({"A", "B", "C", "D", "E", "F"});
-  Scenario sc{"scenario1 (Fig. 1)", std::move(topo), {}, {}};
+  Scenario sc{"scenario1 (Fig. 1)", std::move(topo), {}, {}, {}, {}};
   Flow f1;
   f1.path = {0, 1, 2};  // A -> B -> C
   Flow f2;
@@ -51,7 +58,7 @@ Scenario scenario2() {
   };
   Topology topo(std::move(pos), /*tx_range_m=*/250.0);
   topo.set_labels({"A", "B", "C", "D", "E", "F", "G", "H", "I", "J", "K", "L", "M", "N"});
-  Scenario sc{"scenario2 (Fig. 6)", std::move(topo), {}, {}};
+  Scenario sc{"scenario2 (Fig. 6)", std::move(topo), {}, {}, {}, {}};
   Flow f1;
   f1.path = {0, 1, 2, 3, 4};  // A -> B -> C -> D -> E
   Flow f2;
@@ -89,7 +96,8 @@ Scenario make_abstract_scenario(const std::vector<int>& hop_counts,
   }
   Topology topo(std::move(pos), /*tx_range_m=*/250.0);
   topo.set_labels(std::move(labels));
-  return Scenario{std::move(name), std::move(topo), std::move(specs), {}};
+  return Scenario{std::move(name), std::move(topo), std::move(specs),
+                  {}, {}, {}};
 }
 
 AbstractExample fig4_example() {

@@ -25,13 +25,51 @@
 
 namespace e2efa {
 
-/// A named topology plus flow specifications (paths and weights) and an
-/// optional fault schedule (default: no faults, lossless links).
+/// Stop time meaning "the flow never departs" (FlowActivity default).
+inline constexpr double kFlowNeverStops = 1e300;
+
+/// Activity window of one flow in a dynamic run (seconds from sim start;
+/// the flow sources packets during [start_s, stop_s)). A flow with
+/// start_s > 0 is an *arrival* and passes through admission control under
+/// the allocating protocols (src/ctrl/admission.*).
+struct FlowActivity {
+  double start_s = 0.0;
+  double stop_s = kFlowNeverStops;
+  bool operator==(const FlowActivity&) const = default;
+};
+
+/// True when every window is the default always-on one (such a vector is
+/// semantically identical to no activity schedule at all; parsers and
+/// serializers normalize it away so round-trips stay byte-stable).
+bool all_default_activity(const std::vector<FlowActivity>& activity);
+
+/// Random-waypoint mobility of one node. The walk is compiled into
+/// link-down/link-up FaultEvents against the *home* topology before the run
+/// (src/net/mobility.*): movement modulates which home links are usable,
+/// while contention geometry stays that of the home positions.
+struct MobilitySpec {
+  NodeId node = kInvalidNode;
+  double speed_mps = 1.0;  ///< Waypoint-to-waypoint speed, meters/second.
+  double pause_s = 0.0;    ///< Dwell time at each waypoint, seconds.
+  std::uint64_t seed = 0;  ///< Per-spec trajectory stream (independent of
+                           ///< the run seed: reruns share the trajectory).
+  bool operator==(const MobilitySpec&) const = default;
+};
+
+/// A named topology plus flow specifications (paths and weights), an
+/// optional fault schedule (default: no faults, lossless links), an
+/// optional per-flow activity schedule (default: every flow always on),
+/// and an optional set of mobile nodes.
 struct Scenario {
   std::string name;
   Topology topo;
   std::vector<Flow> flow_specs;
   FaultPlan faults;
+  /// Empty (default) = all flows active for the whole run; otherwise one
+  /// window per flow (run_scenario validates the size).
+  std::vector<FlowActivity> activity;
+  /// Random-waypoint mobility specs, at most one per node.
+  std::vector<MobilitySpec> mobility;
 };
 
 /// Fig. 1: the motivating two-flow topology.

@@ -49,6 +49,7 @@ const char* to_string(TraceEvent e) {
     case TraceEvent::kCtrlRecv: return "ctrl_recv";
     case TraceEvent::kCtrlSolve: return "ctrl_solve";
     case TraceEvent::kCtrlRate: return "ctrl_rate";
+    case TraceEvent::kCtrlAdmit: return "ctrl_admit";
   }
   return "unknown";
 }

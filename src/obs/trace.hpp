@@ -85,6 +85,7 @@ enum class TraceEvent : std::uint16_t {
   kCtrlRecv = 20,       ///< node=receiver, a=CtrlMsg::Kind, b=origin, v0=wire bytes, v1=1 if piggybacked.
   kCtrlSolve = 21,      ///< node=source, a=flow, b=LpStatus, v0=solved share (units of B), v1=accumulated clique count.
   kCtrlRate = 22,       ///< node, a=subflow, b=flow, v0=applied lane share (units of B).
+  kCtrlAdmit = 23,      ///< node, a=candidate flow, b=local verdict (1 admit), v0=worst local clique load.
 };
 
 /// Category an event belongs to (drives filtering).
@@ -112,7 +113,8 @@ constexpr TraceCat trace_category(TraceEvent e) {
     case TraceEvent::kCtrlSend:
     case TraceEvent::kCtrlRecv:
     case TraceEvent::kCtrlSolve:
-    case TraceEvent::kCtrlRate: return TraceCat::kCtrl;
+    case TraceEvent::kCtrlRate:
+    case TraceEvent::kCtrlAdmit: return TraceCat::kCtrl;
   }
   return TraceCat::kMeta;
 }

@@ -143,6 +143,8 @@ void expect_identical(const RunResult& a, const RunResult& b) {
   // In-band control plane: counters, wire bytes, and the final applied lane
   // shares (bitwise) must all reproduce.
   EXPECT_EQ(a.ctrl, b.ctrl);
+  EXPECT_EQ(a.admissions, b.admissions);
+  EXPECT_EQ(a.reconv_s, b.reconv_s);
 }
 
 TEST(Determinism, SameSeedSameResultAllProtocols) {

@@ -201,7 +201,7 @@ recover node B 4
 loss default 0.05
 )");
   Scenario programmatic{"twin", Topology({{0, 0}, {200, 0}, {400, 0}}, 250.0),
-                        {}, {}};
+                        {}, {}, {}, {}};
   Flow f;
   f.path = {0, 1, 2};
   programmatic.flow_specs.push_back(f);
@@ -220,6 +220,80 @@ loss default 0.05
   EXPECT_EQ(a.epoch_end_to_end, b.epoch_end_to_end);
   EXPECT_EQ(a.recoveries, b.recoveries);
   EXPECT_EQ(a.channel.frames_faulted, b.channel.frames_faulted);
+}
+
+TEST(ScenarioFile, ChurnAndMobilityDirectivesRoundTrip) {
+  const Scenario sc = parse_scenario_text(R"(
+node A 0 0
+node B 200 0
+node C 400 0
+flow A C
+flow C A
+flow_arrive 1 2.5
+flow_depart 1 7
+mobility B speed 12 pause 0.5 seed 9
+)");
+  ASSERT_EQ(sc.activity.size(), 2u);
+  EXPECT_DOUBLE_EQ(sc.activity[0].start_s, 0.0);
+  EXPECT_EQ(sc.activity[0].stop_s, kFlowNeverStops);
+  EXPECT_DOUBLE_EQ(sc.activity[1].start_s, 2.5);
+  EXPECT_DOUBLE_EQ(sc.activity[1].stop_s, 7.0);
+  ASSERT_EQ(sc.mobility.size(), 1u);
+  EXPECT_EQ(sc.mobility[0].node, 1);
+  EXPECT_DOUBLE_EQ(sc.mobility[0].speed_mps, 12.0);
+  EXPECT_DOUBLE_EQ(sc.mobility[0].pause_s, 0.5);
+  EXPECT_EQ(sc.mobility[0].seed, 9u);
+
+  // Serialization carries the directives and is a fixed point.
+  const std::string text = serialize_scenario_text(sc);
+  EXPECT_NE(text.find("flow_arrive 1 2.5"), std::string::npos) << text;
+  EXPECT_NE(text.find("flow_depart 1 7"), std::string::npos) << text;
+  EXPECT_NE(text.find("mobility B speed 12"), std::string::npos) << text;
+  const Scenario back = parse_scenario_text(text);
+  EXPECT_EQ(back.activity, sc.activity);
+  EXPECT_EQ(back.mobility, sc.mobility);
+  EXPECT_EQ(serialize_scenario_text(back), text);
+
+  // An all-default window set is normalized away: a file whose churn
+  // directives cancel out parses as a churn-free scenario.
+  const Scenario trivial = parse_scenario_text(
+      "node A 0 0\nnode B 200 0\nflow A B\nflow_arrive 0 0\n");
+  EXPECT_TRUE(trivial.activity.empty());
+}
+
+TEST(ScenarioFile, ChurnAndMobilityErrorsCarryLineNumbers) {
+  const auto expect_fail = [](const std::string& text, int line,
+                              const std::string& needle) {
+    try {
+      parse_scenario_text(text);
+      FAIL() << "should have thrown for: " << text;
+    } catch (const ContractViolation& e) {
+      const std::string what = e.what();
+      EXPECT_NE(what.find("line " + std::to_string(line)), std::string::npos)
+          << what;
+      EXPECT_NE(what.find(needle), std::string::npos) << what;
+    }
+  };
+  const std::string base = "node A 0 0\nnode B 200 0\nflow A B\n";  // lines 1-3
+  expect_fail(base + "flow_arrive 5 1\n", 4, "out of range (1 flows defined)");
+  expect_fail(base + "flow_depart -1 1\n", 4, "must not be negative");
+  expect_fail(base + "flow_arrive 0 -2\n", 4, "must not be negative");
+  expect_fail(base + "flow_arrive 0 1 junk\n", 4, "unexpected token");
+  expect_fail(base + "flow_arrive 0 1\nflow_arrive 0 2\n", 5,
+              "duplicate flow_arrive for flow 0 (line 4)");
+  expect_fail(base + "flow_depart 0 1\nflow_depart 0 2\n", 5,
+              "duplicate flow_depart for flow 0 (line 4)");
+  expect_fail(base + "flow_arrive 0 5\nflow_depart 0 3\n", 5,
+              "at or before flow 0's arrival");
+  expect_fail(base + "mobility Q speed 5\n", 4, "unknown node label Q");
+  expect_fail(base + "mobility B\n", 4, "positive speed");
+  expect_fail(base + "mobility B speed -3\n", 4, "positive speed");
+  expect_fail(base + "mobility B pace 5\n", 4, "unknown mobility option");
+  expect_fail(base + "mobility B speed 5\nmobility B speed 6\n", 5,
+              "duplicate mobility for node B (line 4)");
+  // Backwards fault times for one target are rejected at the source.
+  expect_fail(base + "fault node B 30\nrecover node B 10\n", 5,
+              "out-of-order time 10");
 }
 
 TEST(ScenarioFile, LoadFromDisk) {

@@ -17,8 +17,10 @@ class ScenarioRoundTrip : public ::testing::TestWithParam<std::uint64_t> {};
 
 GenConfig eventful() {
   GenConfig gen;
-  gen.p_faults = 1.0;  // Every scenario carries faults and loss, so the
-  gen.p_loss = 1.0;    // serializer's rarest directives are always covered.
+  gen.p_faults = 1.0;    // Every scenario carries faults and loss, so the
+  gen.p_loss = 1.0;      // serializer's rarest directives are always covered.
+  gen.p_churn = 1.0;     // Likewise churn windows and mobility walks: the
+  gen.p_mobility = 1.0;  // round trip must carry the dynamic directives too.
   return gen;
 }
 
@@ -59,6 +61,11 @@ TEST_P(ScenarioRoundTrip, StructurallyIdenticalAfterParse) {
   }
   EXPECT_EQ(back.faults.default_loss(), sc.faults.default_loss());
 
+  // Churn windows and mobility walks survive bit for bit (the serializer
+  // writes %.17g times and full mobility forms for exactly this reason).
+  EXPECT_EQ(back.activity, sc.activity);
+  EXPECT_EQ(back.mobility, sc.mobility);
+
   // A second round trip must be byte-stable (fixed point).
   EXPECT_EQ(serialize_scenario_text(back), text);
 }
@@ -86,6 +93,8 @@ TEST_P(ScenarioRoundTrip, SimulationOfParsedScenarioIsBitIdentical) {
     EXPECT_EQ(a.suspended_per_flow, b.suspended_per_flow);
     EXPECT_EQ(a.recoveries, b.recoveries);
     EXPECT_EQ(a.ctrl, b.ctrl);
+    EXPECT_EQ(a.admissions, b.admissions);
+    EXPECT_EQ(a.reconv_s, b.reconv_s);
   }
 }
 

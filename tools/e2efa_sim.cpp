@@ -35,6 +35,7 @@ int main(int argc, char** argv) {
     Rng rng(opt->config.seed);
     Scenario sc = make_named_scenario(opt->scenario, rng);
     if (opt->default_loss > 0.0) sc.faults.set_default_loss(opt->default_loss);
+    apply_cli_dynamics(sc, *opt);
 
     SimConfig cfg = opt->config;
     TraceSink trace;
