@@ -92,6 +92,10 @@ void CheckContext::on_rate_applied(NodeId n, std::int32_t subflow, double share,
 void CheckContext::fail(CheckViolation::Category cat, NodeId node, TimeNs now,
                         std::string message) {
   ++total_violations_;
+  // Flight recorder: latch the armed sink's recent records at the *first*
+  // violation, while the ring still shows the window leading up to it.
+  if (total_violations_ == 1 && flight_sink_ != nullptr)
+    flight_records_ = flight_sink_->recent_records();
   if (static_cast<int>(violations_.size()) < cfg_.max_violations)
     violations_.push_back({cat, to_seconds(now), node, std::move(message)});
 }
@@ -407,6 +411,7 @@ std::string CheckContext::report() const {
 void CheckContext::clear() {
   total_violations_ = 0;
   violations_.clear();
+  flight_records_.clear();
 }
 
 }  // namespace e2efa

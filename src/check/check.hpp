@@ -44,6 +44,7 @@
 #include <vector>
 
 #include "alloc/allocation.hpp"
+#include "obs/trace.hpp"
 #include "phy/frame.hpp"
 #include "topology/topology.hpp"
 #include "util/time.hpp"
@@ -191,6 +192,18 @@ class CheckContext {
   /// backlogs (indexed by node id).
   void finalize(const std::vector<int>& backlog_per_node, TimeNs now);
 
+  // --- Flight recorder -------------------------------------------------
+  /// Arms the flight recorder: at the *first* violation, the sink's recent
+  /// records (its ring contents — see TraceSink::set_ring) are snapshotted
+  /// into flight_records(), preserving the window leading up to the
+  /// failure. The sink is borrowed, not owned, and must outlive the run.
+  void arm_flight_recorder(const TraceSink* sink) { flight_sink_ = sink; }
+  /// Records captured at the first violation (empty when none fired or the
+  /// recorder was never armed). Dump with write_trace_file().
+  const std::vector<TraceRecord>& flight_records() const {
+    return flight_records_;
+  }
+
   // --- Results ---------------------------------------------------------
   bool ok() const { return total_violations_ == 0; }
   std::int64_t total_violations() const { return total_violations_; }
@@ -224,6 +237,8 @@ class CheckContext {
   CheckRunInfo info_;
   std::int64_t total_violations_ = 0;
   std::vector<CheckViolation> violations_;
+  const TraceSink* flight_sink_ = nullptr;  ///< Not owned.
+  std::vector<TraceRecord> flight_records_;
 
   std::vector<NodeMacState> mac_;
 

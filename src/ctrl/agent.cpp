@@ -171,6 +171,9 @@ bool AllocAgent::rebuild_acc(FlowId f, FlowCtrl& fc, TimeNs now) {
   fc.acc_sent = false;
   if (!fc.solve_dirty) fc.solve_dirty_since = now;
   fc.solve_dirty = true;
+  // Causal chain: the solve this dirtying eventually triggers parents to
+  // the event being handled right now (a CONSTRAINT receipt, usually).
+  fc.cause_span = cause_;
   return true;
 }
 
@@ -187,6 +190,7 @@ double AllocAgent::local_basic_estimate(FlowId f) const {
 // ------------------------------------------------------------------ tick
 
 void AllocAgent::tick() {
+  Profiler::Scope prof(profiler_, Profiler::Phase::kCtrl);
   const TimeNs now = sim_.now();
   refresh_knowledge(now);
   const bool room = mac_.ctrl_backlog() <= cfg_.max_backlog;
@@ -216,7 +220,10 @@ void AllocAgent::tick() {
           ++fc.ctr_retx;
           fc.ctr_wait = std::min(fc.ctr_wait * 2, cfg_.refresh_ticks);
           ++stats_.retransmits;
+          cause_ = trace_retransmit(now, CtrlMsg::Kind::kConstraint, f,
+                                    fc.ctr_retx, fc.ctr_wait, fc.ctr_span);
           send_constraint(f, fc, /*retx=*/true);
+          cause_ = 0;
         }
       }
       if (fc.rate_await && fc.have_rate && fc.downstream != kInvalidNode &&
@@ -227,7 +234,10 @@ void AllocAgent::tick() {
           ++fc.rate_retx;
           fc.rate_wait = std::min(fc.rate_wait * 2, cfg_.refresh_ticks);
           ++stats_.retransmits;
+          cause_ = trace_retransmit(now, CtrlMsg::Kind::kRate, f, fc.rate_retx,
+                                    fc.rate_wait, fc.rate_span);
           send_rate(f, fc, /*retx=*/true);
+          cause_ = 0;
         }
       }
     }
@@ -246,7 +256,10 @@ void AllocAgent::tick() {
       st.timer = 0;
       st.wait = std::min(st.wait * 2, cfg_.refresh_ticks);
       ++stats_.retransmits;
+      cause_ = trace_retransmit(now, CtrlMsg::Kind::kAdmitReq, f, st.retx,
+                                st.wait, st.span);
       send_admit_req(f);
+      cause_ = 0;
     }
   }
   sim_.schedule_in(from_seconds(cfg_.hello_period_s), [this] { tick(); });
@@ -269,21 +282,33 @@ void AllocAgent::maybe_solve(FlowId f, FlowCtrl& fc, TimeNs now) {
     ++stats_.forced_solves;
   }
   fc.solve_dirty = false;
-  LocalProblem lp = solve_local_problem(
-      flows_, f, {fc.acc.begin(), fc.acc.end()}, knowledge_);
+  LocalProblem lp;
+  {
+    Profiler::Scope prof(profiler_, Profiler::Phase::kSolve);
+    lp = solve_local_problem(flows_, f, {fc.acc.begin(), fc.acc.end()},
+                             knowledge_);
+  }
   ++stats_.solves;
-  if (trace_ != nullptr)
+  std::uint32_t solve_span = 0;
+  if (trace_ != nullptr && trace_->enabled<TraceCat::kCtrl>()) {
+    solve_span = trace_->new_span();
     trace_->record<TraceCat::kCtrl>(now, TraceEvent::kCtrlSolve,
                                     static_cast<std::int16_t>(self_), f,
                                     static_cast<std::int32_t>(lp.status),
-                                    lp.flow_share, static_cast<double>(fc.acc.size()));
+                                    lp.flow_share, static_cast<double>(fc.acc.size()),
+                                    solve_span, fc.cause_span);
+  }
   if (!fc.have_rate || lp.flow_share != fc.rate) {
     fc.rate = lp.flow_share;
     fc.have_rate = true;
     ++fc.rate_seq;
+    // The lane update and RATE push are consequences of this solve.
+    const std::uint32_t saved_cause = cause_;
+    cause_ = solve_span;
     if (fc.rate > 0.0) set_lane(f, fc.hop, fc.rate);
     if (fc.downstream != kInvalidNode && mac_.ctrl_backlog() <= cfg_.max_backlog)
       send_rate(f, fc);
+    cause_ = saved_cause;
   }
 }
 
@@ -297,20 +322,27 @@ void AllocAgent::set_lane(FlowId f, int hop, double share) {
     check_->on_rate_applied(self_, sf, share, sim_.now());
   if (trace_ != nullptr)
     trace_->record<TraceCat::kCtrl>(sim_.now(), TraceEvent::kCtrlRate,
-                                    static_cast<std::int16_t>(self_), sf, f, share);
+                                    static_cast<std::int16_t>(self_), sf, f, share,
+                                    0.0, 0, cause_);
 }
 
 // ------------------------------------------------------------------ send
 
-void AllocAgent::send(std::shared_ptr<const CtrlMsg> m) {
+std::uint32_t AllocAgent::send(std::shared_ptr<CtrlMsg> m) {
   const int bytes = m->wire_bytes();
   stats_.ctrl_bytes_sent += static_cast<std::uint64_t>(bytes);
-  if (trace_ != nullptr)
+  std::uint32_t span = 0;
+  if (trace_ != nullptr && trace_->enabled<TraceCat::kCtrl>()) {
+    span = trace_->new_span();
+    m->span = span;
     trace_->record<TraceCat::kCtrl>(sim_.now(), TraceEvent::kCtrlSend,
                                     static_cast<std::int16_t>(self_),
                                     static_cast<std::int32_t>(m->kind), m->to,
-                                    static_cast<double>(bytes), m->seq);
+                                    static_cast<double>(bytes), m->seq, span,
+                                    cause_);
+  }
   mac_.send_ctrl(std::move(m), bytes);
+  return span;
 }
 
 void AllocAgent::send_hello() {
@@ -346,7 +378,7 @@ void AllocAgent::send_constraint(FlowId f, FlowCtrl& fc, bool retx) {
     }
   }
   ++stats_.constraint_sent;
-  send(std::move(m));
+  fc.ctr_span = send(std::move(m));
 }
 
 void AllocAgent::send_rate(FlowId f, FlowCtrl& fc, bool retx) {
@@ -371,18 +403,21 @@ void AllocAgent::send_rate(FlowId f, FlowCtrl& fc, bool retx) {
     }
   }
   ++stats_.rate_sent;
-  send(std::move(m));
+  fc.rate_span = send(std::move(m));
 }
 
 // --------------------------------------------------------------- receive
 
 void AllocAgent::on_ctrl(const Frame& fr) {
   E2EFA_ASSERT(fr.ctrl != nullptr);
+  Profiler::Scope prof(profiler_, Profiler::Phase::kCtrl);
   const CtrlMsg& m = *fr.ctrl;
   if (m.origin == self_) return;
   const TimeNs now = sim_.now();
   ++stats_.msgs_received;
-  trace_recv(fr, now);
+  // Everything this receipt triggers — forwards, lane updates, solve
+  // dirtying — chains to the kCtrlRecv span until the handler returns.
+  cause_ = trace_recv(fr, now);
 
   // Any decoded message is a liveness proof for its origin — including one
   // timed out as stale: it rejoins K(v) immediately, sequence baseline
@@ -402,6 +437,12 @@ void AllocAgent::on_ctrl(const Frame& fr) {
         // We missed at least one whole advertisement generation.
         ++stats_.seq_gaps;
         t.gap_seq = m.seq;
+        if (trace_ != nullptr)
+          trace_->record<TraceCat::kCtrl>(
+              now, TraceEvent::kCtrlSeqGap, static_cast<std::int16_t>(self_),
+              m.origin, static_cast<std::int32_t>(m.seq - t.seq - 1),
+              static_cast<double>(t.seq + 1), static_cast<double>(m.seq), 0,
+              cause_);
       }
       if (!t.have_hello || t.seq != m.seq || t.subflows != m.subflows) {
         if (t.subflows != m.subflows) {
@@ -421,6 +462,12 @@ void AllocAgent::on_ctrl(const Frame& fr) {
         // the table; the counter records that the gap happened.
         ++stats_.seq_gaps;
         t.gap_seq = m.seq;
+        if (trace_ != nullptr)
+          trace_->record<TraceCat::kCtrl>(
+              now, TraceEvent::kCtrlSeqGap, static_cast<std::int16_t>(self_),
+              m.origin, static_cast<std::int32_t>(m.seq - t.seq),
+              static_cast<double>(t.seq), static_cast<double>(m.seq), 0,
+              cause_);
       }
       // Additive merge, valid only against the matching full table.
       if (t.have_hello && t.seq == m.seq && !m.subflows.empty()) {
@@ -499,6 +546,7 @@ void AllocAgent::on_ctrl(const Frame& fr) {
       handle_admit(m, now);
       break;
   }
+  cause_ = 0;
 }
 
 // ------------------------------------------------------------- admission
@@ -521,10 +569,13 @@ bool AllocAgent::local_admit_ok(FlowId f, TimeNs now) {
   kv.erase(std::unique(kv.begin(), kv.end()), kv.end());
   const double load = admission_local_worst_load(flows_, graph_, kv, f);
   const bool ok = load <= 1.0 + kAdmissionEps;
-  if (trace_ != nullptr)
+  admit_span_ = 0;
+  if (trace_ != nullptr && trace_->enabled<TraceCat::kCtrl>()) {
+    admit_span_ = trace_->new_span();
     trace_->record<TraceCat::kCtrl>(now, TraceEvent::kCtrlAdmit,
                                     static_cast<std::int16_t>(self_), f,
-                                    ok ? 1 : 0, load);
+                                    ok ? 1 : 0, load, 0.0, admit_span_, cause_);
+  }
   return ok;
 }
 
@@ -543,7 +594,10 @@ void AllocAgent::request_admission(FlowId f) {
     return;
   }
   admits_[f] = st;
+  // The request is a consequence of the local verdict just recorded.
+  cause_ = admit_span_;
   send_admit_req(f);
+  cause_ = 0;
 }
 
 int AllocAgent::inband_admission(FlowId f) const {
@@ -565,7 +619,9 @@ void AllocAgent::send_admit_req(FlowId f) {
     m->subflows.push_back(flows_.subflow_index(f, h));
   m->admit_ok = true;  // the source's own verdict held, or we wouldn't send
   ++stats_.admit_req_sent;
-  send(std::move(m));
+  const std::uint32_t span = send(std::move(m));
+  const auto it = admits_.find(f);
+  if (it != admits_.end()) it->second.span = span;
 }
 
 void AllocAgent::handle_admit(const CtrlMsg& m, TimeNs now) {
@@ -577,7 +633,13 @@ void AllocAgent::handle_admit(const CtrlMsg& m, TimeNs now) {
   const Flow& fl = flows_.flow(f);
 
   if (m.kind == CtrlMsg::Kind::kAdmitReq) {
-    const bool ok = m.admit_ok && local_admit_ok(f, now);
+    bool ok = m.admit_ok;
+    if (ok) {
+      ok = local_admit_ok(f, now);
+      // Chain the forward/response through the local verdict record (which
+      // itself chains to the receipt).
+      if (admit_span_ != 0) cause_ = admit_span_;
+    }
     if (h + 1 < fl.length()) {
       // More transmitters downstream: AND our verdict in and pass it on.
       auto fwd = std::make_shared<CtrlMsg>(m);
@@ -620,14 +682,32 @@ void AllocAgent::handle_admit(const CtrlMsg& m, TimeNs now) {
   send(std::move(rsp));
 }
 
-void AllocAgent::trace_recv(const Frame& fr, TimeNs now) const {
-  if (trace_ == nullptr || !trace_->enabled<TraceCat::kCtrl>()) return;
+std::uint32_t AllocAgent::trace_recv(const Frame& fr, TimeNs now) const {
+  if (trace_ == nullptr || !trace_->enabled<TraceCat::kCtrl>()) return 0;
   const CtrlMsg& m = *fr.ctrl;
+  const std::uint32_t span = trace_->new_span();
   trace_->record<TraceCat::kCtrl>(now, TraceEvent::kCtrlRecv,
                                   static_cast<std::int16_t>(self_),
                                   static_cast<std::int32_t>(m.kind), m.origin,
                                   static_cast<double>(m.wire_bytes()),
-                                  fr.type == FrameType::kCtrl ? 0.0 : 1.0);
+                                  fr.type == FrameType::kCtrl ? 0.0 : 1.0, span,
+                                  m.span);
+  return span;
+}
+
+std::uint32_t AllocAgent::trace_retransmit(TimeNs now, CtrlMsg::Kind kind,
+                                           FlowId flow, int retx,
+                                           int wait_ticks,
+                                           std::uint32_t prev_span) const {
+  if (trace_ == nullptr || !trace_->enabled<TraceCat::kCtrl>()) return 0;
+  const std::uint32_t span = trace_->new_span();
+  trace_->record<TraceCat::kCtrl>(now, TraceEvent::kCtrlRetransmit,
+                                  static_cast<std::int16_t>(self_),
+                                  static_cast<std::int32_t>(kind), flow,
+                                  static_cast<double>(retx),
+                                  static_cast<double>(wait_ticks), span,
+                                  prev_span);
+  return span;
 }
 
 // ------------------------------------------------------------- piggyback

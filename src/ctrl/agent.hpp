@@ -38,6 +38,7 @@
 #include "alloc/distributed.hpp"
 #include "ctrl/messages.hpp"
 #include "mac/dcf_mac.hpp"
+#include "obs/profiler.hpp"
 #include "sched/tag_scheduler.hpp"
 #include "sim/simulator.hpp"
 #include "util/rng.hpp"
@@ -148,6 +149,10 @@ class AllocAgent : public CtrlPiggyback {
   /// observation — an armed agent's trajectory is bit-identical.
   void set_check(CheckContext* check) { check_ = check; }
 
+  /// Arms the self-profiler: tick/message handling accrues to the ctrl
+  /// phase and local LP solves to the solve phase. Pure observation.
+  void set_profiler(Profiler* profiler) { profiler_ = profiler; }
+
   // --- CtrlPiggyback ---
   std::shared_ptr<const CtrlMsg> piggyback_payload(int* extra_bytes) override;
 
@@ -189,6 +194,11 @@ class AllocAgent : public CtrlPiggyback {
     bool rate_await = false;
     int rate_retx = 0, rate_wait = 1, rate_timer = 0;
     TimeNs solve_dirty_since = 0;  ///< When solve_dirty last went true.
+    /// Causal-span bookkeeping (0 when tracing is off/filtered): the spans
+    /// of the last CONSTRAINT/RATE sends (retransmit records chain to
+    /// them) and of the event that last dirtied the solve (the solve
+    /// record chains to it).
+    std::uint32_t ctr_span = 0, rate_span = 0, cause_span = 0;
   };
 
   /// One pending / completed in-band ADMIT round at the candidate's source.
@@ -197,6 +207,7 @@ class AllocAgent : public CtrlPiggyback {
     bool verdict = false;
     bool timed_out = false;
     int retx = 0, wait = 1, timer = 0;
+    std::uint32_t span = 0;  ///< Span of the last ADMIT_REQ send (0 = none).
   };
 
   void tick();
@@ -211,14 +222,23 @@ class AllocAgent : public CtrlPiggyback {
   void send_rate(FlowId f, FlowCtrl& fc, bool retx = false);
   void maybe_solve(FlowId f, FlowCtrl& fc, TimeNs now);
   void set_lane(FlowId f, int hop, double share);
-  void send(std::shared_ptr<const CtrlMsg> m);
+  /// Emits the kCtrlSend record (span = fresh id, parent = cause_), stamps
+  /// the span onto the message, and hands it to the MAC. Returns the span.
+  std::uint32_t send(std::shared_ptr<CtrlMsg> m);
   void send_admit_req(FlowId f);
   void handle_admit(const CtrlMsg& m, TimeNs now);
   bool local_admit_ok(FlowId f, TimeNs now);
   int candidate_hop(FlowId f) const;  ///< Self's hop on f's path, -1 if none.
   void rebuild_beacon();
   double local_basic_estimate(FlowId f) const;
-  void trace_recv(const Frame& f, TimeNs now) const;
+  /// Emits the kCtrlRecv record (parent = the message's send span) and
+  /// returns its fresh span id (0 when the ctrl category is off).
+  std::uint32_t trace_recv(const Frame& f, TimeNs now) const;
+  /// Emits a kCtrlRetransmit record chained to the original send's span;
+  /// returns its span so the resend's kCtrlSend can chain to it.
+  std::uint32_t trace_retransmit(TimeNs now, CtrlMsg::Kind kind, FlowId flow,
+                                 int retx, int wait_ticks,
+                                 std::uint32_t prev_span) const;
 
   Simulator& sim_;
   DcfMac& mac_;
@@ -260,6 +280,15 @@ class AllocAgent : public CtrlPiggyback {
   bool started_ = false;
   CtrlAgentStats stats_;
   CheckContext* check_ = nullptr;
+  Profiler* profiler_ = nullptr;
+
+  /// Span of the event currently being handled — the kCtrlRecv span inside
+  /// on_ctrl, a solve/retransmit/admit span around the sends it causes, 0
+  /// otherwise. Every kCtrlSend/kCtrlRate record parents to it.
+  std::uint32_t cause_ = 0;
+  /// Span of the most recent kCtrlAdmit record (local_admit_ok), so the
+  /// ADMIT_REQ the verdict triggers can chain to it.
+  std::uint32_t admit_span_ = 0;
 };
 
 }  // namespace e2efa

@@ -70,6 +70,11 @@ struct CtrlMsg {
   double rate = 0.0;  ///< kRate: allocated share in units of B.
   /// kAdmitReq/kAdmitRsp: AND of the verdicts of the hops visited so far.
   bool admit_ok = true;
+  /// Causal span id of the kCtrlSend trace record that emitted this message
+  /// (0 when tracing is off/filtered). Observability only: it rides the
+  /// simulated message so the receiver's kCtrlRecv record can point at the
+  /// send that caused it, and is *not* part of the modeled wire size.
+  std::uint32_t span = 0;
 
   /// Modeled wire size in bytes (drives airtime and the overhead metric):
   /// a 12-byte header (kind, origin, to, seq, flow, generation, verdict

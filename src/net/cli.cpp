@@ -51,6 +51,10 @@ std::string cli_usage() {
       "  --metrics-out PATH  write periodic metrics samples as JSONL\n"
       "  --metrics-period T  metrics sampling period in seconds (default 1;\n"
       "                  requires --metrics-out)\n"
+      "  --profile PATH  write self-profiler phase accounting as JSON\n"
+      "                  (setup/clique/solve/sim/phy/ctrl wall seconds)\n"
+      "  --flight-out PATH  with --check: dump the flight recorder (recent\n"
+      "                  trace records, binary) when a violation trips\n"
       "  --churn R:L     open-loop flow churn: flow 0 founds the network,\n"
       "                  later flows arrive at mean rate R/s and live L s on\n"
       "                  average; arrivals pass the admission gate\n"
@@ -145,6 +149,18 @@ std::optional<CliOptions> parse_cli(int argc, const char* const* argv,
         return std::nullopt;
       }
       opt.metrics_out = *value;
+    } else if (arg == "--profile") {
+      if (value->empty()) {
+        *error = "--profile needs a path";
+        return std::nullopt;
+      }
+      opt.profile_out = *value;
+    } else if (arg == "--flight-out") {
+      if (value->empty()) {
+        *error = "--flight-out needs a path";
+        return std::nullopt;
+      }
+      opt.flight_out = *value;
     } else if (arg == "--metrics-period") {
       opt.config.metrics_period_seconds = std::atof(value->c_str());
       if (opt.config.metrics_period_seconds <= 0) {
@@ -197,6 +213,10 @@ std::optional<CliOptions> parse_cli(int argc, const char* const* argv,
   }
   if (opt.config.metrics_period_seconds > 0 && opt.metrics_out.empty()) {
     *error = "--metrics-period requires --metrics-out";
+    return std::nullopt;
+  }
+  if (!opt.flight_out.empty() && !opt.check) {
+    *error = "--flight-out requires --check (the dump triggers on a violation)";
     return std::nullopt;
   }
   if (!opt.metrics_out.empty() && opt.config.metrics_period_seconds <= 0)

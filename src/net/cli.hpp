@@ -38,6 +38,13 @@ struct CliOptions {
   /// violations after the table; a violation makes the tool exit nonzero.
   /// The checked trajectory is bit-identical to an unchecked run.
   bool check = false;
+  /// --profile PATH: self-profiler JSON (wall-clock phase accounting in the
+  /// BENCH_scale.json row schema).
+  std::string profile_out;
+  /// --flight-out PATH: flight-recorder dump target. Requires --check; when
+  /// no --trace sink is streaming, a bounded in-memory ring is armed so a
+  /// violation still yields the recent event history as a binary trace.
+  std::string flight_out;
   /// --churn RATE:LIFE: open-loop flow churn over the scenario's flows.
   /// Flow 0 founds the network at t = 0; every later flow arrives after a
   /// cumulative Exp(1/RATE) gap and departs Exp(LIFE) seconds later (both

@@ -123,7 +123,7 @@ EpochAllocation allocate_epoch(Protocol proto, const Topology& topo,
                                const FlowSet& all_flows,
                                const std::vector<FlowId>& active, double start_s,
                                const TopologyMask* mask, CheckContext* check,
-                               CliqueStore* store) {
+                               CliqueStore* store, Profiler* profile) {
   EpochAllocation out;
   out.start_s = start_s;
   out.flow_share.assign(static_cast<std::size_t>(all_flows.flow_count()), 0.0);
@@ -147,6 +147,7 @@ EpochAllocation allocate_epoch(Protocol proto, const Topology& topo,
   std::vector<std::vector<int>> epoch_cliques;
   const std::vector<std::vector<int>>* cliques = nullptr;
   if (store != nullptr) {
+    Profiler::Scope prof(profile, Profiler::Phase::kClique);
     std::vector<char> want(static_cast<std::size_t>(all_flows.subflow_count()), 0);
     std::vector<int> sub_id(static_cast<std::size_t>(all_flows.subflow_count()), -1);
     for (std::size_t i = 0; i < active.size(); ++i) {
@@ -169,7 +170,11 @@ EpochAllocation allocate_epoch(Protocol proto, const Topology& topo,
   }
 
   Allocation a;
-  out.status = compute_allocation(proto, topo, sub, mask, &a, &out.has_target, cliques);
+  {
+    Profiler::Scope prof(profile, Profiler::Phase::kSolve);
+    out.status =
+        compute_allocation(proto, topo, sub, mask, &a, &out.has_target, cliques);
+  }
   E2EFA_ASSERT_MSG(out.status == LpStatus::kOptimal,
                    "phase-1 allocation infeasible: basic shares exceed clique capacity");
   if (!out.has_target) return out;
@@ -218,6 +223,11 @@ RunResult run_scenario(const Scenario& sc, Protocol proto, const SimConfig& cfg)
 
 RunResult run_scenario(const Scenario& sc, Protocol proto, const SimConfig& cfg,
                        const std::vector<FlowActivity>& activity_arg) {
+  // Everything before the event loop — topology prep, clique enumeration,
+  // precomputed solves, stack wiring — accrues to the setup phase; the scope
+  // is released just before the simulator starts running.
+  auto setup_prof = std::make_unique<Profiler::Scope>(cfg.profile,
+                                                      Profiler::Phase::kSetup);
   // Structural validation up front, with messages naming the actual defect
   // (FlowSet would reject these too, but less helpfully).
   for (const Flow& spec : sc.flow_specs) {
@@ -458,7 +468,7 @@ RunResult run_scenario(const Scenario& sc, Protocol proto, const SimConfig& cfg,
     epochs.push_back(allocate_epoch(proto, sc.topo, flows, active, t,
                                     dctrl ? &masks[static_cast<std::size_t>(e)]
                                           : nullptr,
-                                    cfg.check, clique_store.get()));
+                                    cfg.check, clique_store.get(), cfg.profile));
     epoch_active_flows.push_back(std::move(active));
     if (proto != Protocol::k80211) out.epoch_lp_status.push_back(epochs.back().status);
   }
@@ -502,6 +512,7 @@ RunResult run_scenario(const Scenario& sc, Protocol proto, const SimConfig& cfg,
   TraceSink* const trace = cfg.trace;
   channel.set_trace(trace);
   channel.set_check(check);
+  channel.set_profiler(cfg.profile);
   if (trace != nullptr) {
     trace->record<TraceCat::kMeta>(
         0, TraceEvent::kRunMeta, -1, sc.topo.node_count(), F,
@@ -629,6 +640,7 @@ RunResult run_scenario(const Scenario& sc, Protocol proto, const SimConfig& cfg,
           *ctrl_graph, tag_scheds[static_cast<std::size_t>(n)], ctrl_cfg,
           ctrl_master.split(), trace));
       agents.back()->set_check(check);
+      agents.back()->set_profiler(cfg.profile);
     }
     const std::vector<char> b0 = active_bitmap_of(0);
     for (auto& a : agents) a->note_active_set(b0);
@@ -818,7 +830,13 @@ RunResult run_scenario(const Scenario& sc, Protocol proto, const SimConfig& cfg,
           }
           if (!converged) break;
         }
-        if (converged) reconv[e] = now_s - boundaries[e];
+        if (converged) {
+          reconv[e] = now_s - boundaries[e];
+          if (trace != nullptr)
+            trace->record<TraceCat::kCtrl>(
+                sim.now(), TraceEvent::kCtrlReconv, -1,
+                static_cast<std::int32_t>(e), -1, reconv[e], boundaries[e]);
+        }
       }
       if (sim.now() + reconv_period <= horizon)
         sim.schedule_in(reconv_period, reconv_sample);
@@ -859,6 +877,7 @@ RunResult run_scenario(const Scenario& sc, Protocol proto, const SimConfig& cfg,
   std::vector<std::int64_t> metrics_prev_e2e(static_cast<std::size_t>(F), 0);
   double metrics_prev_timeouts = 0.0, metrics_prev_attempts = 0.0;
   double metrics_prev_airtime = 0.0, metrics_prev_ctrl_bytes = 0.0;
+  double metrics_prev_retransmits = 0.0, metrics_prev_seq_gaps = 0.0;
   std::function<void()> metrics_sample;
   if (cfg.metrics_period_seconds > 0.0) {
     metrics_ts.period_s = cfg.metrics_period_seconds;
@@ -895,10 +914,13 @@ RunResult run_scenario(const Scenario& sc, Protocol proto, const SimConfig& cfg,
                            &c.dropped_queue);
     }
     if (dctrl)
-      for (NodeId n = 0; n < sc.topo.node_count(); ++n)
-        registry.add_counter(
-            "ctrl_bytes", static_cast<std::int16_t>(n), -1,
-            &agents[static_cast<std::size_t>(n)]->stats().ctrl_bytes_sent);
+      for (NodeId n = 0; n < sc.topo.node_count(); ++n) {
+        const CtrlAgentStats& as = agents[static_cast<std::size_t>(n)]->stats();
+        const std::int16_t node = static_cast<std::int16_t>(n);
+        registry.add_counter("ctrl_bytes", node, -1, &as.ctrl_bytes_sent);
+        registry.add_counter("ctrl_retransmits", node, -1, &as.retransmits);
+        registry.add_counter("ctrl_seq_gaps", node, -1, &as.seq_gaps);
+      }
 
     // Targets of the epoch in force at time t_s, folded onto logical flows.
     auto targets_at = [&](double t_s) {
@@ -960,6 +982,12 @@ RunResult run_scenario(const Scenario& sc, Protocol proto, const SimConfig& cfg,
         const double data_bytes = registry.sum("mac_data_sent") *
                                   static_cast<double>(cfg.payload_bytes);
         samp.ctrl_overhead = data_bytes > 0.0 ? cbytes / data_bytes : 0.0;
+        const double retx = registry.sum("ctrl_retransmits");
+        samp.ctrl_retransmits = retx - metrics_prev_retransmits;
+        metrics_prev_retransmits = retx;
+        const double gaps = registry.sum("ctrl_seq_gaps");
+        samp.ctrl_seq_gaps = gaps - metrics_prev_seq_gaps;
+        metrics_prev_seq_gaps = gaps;
       }
       metrics_ts.samples.push_back(std::move(samp));
       if (sim.now() + period <= horizon) sim.schedule_in(period, metrics_sample);
@@ -967,7 +995,11 @@ RunResult run_scenario(const Scenario& sc, Protocol proto, const SimConfig& cfg,
     sim.schedule_at(period, metrics_sample);
   }
 
-  sim.run_until(horizon);
+  setup_prof.reset();  // everything below run_until accrues to the sim phase
+  {
+    Profiler::Scope prof(cfg.profile, Profiler::Phase::kSim);
+    sim.run_until(horizon);
+  }
   if (multi) snapshot_epoch();  // close the final epoch
 
   // Close the conservation ledger against what is still buffered.
@@ -1050,7 +1082,12 @@ RunResult run_scenario(const Scenario& sc, Protocol proto, const SimConfig& cfg,
           agents[static_cast<std::size_t>(flows.flow(g).source())]
               ->inband_admission(g);
     }
-    if (E > 1) out.reconv_s = std::move(reconv);
+    if (E > 1) {
+      out.reconv_s = std::move(reconv);
+      // Surface the per-epoch samples in the metrics artifact as well, so a
+      // JSONL dump carries the control-plane health story on its own.
+      if (cfg.metrics_period_seconds > 0.0) out.metrics.reconv_s = out.reconv_s;
+    }
     out.ctrl.applied_subflow_share.resize(
         static_cast<std::size_t>(flows.subflow_count()));
     for (int s = 0; s < flows.subflow_count(); ++s) {

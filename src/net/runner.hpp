@@ -12,6 +12,7 @@
 #include "mac/dcf_mac.hpp"
 #include "net/scenarios.hpp"
 #include "obs/metrics.hpp"
+#include "obs/profiler.hpp"
 #include "obs/trace.hpp"
 #include "phy/channel.hpp"
 #include "traffic/stats.hpp"
@@ -79,6 +80,12 @@ struct SimConfig {
   /// bit-identical to unchecked ones. Not owned; not thread-safe across
   /// BatchRunner threads. The runner calls begin_run and finalize itself.
   CheckContext* check = nullptr;
+  /// Self-profiler (src/obs/profiler.hpp). Null (default) disables phase
+  /// accounting; an armed profiler only reads the wall clock and atomic
+  /// counters, so the trajectory stays bit-identical. Not owned. Unlike
+  /// the trace/check observers it IS thread-safe: one profiler may be
+  /// shared across a BatchRunner fan-out and aggregates over all runs.
+  Profiler* profile = nullptr;
 };
 
 struct RunResult {

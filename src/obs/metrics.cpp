@@ -83,10 +83,11 @@ std::string metrics_sample_jsonl(const MetricsSample& s) {
       "{\"t_s\":%.17g,\"flow_goodput_pps\":%s,\"jain\":%.17g,"
       "\"queue_p50\":%.17g,\"queue_p95\":%.17g,\"queue_max\":%.17g,"
       "\"mac_retry_rate\":%.17g,\"channel_utilization\":%.17g,"
-      "\"ctrl_bytes\":%.17g,\"ctrl_overhead\":%.17g}",
+      "\"ctrl_bytes\":%.17g,\"ctrl_overhead\":%.17g,"
+      "\"ctrl_retransmits\":%.17g,\"ctrl_seq_gaps\":%.17g}",
       s.t_s, goodput.c_str(), s.jain, s.queue_depth_p50, s.queue_depth_p95,
       s.queue_depth_max, s.mac_retry_rate, s.channel_utilization, s.ctrl_bytes,
-      s.ctrl_overhead);
+      s.ctrl_overhead, s.ctrl_retransmits, s.ctrl_seq_gaps);
 }
 
 bool write_metrics_jsonl(const MetricsTimeSeries& ts, const std::string& path,
@@ -97,9 +98,15 @@ bool write_metrics_jsonl(const MetricsTimeSeries& ts, const std::string& path,
     *error = "cannot open metrics file: " + path;
     return false;
   }
+  std::string reconv = "[";
+  for (std::size_t e = 0; e < ts.reconv_s.size(); ++e) {
+    if (e > 0) reconv += ",";
+    reconv += strformat("%.17g", ts.reconv_s[e]);
+  }
+  reconv += "]";
   const std::string header =
-      strformat("{\"metrics_period_s\":%.17g,\"samples\":%zu}\n", ts.period_s,
-                ts.samples.size());
+      strformat("{\"metrics_period_s\":%.17g,\"samples\":%zu,\"reconv_s\":%s}\n",
+                ts.period_s, ts.samples.size(), reconv.c_str());
   std::fwrite(header.data(), 1, header.size(), f);
   for (const MetricsSample& s : ts.samples) {
     const std::string line = metrics_sample_jsonl(s);

@@ -78,12 +78,21 @@ struct MetricsSample {
   /// cumulative control-bytes / data-bytes overhead ratio at window end.
   double ctrl_bytes = 0.0;
   double ctrl_overhead = 0.0;
+  /// Loss-hardened control-plane health, this window (0 when hardening is
+  /// off): timer-driven CONSTRAINT/RATE/ADMIT retransmissions and receiver
+  /// sequence gaps (messages the origin sent that this window never saw).
+  double ctrl_retransmits = 0.0;
+  double ctrl_seq_gaps = 0.0;
 
   bool operator==(const MetricsSample&) const = default;
 };
 
 struct MetricsTimeSeries {
   double period_s = 0.0;
+  /// Per-epoch re-convergence times, seconds (in-band protocol, multi-epoch
+  /// runs only; -1 marks an epoch that never converged). Copied from
+  /// RunResult::reconv_s so the JSONL artifact is self-contained.
+  std::vector<double> reconv_s;
   std::vector<MetricsSample> samples;
 
   bool operator==(const MetricsTimeSeries&) const = default;

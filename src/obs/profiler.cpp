@@ -1,0 +1,66 @@
+#include "obs/profiler.hpp"
+
+#include <cstdio>
+
+#include "util/assert.hpp"
+#include "util/strings.hpp"
+
+#if defined(__unix__) || defined(__APPLE__)
+#include <sys/resource.h>
+#endif
+
+namespace e2efa {
+
+const char* to_string(Profiler::Phase p) {
+  switch (p) {
+    case Profiler::Phase::kSetup: return "setup";
+    case Profiler::Phase::kClique: return "clique";
+    case Profiler::Phase::kSolve: return "solve";
+    case Profiler::Phase::kSim: return "sim";
+    case Profiler::Phase::kPhy: return "phy";
+    case Profiler::Phase::kCtrl: return "ctrl";
+  }
+  return "unknown";
+}
+
+double profiler_peak_rss_mb() {
+#if defined(__unix__) || defined(__APPLE__)
+  struct rusage ru;
+  if (getrusage(RUSAGE_SELF, &ru) != 0) return 0.0;
+#if defined(__APPLE__)
+  return static_cast<double>(ru.ru_maxrss) / (1024.0 * 1024.0);  // bytes
+#else
+  return static_cast<double>(ru.ru_maxrss) / 1024.0;  // kilobytes
+#endif
+#else
+  return 0.0;
+#endif
+}
+
+std::string Profiler::json(const std::string& name) const {
+  std::string row = strformat("{\"name\": \"%s\"", name.c_str());
+  for (int i = 0; i < kPhaseCount; ++i) {
+    const Phase p = static_cast<Phase>(i);
+    row += strformat(", \"%s_s\": %.6f, \"%s_calls\": %lld", to_string(p),
+                     seconds(p), to_string(p),
+                     static_cast<long long>(calls(p)));
+  }
+  row += strformat(", \"peak_rss_mb\": %.1f}", profiler_peak_rss_mb());
+  return "[\n  " + row + "\n]\n";
+}
+
+bool write_profile_json(const Profiler& p, const std::string& name,
+                        const std::string& path, std::string* error) {
+  E2EFA_ASSERT(error != nullptr);
+  std::FILE* f = std::fopen(path.c_str(), "w");
+  if (f == nullptr) {
+    *error = "cannot open profile output: " + path;
+    return false;
+  }
+  const std::string body = p.json(name);
+  std::fwrite(body.data(), 1, body.size(), f);
+  std::fclose(f);
+  return true;
+}
+
+}  // namespace e2efa

@@ -1,0 +1,107 @@
+// Self-profiler: deterministic wall-clock phase accounting for one run.
+//
+// Follows the TraceSink/CheckContext wiring idiom: SimConfig carries a
+// `Profiler*` that defaults to null, every instrumented site pays one
+// pointer test, and the profiler never touches simulator state or
+// randomness — arming it cannot perturb the simulated trajectory. Phase
+// boundaries are RAII scopes around the runner's setup, the event loop,
+// the PHY receive fan-out, clique maintenance, local LP solves, and the
+// in-band control protocol.
+//
+// Two kinds of output per phase:
+//   - `<phase>_s`      accumulated wall-clock seconds (machine-dependent);
+//   - `<phase>_calls`  how many scopes ran (deterministic per seed, so it
+//                      is byte-identical across reruns and BatchRunner
+//                      thread counts — the stability tests key on it).
+//
+// Accumulators are atomic: one Profiler may be shared across a BatchRunner
+// fan-out, in which case it aggregates over all runs. json() emits a
+// single-row JSON array sharing the BENCH_scale.json row style
+// ({"name": ..., "<phase>_s": ..., "peak_rss_mb": ...}).
+#pragma once
+
+#include <atomic>
+#include <chrono>
+#include <cstdint>
+#include <string>
+
+namespace e2efa {
+
+class Profiler {
+ public:
+  enum class Phase : int {
+    kSetup = 0,  ///< Scenario expansion, topology, wiring (pre-event-loop).
+    kClique,     ///< CliqueStore activity deltas + clique (re-)enumeration.
+    kSolve,      ///< Phase-1 LP solves (runner oracle + agent local solves).
+    kSim,        ///< The event loop (includes phy/ctrl time below).
+    kPhy,        ///< Channel end-of-frame receive fan-out.
+    kCtrl,       ///< AllocAgent protocol work (ticks + message handling).
+  };
+  static constexpr int kPhaseCount = 6;
+
+  /// RAII phase scope; accumulates elapsed wall time on destruction.
+  class Scope {
+   public:
+    /// A null profiler makes the scope a no-op (the one-pointer-test rule).
+    Scope(Profiler* p, Phase phase) : p_(p), phase_(phase) {
+      if (p_ != nullptr) start_ = std::chrono::steady_clock::now();
+    }
+    ~Scope() {
+      if (p_ == nullptr) return;
+      const auto end = std::chrono::steady_clock::now();
+      p_->add(phase_,
+              std::chrono::duration_cast<std::chrono::nanoseconds>(end - start_)
+                  .count());
+    }
+    Scope(const Scope&) = delete;
+    Scope& operator=(const Scope&) = delete;
+
+   private:
+    Profiler* p_;
+    Phase phase_;
+    std::chrono::steady_clock::time_point start_;
+  };
+
+  /// Direct accumulation (one scope's worth of time + one call).
+  void add(Phase phase, std::int64_t ns) {
+    const int i = static_cast<int>(phase);
+    ns_[i].fetch_add(ns, std::memory_order_relaxed);
+    calls_[i].fetch_add(1, std::memory_order_relaxed);
+  }
+
+  double seconds(Phase phase) const {
+    return static_cast<double>(
+               ns_[static_cast<int>(phase)].load(std::memory_order_relaxed)) *
+           1e-9;
+  }
+  std::int64_t calls(Phase phase) const {
+    return calls_[static_cast<int>(phase)].load(std::memory_order_relaxed);
+  }
+
+  void clear() {
+    for (int i = 0; i < kPhaseCount; ++i) {
+      ns_[i].store(0, std::memory_order_relaxed);
+      calls_[i].store(0, std::memory_order_relaxed);
+    }
+  }
+
+  /// Single-row JSON array in the BENCH_scale.json row style:
+  /// [{"name": <name>, "setup_s": ..., "setup_calls": ..., ...,
+  ///   "peak_rss_mb": ...}].
+  std::string json(const std::string& name) const;
+
+ private:
+  std::atomic<std::int64_t> ns_[kPhaseCount] = {};
+  std::atomic<std::int64_t> calls_[kPhaseCount] = {};
+};
+
+const char* to_string(Profiler::Phase p);
+
+/// Peak resident set size of this process in MiB (0 when unavailable).
+double profiler_peak_rss_mb();
+
+/// Writes json(name) to `path`. Returns false and fills *error on failure.
+bool write_profile_json(const Profiler& p, const std::string& name,
+                        const std::string& path, std::string* error);
+
+}  // namespace e2efa

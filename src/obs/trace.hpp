@@ -16,10 +16,24 @@
 //      of records and flushes the buffer whenever it fills; a sink without
 //      a file keeps everything in memory (tests, analysis in-process).
 //
-// Records are fixed-size 40-byte POD rows (nanosecond timestamp, typed
-// event, node, two int arguments, two double arguments); the binary file is
-// a 16-byte header followed by raw records, and every record can also be
-// rendered as one JSON line (JSONL) for ad-hoc tooling.
+// Records are fixed-size 48-byte POD rows (nanosecond timestamp, typed
+// event, node, two int arguments, a causal span/parent id pair, two double
+// arguments); the binary file is a 16-byte header followed by raw records,
+// and every record can also be rendered as one JSON line (JSONL) for
+// ad-hoc tooling.
+//
+// Causal spans (observability v2): a record may carry a nonzero `span` id
+// (this record is a node in a causal chain) and a nonzero `parent` id (the
+// span that caused it). Span ids are allocated by TraceSink::new_span() in
+// emission order, so they are deterministic per (seed, filter) like
+// everything else; 0 always means "no span". Offline tools rebuild the
+// chain from (span, parent) alone — see obs/trace_analysis.hpp.
+//
+// Flight recorder: set_ring(capacity) turns a sink into a bounded
+// in-memory ring of the most recent records. The ring never flushes or
+// grows, so it can stay armed for an entire run at the cost of one 48-byte
+// copy per record; CheckContext snapshots it when an invariant trips
+// (see src/check/check.hpp) and write_trace_file() dumps the snapshot.
 #pragma once
 
 #include <cstdint>
@@ -86,6 +100,9 @@ enum class TraceEvent : std::uint16_t {
   kCtrlSolve = 21,      ///< node=source, a=flow, b=LpStatus, v0=solved share (units of B), v1=accumulated clique count.
   kCtrlRate = 22,       ///< node, a=subflow, b=flow, v0=applied lane share (units of B).
   kCtrlAdmit = 23,      ///< node, a=candidate flow, b=local verdict (1 admit), v0=worst local clique load.
+  kCtrlRetransmit = 24, ///< node, a=CtrlMsg::Kind resent, b=flow, v0=retransmit count, v1=backoff wait (ticks).
+  kCtrlSeqGap = 25,     ///< node=receiver, a=origin, b=gap (messages missed), v0=expected seq, v1=got seq.
+  kCtrlReconv = 26,     ///< run-global, a=epoch index, v0=re-convergence time (s), v1=epoch boundary (s).
 };
 
 /// Category an event belongs to (drives filtering).
@@ -114,10 +131,18 @@ constexpr TraceCat trace_category(TraceEvent e) {
     case TraceEvent::kCtrlRecv:
     case TraceEvent::kCtrlSolve:
     case TraceEvent::kCtrlRate:
-    case TraceEvent::kCtrlAdmit: return TraceCat::kCtrl;
+    case TraceEvent::kCtrlAdmit:
+    case TraceEvent::kCtrlRetransmit:
+    case TraceEvent::kCtrlSeqGap:
+    case TraceEvent::kCtrlReconv: return TraceCat::kCtrl;
   }
   return TraceCat::kMeta;
 }
+
+/// Number of defined TraceEvent values; readers reject anything >= this
+/// (a corrupt record, not a format they should silently accept).
+constexpr std::uint16_t kTraceEventCount =
+    static_cast<std::uint16_t>(TraceEvent::kCtrlReconv) + 1;
 
 const char* to_string(TraceEvent e);
 const char* to_string(TraceCat c);
@@ -131,6 +156,8 @@ struct TraceRecord {
   std::int16_t node = -1;  ///< Node the event happened at (-1: run-global).
   std::int32_t a = -1;
   std::int32_t b = -1;
+  std::uint32_t span = 0;    ///< Causal span id of this record (0 = none).
+  std::uint32_t parent = 0;  ///< Span id that caused this record (0 = root).
   std::uint32_t pad = 0;
   double v0 = 0.0;
   double v1 = 0.0;
@@ -138,7 +165,7 @@ struct TraceRecord {
   TraceEvent event() const { return static_cast<TraceEvent>(type); }
   bool operator==(const TraceRecord&) const = default;
 };
-static_assert(sizeof(TraceRecord) == 40, "trace record layout is part of the file format");
+static_assert(sizeof(TraceRecord) == 48, "trace record layout is part of the file format");
 
 /// Parses a comma-separated category list ("phy,backoff,queue"; "all" for
 /// everything) into a filter mask. kMeta is always included — structural
@@ -160,10 +187,23 @@ class TraceSink {
   TraceSink& operator=(const TraceSink&) = delete;
 
   /// Starts streaming records to `path`. Returns false and fills *error if
-  /// the file cannot be created. Call before the run; close() finalizes.
+  /// the file cannot be created. Call before the run; close() finalizes
+  /// (binary format: patches the header's record count). Mutually
+  /// exclusive with set_ring().
   bool open(const std::string& path, Format format, std::string* error);
   /// Flushes buffered records and closes the file (no-op in memory mode).
   void close();
+
+  /// Flight-recorder mode: keep only the most recent `capacity` records in
+  /// a bounded in-memory ring (older records are overwritten, never
+  /// flushed). Call before any record; mutually exclusive with open().
+  void set_ring(std::size_t capacity);
+  bool ring_mode() const { return ring_capacity_ != 0; }
+
+  /// The most recent records in chronological order: the ring contents in
+  /// ring mode, otherwise a copy of the in-memory/unflushed buffer. This is
+  /// what the flight-recorder dump contains.
+  std::vector<TraceRecord> recent_records() const;
 
   /// Runtime category filter (default: everything).
   void set_filter(std::uint32_t mask) { mask_ = mask | trace_bit(TraceCat::kMeta); }
@@ -183,17 +223,27 @@ class TraceSink {
 
   /// Emits one record. The category is a template parameter so that
   /// compile-time-excluded categories vanish entirely at the call site.
+  /// `span`/`parent` thread the causal chain (0 = none); call sites that
+  /// don't participate simply omit them.
   template <TraceCat Cat>
   void record(TimeNs t, TraceEvent type, std::int16_t node, std::int32_t a,
-              std::int32_t b, double v0 = 0.0, double v1 = 0.0) {
+              std::int32_t b, double v0 = 0.0, double v1 = 0.0,
+              std::uint32_t span = 0, std::uint32_t parent = 0) {
     if constexpr ((kTraceCompiledMask & trace_bit(Cat)) == 0u) {
       (void)t; (void)type; (void)node; (void)a; (void)b; (void)v0; (void)v1;
+      (void)span; (void)parent;
       return;
     } else {
       if ((mask_ & trace_bit(Cat)) == 0u) return;
-      push(TraceRecord{t, static_cast<std::uint16_t>(type), node, a, b, 0, v0, v1});
+      push(TraceRecord{t, static_cast<std::uint16_t>(type), node, a, b, span,
+                       parent, 0, v0, v1});
     }
   }
+
+  /// Allocates a fresh causal span id (never 0). Ids are handed out in
+  /// call order, so they are deterministic per (seed, filter) — callers
+  /// must gate allocation on enabled<Cat>() exactly like record().
+  std::uint32_t new_span() { return ++next_span_; }
 
   /// Records seen (post-filter) over the sink's lifetime.
   std::uint64_t recorded() const { return recorded_; }
@@ -210,18 +260,32 @@ class TraceSink {
   std::size_t capacity_;
   std::uint32_t mask_ = kTraceAllCategories;
   std::uint64_t recorded_ = 0;
+  std::uint32_t next_span_ = 0;
   std::FILE* file_ = nullptr;
   Format format_ = Format::kBinary;
+  std::size_t ring_capacity_ = 0;  ///< 0 = not in ring mode.
+  std::size_t ring_next_ = 0;      ///< Slot the next ring record overwrites.
+  std::uint64_t written_ = 0;      ///< Records flushed to the file so far.
 };
 
 /// Renders one record as a single JSON line (no trailing newline).
 std::string trace_record_jsonl(const TraceRecord& r);
 
-/// Writes the binary-format header to an open file. Exposed for tests.
+/// Writes the binary-format header to an open file with an "unknown count"
+/// sentinel (TraceSink::close patches the real count in). Exposed for tests.
 void write_trace_header(std::FILE* f);
 
+/// Writes `records` as a complete trace file (header with the exact record
+/// count, then the records) — the flight-recorder dump path. Returns false
+/// and fills *error if the file cannot be created.
+bool write_trace_file(const std::vector<TraceRecord>& records,
+                      const std::string& path, TraceSink::Format format,
+                      std::string* error);
+
 /// Reads a binary trace file. Returns false and fills *error on a missing
-/// file, bad magic, or a truncated record tail.
+/// file, a bad/unknown header, a record-count mismatch, an unknown event
+/// type, or a truncated record tail; record-level errors name the 1-based
+/// record number and byte offset.
 bool read_trace(const std::string& path, std::vector<TraceRecord>* out,
                 std::string* error);
 

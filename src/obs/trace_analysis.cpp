@@ -212,9 +212,30 @@ std::string format_flow_timeline(const std::vector<TraceRecord>& records,
 std::string format_trace_summary(const std::vector<TraceRecord>& records) {
   std::map<std::uint16_t, std::uint64_t> counts;
   TimeNs t_max = 0;
+  bool any_ctrl = false;
+  std::map<int, std::uint64_t> retx_by_kind;
+  std::uint64_t seq_gap_events = 0, seq_gap_missed = 0;
+  std::vector<const TraceRecord*> reconv;
   for (const TraceRecord& r : records) {
     ++counts[r.type];
     t_max = std::max(t_max, r.t);
+    if (r.type < kTraceEventCount &&
+        trace_category(r.event()) == TraceCat::kCtrl)
+      any_ctrl = true;
+    switch (r.event()) {
+      case TraceEvent::kCtrlRetransmit:
+        ++retx_by_kind[r.a];
+        break;
+      case TraceEvent::kCtrlSeqGap:
+        ++seq_gap_events;
+        seq_gap_missed += r.b > 0 ? static_cast<std::uint64_t>(r.b) : 0;
+        break;
+      case TraceEvent::kCtrlReconv:
+        reconv.push_back(&r);
+        break;
+      default:
+        break;
+    }
   }
   std::ostringstream os;
   os << records.size() << " records, horizon " << strformat("%.6f", to_seconds(t_max))
@@ -223,6 +244,260 @@ std::string format_trace_summary(const std::vector<TraceRecord>& records) {
     os << strformat("  %-20s %llu\n",
                     to_string(static_cast<TraceEvent>(type)),
                     static_cast<unsigned long long>(n));
+  if (any_ctrl) {
+    std::uint64_t retx_total = 0;
+    for (const auto& [kind, n] : retx_by_kind) retx_total += n;
+    os << "ctrl health:\n";
+    os << strformat("  retransmits          %llu",
+                    static_cast<unsigned long long>(retx_total));
+    if (retx_total > 0) {
+      os << " (";
+      bool first = true;
+      for (const auto& [kind, n] : retx_by_kind) {
+        if (!first) os << ", ";
+        first = false;
+        os << strformat("%s %llu", ctrl_kind_name(kind),
+                        static_cast<unsigned long long>(n));
+      }
+      os << ")";
+    }
+    os << "\n";
+    os << strformat("  seq gaps             %llu (%llu messages missed)\n",
+                    static_cast<unsigned long long>(seq_gap_events),
+                    static_cast<unsigned long long>(seq_gap_missed));
+    for (const TraceRecord* r : reconv)
+      os << strformat("  reconv epoch %-7d %.3f s (boundary %.2f s)\n", r->a,
+                      r->v0, r->v1);
+  }
+  return os.str();
+}
+
+// ---- Causal span graph + follow / chrome exports (observability v2). ----
+
+SpanGraph build_span_graph(const std::vector<TraceRecord>& records) {
+  SpanGraph g;
+  for (std::size_t i = 0; i < records.size(); ++i)
+    if (records[i].span != 0) g.owner.emplace(records[i].span, i);
+  for (std::size_t i = 0; i < records.size(); ++i) {
+    const TraceRecord& r = records[i];
+    if (r.parent != 0) g.children[r.parent].push_back(i);
+    if (r.span != 0 && (r.parent == 0 || g.owner.count(r.parent) == 0))
+      g.roots.push_back(i);
+  }
+  return g;
+}
+
+namespace {
+
+/// CtrlMsg::Kind names for report text (kept in sync with ctrl/messages.hpp
+/// by the obs tests; analysis must not link the control plane).
+const char* ctrl_kind_name_impl(int kind) {
+  switch (kind) {
+    case 0: return "HELLO";
+    case 1: return "HELLO_DELTA";
+    case 2: return "CONSTRAINT";
+    case 3: return "RATE";
+    case 4: return "ADMIT_REQ";
+    case 5: return "ADMIT_RSP";
+    default: return "CTRL?";
+  }
+}
+
+/// Frame-type names (phy/frame.hpp FrameType order; same sync rule).
+const char* frame_type_name(int t) {
+  switch (t) {
+    case 0: return "RTS";
+    case 1: return "CTS";
+    case 2: return "DATA";
+    case 3: return "ACK";
+    case 4: return "CTRL";
+    default: return "FRAME?";
+  }
+}
+
+/// One-line human description of a record for the follow report.
+std::string describe_record(const TraceRecord& r) {
+  switch (r.event()) {
+    case TraceEvent::kCtrlSend:
+      return r.b < 0 ? strformat("node %d broadcasts %s seq %.0f (%g B)",
+                                 static_cast<int>(r.node), ctrl_kind_name_impl(r.a),
+                                 r.v1, r.v0)
+                     : strformat("node %d sends %s to node %d seq %.0f (%g B)",
+                                 static_cast<int>(r.node), ctrl_kind_name_impl(r.a),
+                                 r.b, r.v1, r.v0);
+    case TraceEvent::kCtrlRecv:
+      return strformat("node %d receives %s from node %d%s",
+                       static_cast<int>(r.node), ctrl_kind_name_impl(r.a), r.b,
+                       r.v1 != 0.0 ? " (piggybacked)" : "");
+    case TraceEvent::kCtrlSolve:
+      return strformat("node %d solves flow %d -> %.4fB (lp status %d)",
+                       static_cast<int>(r.node), r.a, r.v0, r.b);
+    case TraceEvent::kCtrlRate:
+      return strformat("node %d applies lane %d (flow %d) share %.4fB",
+                       static_cast<int>(r.node), r.a, r.b, r.v0);
+    case TraceEvent::kCtrlAdmit:
+      return strformat("node %d local admit verdict for flow %d: %s (load %.3f)",
+                       static_cast<int>(r.node), r.a,
+                       r.b != 0 ? "admit" : "reject", r.v0);
+    case TraceEvent::kCtrlRetransmit:
+      return strformat("node %d retransmits %s (flow %d), attempt %.0f, backoff %.0f ticks",
+                       static_cast<int>(r.node), ctrl_kind_name_impl(r.a), r.b,
+                       r.v0, r.v1);
+    case TraceEvent::kCtrlSeqGap:
+      return strformat("node %d sequence gap from node %d: %d missed (expected %.0f, got %.0f)",
+                       static_cast<int>(r.node), r.a, r.b, r.v0, r.v1);
+    case TraceEvent::kFrameTx:
+      return strformat("node %d tx %s -> %s (%g B)%s", static_cast<int>(r.node),
+                       frame_type_name(r.a),
+                       r.b < 0 ? "bcast" : strformat("node %d", r.b).c_str(),
+                       r.v0, r.v1 != 0.0 ? " [RF-silent]" : "");
+    case TraceEvent::kFrameRx:
+      return strformat("node %d rx %s from node %d", static_cast<int>(r.node),
+                       frame_type_name(r.a), r.b);
+    case TraceEvent::kFrameCollision:
+      return strformat("collision at node %d (sender %d)",
+                       static_cast<int>(r.node), r.b);
+    case TraceEvent::kFrameFaulted:
+      return strformat("fault loss at node %d (sender %d, %s)",
+                       static_cast<int>(r.node), r.b,
+                       r.a == 0 ? "dead node/link" : "loss draw");
+    default:
+      return strformat("%s node %d a=%d b=%d v0=%g v1=%g", to_string(r.event()),
+                       static_cast<int>(r.node), r.a, r.b, r.v0, r.v1);
+  }
+}
+
+/// True when the record mentions logical flow `flow` in a causal sense.
+bool touches_flow(const TraceRecord& r, int flow) {
+  switch (r.event()) {
+    case TraceEvent::kCtrlSolve:
+    case TraceEvent::kCtrlAdmit: return r.a == flow;
+    case TraceEvent::kCtrlRate:
+    case TraceEvent::kCtrlRetransmit: return r.b == flow;
+    default: return false;
+  }
+}
+
+}  // namespace
+
+const char* ctrl_kind_name(int kind) { return ctrl_kind_name_impl(kind); }
+
+std::string format_follow(const std::vector<TraceRecord>& records, int flow,
+                          std::size_t limit) {
+  const SpanGraph g = build_span_graph(records);
+  std::ostringstream os;
+  std::size_t shown = 0, matched = 0;
+  for (std::size_t root : g.roots) {
+    // Collect the subtree (spans are emitted parent-first, so a simple
+    // stack walk terminates; depth caps runaway data defensively).
+    std::vector<std::pair<std::size_t, int>> tree;  // (record index, depth)
+    std::vector<std::pair<std::size_t, int>> stack{{root, 0}};
+    bool hits_flow = flow < 0;
+    while (!stack.empty()) {
+      const auto [i, depth] = stack.back();
+      stack.pop_back();
+      tree.emplace_back(i, depth);
+      if (touches_flow(records[i], flow)) hits_flow = true;
+      if (records[i].span != 0 && depth < 64) {
+        const auto it = g.children.find(records[i].span);
+        if (it != g.children.end())
+          // Reverse push so children come out of the stack in time order.
+          for (auto c = it->second.rbegin(); c != it->second.rend(); ++c)
+            stack.emplace_back(*c, depth + 1);
+      }
+    }
+    if (!hits_flow) continue;
+    ++matched;
+    if (limit != 0 && shown >= limit) continue;  // keep counting matches
+    ++shown;
+    for (const auto& [i, depth] : tree) {
+      const TraceRecord& r = records[i];
+      os << strformat("%12.6f s  ", to_seconds(r.t));
+      for (int d = 0; d < depth; ++d) os << "  ";
+      os << (depth == 0 ? "" : "-> ") << describe_record(r);
+      if (r.span != 0) os << strformat("  [span %u]", r.span);
+      os << "\n";
+    }
+    os << "\n";
+  }
+  os << strformat("%zu causal chains", matched);
+  if (flow >= 0) os << strformat(" touching flow %d", flow);
+  if (matched > shown) os << strformat(" (%zu shown)", shown);
+  os << "\n";
+  return os.str();
+}
+
+std::string format_chrome_trace(const std::vector<TraceRecord>& records) {
+  // Track layout: one pid for the whole run, tid 0 = run-global records,
+  // tid n+1 = node n. kFrameTx becomes a duration slice (airtime derived
+  // from kRunMeta's channel rate); every other record an instant; span
+  // parent->child edges become flow arrows ("s"/"f" pairs sharing an id).
+  double channel_bps = 0.0;
+  int node_count = 0;
+  for (const TraceRecord& r : records) {
+    if (r.event() == TraceEvent::kRunMeta) {
+      channel_bps = r.v0;
+      node_count = r.a;
+    }
+    node_count = std::max(node_count, static_cast<int>(r.node) + 1);
+  }
+  const SpanGraph g = build_span_graph(records);
+  std::ostringstream os;
+  os << "{\"displayTimeUnit\":\"ms\",\"traceEvents\":[";
+  bool first = true;
+  auto emit = [&](const std::string& ev) {
+    if (!first) os << ",";
+    first = false;
+    os << "\n" << ev;
+  };
+  emit("{\"ph\":\"M\",\"pid\":0,\"name\":\"process_name\","
+       "\"args\":{\"name\":\"e2efa-sim\"}}");
+  emit("{\"ph\":\"M\",\"pid\":0,\"tid\":0,\"name\":\"thread_name\","
+       "\"args\":{\"name\":\"run\"}}");
+  for (int n = 0; n < node_count; ++n)
+    emit(strformat("{\"ph\":\"M\",\"pid\":0,\"tid\":%d,\"name\":\"thread_name\","
+                   "\"args\":{\"name\":\"node %d\"}}",
+                   n + 1, n));
+  auto tid_of = [](const TraceRecord& r) {
+    return r.node < 0 ? 0 : static_cast<int>(r.node) + 1;
+  };
+  auto ts_of = [](TimeNs t) { return static_cast<double>(t) / 1e3; };  // µs
+  for (const TraceRecord& r : records) {
+    const std::string args = strformat(
+        "{\"a\":%d,\"b\":%d,\"v0\":%.17g,\"v1\":%.17g,\"span\":%u,\"parent\":%u}",
+        r.a, r.b, r.v0, r.v1, r.span, r.parent);
+    if (r.event() == TraceEvent::kFrameTx && channel_bps > 0.0 && r.v1 == 0.0) {
+      const double dur_us = r.v0 * 8.0 / channel_bps * 1e6;
+      emit(strformat("{\"ph\":\"X\",\"pid\":0,\"tid\":%d,\"ts\":%.3f,"
+                     "\"dur\":%.3f,\"name\":\"tx %s\",\"args\":%s}",
+                     tid_of(r), ts_of(r.t), dur_us, frame_type_name(r.a),
+                     args.c_str()));
+    } else {
+      emit(strformat("{\"ph\":\"i\",\"pid\":0,\"tid\":%d,\"ts\":%.3f,\"s\":\"t\","
+                     "\"name\":\"%s\",\"args\":%s}",
+                     tid_of(r), ts_of(r.t), to_string(r.event()), args.c_str()));
+    }
+  }
+  // Causal arrows: one flow-event pair per parent->child edge.
+  std::uint64_t edge_id = 0;
+  for (const auto& [span, kids] : g.children) {
+    const auto parent_it = g.owner.find(span);
+    if (parent_it == g.owner.end()) continue;
+    const TraceRecord& p = records[parent_it->second];
+    for (std::size_t ci : kids) {
+      const TraceRecord& c = records[ci];
+      ++edge_id;
+      emit(strformat("{\"ph\":\"s\",\"pid\":0,\"tid\":%d,\"ts\":%.3f,"
+                     "\"id\":%llu,\"cat\":\"span\",\"name\":\"span\"}",
+                     tid_of(p), ts_of(p.t),
+                     static_cast<unsigned long long>(edge_id)));
+      emit(strformat("{\"ph\":\"f\",\"pid\":0,\"tid\":%d,\"ts\":%.3f,"
+                     "\"id\":%llu,\"cat\":\"span\",\"name\":\"span\",\"bp\":\"e\"}",
+                     tid_of(c), ts_of(c.t),
+                     static_cast<unsigned long long>(edge_id)));
+    }
+  }
+  os << "\n]}\n";
   return os.str();
 }
 

@@ -7,6 +7,8 @@
 // the runner's fairness metrics from a file alone.
 #pragma once
 
+#include <cstddef>
+#include <map>
 #include <string>
 #include <vector>
 
@@ -73,7 +75,41 @@ ConvergenceReport analyze_convergence(const std::vector<TraceRecord>& records,
 std::string format_flow_timeline(const std::vector<TraceRecord>& records,
                                  int flow, std::size_t limit);
 
-/// Per-event-type counts, as "name count" lines sorted by event id.
+/// Per-event-type counts, as "name count" lines sorted by event id, plus a
+/// control-plane health section (retransmits by message kind, sequence
+/// gaps, per-epoch re-convergence samples) when ctrl records are present.
 std::string format_trace_summary(const std::vector<TraceRecord>& records);
+
+/// CtrlMsg::Kind value -> report name ("HELLO", "CONSTRAINT", ...); kept in
+/// sync with ctrl/messages.hpp by test (analysis never links the ctrl code).
+const char* ctrl_kind_name(int kind);
+
+/// Causal span graph rebuilt from (span, parent) ids alone. A record that
+/// carries a nonzero `span` *owns* that span; any record whose `parent`
+/// names a span (whether or not it owns one itself) is that span's child.
+/// Spans are allocated in emission order, so a parent always precedes its
+/// children and the graph is acyclic by construction.
+struct SpanGraph {
+  /// span id -> index (into the source records) of the record owning it.
+  std::map<std::uint32_t, std::size_t> owner;
+  /// span id -> indices of records caused by it, in time order.
+  std::map<std::uint32_t, std::vector<std::size_t>> children;
+  /// Indices of root records: they own a span whose parent is 0 or unknown
+  /// (e.g. filtered out), in time order.
+  std::vector<std::size_t> roots;
+};
+SpanGraph build_span_graph(const std::vector<TraceRecord>& records);
+
+/// Causal-chain report (`trace-tool follow`): every root-to-leaf causal
+/// tree that touches logical flow `flow` (all chains when flow < 0),
+/// rendered as an indented tree with one described record per line.
+/// `limit` caps the number of chains printed (0 = no cap).
+std::string format_follow(const std::vector<TraceRecord>& records, int flow,
+                          std::size_t limit);
+
+/// Chrome-trace / Perfetto JSON export (`trace-tool chrome`): one track per
+/// node (plus a run-global track), frame transmissions as duration slices,
+/// everything else as instants, and causal span edges as flow arrows.
+std::string format_chrome_trace(const std::vector<TraceRecord>& records);
 
 }  // namespace e2efa

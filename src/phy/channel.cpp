@@ -1,6 +1,7 @@
 #include "phy/channel.hpp"
 
 #include "check/check.hpp"
+#include "ctrl/messages.hpp"
 #include "util/assert.hpp"
 
 namespace e2efa {
@@ -95,11 +96,18 @@ TimeNs Channel::transmit(NodeId sender, Frame frame) {
     ++stats_.frames_transmitted;
     stats_.airtime_ns += static_cast<std::uint64_t>(duration);
   }
-  if (trace_ != nullptr)
+  // The transmission's causal span: rx/collision/fault records at
+  // end-of-frame chain to it, and for control frames it chains onward to
+  // the kCtrlSend record riding the message.
+  std::uint32_t tx_span = 0;
+  if (trace_ != nullptr && trace_->enabled<TraceCat::kPhy>()) {
+    tx_span = trace_->new_span();
     trace_->record<TraceCat::kPhy>(
         now, TraceEvent::kFrameTx, static_cast<std::int16_t>(sender),
         static_cast<std::int32_t>(frame.type), frame.rx,
-        static_cast<double>(frame.bytes), silent ? 1.0 : 0.0);
+        static_cast<double>(frame.bytes), silent ? 1.0 : 0.0, tx_span,
+        frame.ctrl != nullptr ? frame.ctrl->span : 0);
+  }
   // Crashed senders still follow the MAC protocol; the oracle sees them too.
   if (check_ != nullptr) check_->on_frame_transmit(frame, now);
 
@@ -124,7 +132,8 @@ TimeNs Channel::transmit(NodeId sender, Frame frame) {
         ++stats_.faulted_dead;
         if (trace_ != nullptr)
           trace_->record<TraceCat::kPhy>(now, TraceEvent::kFrameFaulted,
-                                         static_cast<std::int16_t>(r), 0, sender);
+                                         static_cast<std::int16_t>(r), 0, sender,
+                                         0.0, 0.0, 0, tx_span);
       }
       if (s.interferers == 0 && !transmitting(r) && !s.decoding && decodable) {
         s.decoding = true;
@@ -146,17 +155,20 @@ TimeNs Channel::transmit(NodeId sender, Frame frame) {
   t.end = end;
   t.tx_id = tx_id;
   t.silent = silent;
+  t.span = tx_span;
   sim_.schedule_at(end, [this, slot] { finish_transmission(slot); });
   return end;
 }
 
 void Channel::finish_transmission(std::uint32_t slot) {
+  Profiler::Scope prof(profiler_, Profiler::Phase::kPhy);
   // Move the record out before any listener runs: a listener could (in
   // principle) transmit, growing the pool and invalidating references.
   const Frame frame = std::move(tx_pool_[slot].frame);
   const std::uint64_t tx_id = tx_pool_[slot].tx_id;
   const TimeNs end = tx_pool_[slot].end;
   const bool silent = tx_pool_[slot].silent;
+  const std::uint32_t tx_span = tx_pool_[slot].span;
   release_tx_slot(slot);
   const NodeId sender = frame.tx;
 
@@ -179,7 +191,7 @@ void Channel::finish_transmission(std::uint32_t slot) {
           if (trace_ != nullptr)
             trace_->record<TraceCat::kPhy>(end, TraceEvent::kFrameFaulted,
                                            static_cast<std::int16_t>(r), 0,
-                                           sender);
+                                           sender, 0.0, 0.0, 0, tx_span);
           update_busy(r);
           continue;  // deaf: the crashed/cut receiver sees nothing at all
         }
@@ -191,7 +203,7 @@ void Channel::finish_transmission(std::uint32_t slot) {
           if (trace_ != nullptr)
             trace_->record<TraceCat::kPhy>(end, TraceEvent::kFrameFaulted,
                                            static_cast<std::int16_t>(r), 1,
-                                           sender);
+                                           sender, 0.0, 0.0, 0, tx_span);
           if (s.listener) s.listener->on_frame_corrupted(end);
           update_busy(r);
           continue;
@@ -203,7 +215,7 @@ void Channel::finish_transmission(std::uint32_t slot) {
           trace_->record<TraceCat::kPhy>(
               end, TraceEvent::kFrameRx, static_cast<std::int16_t>(r),
               static_cast<std::int32_t>(frame.type), sender,
-              static_cast<double>(frame.bytes));
+              static_cast<double>(frame.bytes), 0.0, 0, tx_span);
         if (check_ != nullptr) check_->on_frame_receive(r, frame, end);
         if (s.listener) s.listener->on_frame_received(frame);
       } else {
@@ -212,7 +224,8 @@ void Channel::finish_transmission(std::uint32_t slot) {
         if (trace_ != nullptr)
           trace_->record<TraceCat::kPhy>(end, TraceEvent::kFrameCollision,
                                          static_cast<std::int16_t>(r), -1,
-                                         sender, static_cast<double>(frame.bytes));
+                                         sender, static_cast<double>(frame.bytes),
+                                         0.0, 0, tx_span);
         if (s.listener) s.listener->on_frame_corrupted(end);
       }
     }

@@ -16,6 +16,7 @@
 #include <optional>
 #include <vector>
 
+#include "obs/profiler.hpp"
 #include "obs/trace.hpp"
 #include "phy/frame.hpp"
 #include "sim/simulator.hpp"
@@ -102,6 +103,10 @@ class Channel {
   /// observer never mutates channel state or draws randomness.
   void set_check(CheckContext* check) { check_ = check; }
 
+  /// Installs (or clears) the self-profiler: end-of-frame receive fan-outs
+  /// accrue to its phy phase. Not owned; pure observation.
+  void set_profiler(Profiler* profiler) { profiler_ = profiler; }
+
   std::int64_t bps() const { return bps_; }
 
   /// Airtime of a frame of `bytes` bytes at the channel rate.
@@ -149,6 +154,9 @@ class Channel {
     std::uint64_t tx_id = 0;
     std::uint32_t next_free = 0;
     bool silent = false;  ///< Sender was crashed: no energy was deposited.
+    /// Causal span of the kFrameTx record (0 when tracing is off/filtered);
+    /// end-of-frame rx/collision/fault records chain to it.
+    std::uint32_t span = 0;
   };
 
   void update_busy(NodeId n);
@@ -163,6 +171,7 @@ class Channel {
   FaultModel* faults_ = nullptr;
   TraceSink* trace_ = nullptr;
   CheckContext* check_ = nullptr;
+  Profiler* profiler_ = nullptr;
   std::int64_t bps_;
   std::vector<NodeState> nodes_;
   std::uint64_t next_tx_id_ = 1;

@@ -11,10 +11,13 @@
 #include <string>
 #include <vector>
 
+#include "check/check.hpp"
+#include "ctrl/messages.hpp"
 #include "net/batch.hpp"
 #include "net/runner.hpp"
 #include "net/scenarios.hpp"
 #include "obs/metrics.hpp"
+#include "obs/profiler.hpp"
 #include "obs/trace.hpp"
 #include "obs/trace_analysis.hpp"
 #include "route/routing.hpp"
@@ -66,8 +69,7 @@ TEST(Trace, RuntimeFilterDropsExcludedCategories) {
 }
 
 TEST(Trace, EveryEventHasACategoryAndName) {
-  for (std::uint16_t t = 0; t <= static_cast<std::uint16_t>(TraceEvent::kDelivery);
-       ++t) {
+  for (std::uint16_t t = 0; t < kTraceEventCount; ++t) {
     const TraceEvent e = static_cast<TraceEvent>(t);
     EXPECT_NE(std::string(to_string(e)), "");
     EXPECT_NE(trace_bit(trace_category(e)) & kTraceAllCategories, 0u);
@@ -101,8 +103,8 @@ TEST(Trace, BinaryRoundTrip) {
                                   static_cast<std::int16_t>(i), i, i + 1,
                                   0.5 * i, -1.25 * i);
       written.push_back(TraceRecord{1000 * i, static_cast<std::uint16_t>(TraceEvent::kFrameRx),
-                                    static_cast<std::int16_t>(i), i, i + 1, 0,
-                                    0.5 * i, -1.25 * i});
+                                    static_cast<std::int16_t>(i), i, i + 1, 0, 0,
+                                    0, 0.5 * i, -1.25 * i});
     }
     sink.close();
   }
@@ -141,11 +143,13 @@ TEST(Trace, ReadRejectsGarbageAndTruncation) {
 
 TEST(Trace, JsonlRendering) {
   TraceRecord r{from_seconds(2.0), static_cast<std::uint16_t>(TraceEvent::kBackoffDraw),
-                4, 17, 3, 0, 12.0, 7.5};
+                4, 17, 3, 5, 2, 0, 12.0, 7.5};
   const std::string line = trace_record_jsonl(r);
   EXPECT_NE(line.find("\"ev\":\"backoff_draw\""), std::string::npos);
   EXPECT_NE(line.find("\"node\":4"), std::string::npos);
   EXPECT_NE(line.find("\"a\":17"), std::string::npos);
+  EXPECT_NE(line.find("\"span\":5"), std::string::npos);
+  EXPECT_NE(line.find("\"parent\":2"), std::string::npos);
   EXPECT_EQ(line.find('\n'), std::string::npos);
 }
 
@@ -324,7 +328,8 @@ TEST(Convergence, SyntheticTraceConvergesWhenProportionsMatch) {
   auto push = [&rec](double t_s, TraceEvent e, int node, int a, int b,
                      double v0, double v1) {
     rec.push_back(TraceRecord{from_seconds(t_s), static_cast<std::uint16_t>(e),
-                              static_cast<std::int16_t>(node), a, b, 0, v0, v1});
+                              static_cast<std::int16_t>(node), a, b, 0, 0, 0, v0,
+                              v1});
   };
   push(0, TraceEvent::kRunMeta, -1, 2, 2, 1e6, 125);
   push(0, TraceEvent::kLpResolve, -1, 0, 0, 0, 0);
@@ -411,6 +416,359 @@ TEST(Convergence, ReconvergesAfterFaultEpochs) {
   EXPECT_TRUE(rep.convergence[3].converged);
   EXPECT_GE(rep.convergence[3].converged_s, 12.0);
   EXPECT_GT(rep.convergence[3].time_to_converge_s, 0.0);
+}
+
+// ---------- causal spans (observability v2) ----------
+
+TEST(Span, RoundTripsThroughBinaryFiles) {
+  const std::string path = tmp_path("span.trace");
+  std::vector<TraceRecord> written;
+  written.push_back(TraceRecord{10, static_cast<std::uint16_t>(TraceEvent::kCtrlSend),
+                                0, 2, -1, 7, 0, 0, 64.0, 1.0});
+  written.push_back(TraceRecord{20, static_cast<std::uint16_t>(TraceEvent::kFrameTx),
+                                0, 4, -1, 8, 7, 0, 64.0, 0.0});
+  written.push_back(TraceRecord{30, static_cast<std::uint16_t>(TraceEvent::kFrameRx),
+                                1, 4, 0, 0, 8, 0, 64.0, 0.0});
+  std::string err;
+  ASSERT_TRUE(write_trace_file(written, path, TraceSink::Format::kBinary, &err))
+      << err;
+  std::vector<TraceRecord> read;
+  ASSERT_TRUE(read_trace(path, &read, &err)) << err;
+  EXPECT_EQ(read, written);  // TraceRecord == covers span/parent fields
+  std::remove(path.c_str());
+}
+
+TEST(Span, NewSpanIsMonotonicAndNeverZero) {
+  TraceSink sink;
+  EXPECT_EQ(sink.new_span(), 1u);
+  EXPECT_EQ(sink.new_span(), 2u);
+  EXPECT_EQ(sink.new_span(), 3u);
+}
+
+TEST(Span, GraphRebuildsParentChildEdges) {
+  std::vector<TraceRecord> rec;
+  // Root span 1 -> child span 2 -> leaf (no own span); unrelated record.
+  rec.push_back(TraceRecord{0, static_cast<std::uint16_t>(TraceEvent::kCtrlSend),
+                            0, 2, -1, 1, 0, 0, 0, 0});
+  rec.push_back(TraceRecord{1, static_cast<std::uint16_t>(TraceEvent::kFrameTx),
+                            0, 4, -1, 2, 1, 0, 0, 0});
+  rec.push_back(TraceRecord{2, static_cast<std::uint16_t>(TraceEvent::kFrameRx),
+                            1, 4, 0, 0, 2, 0, 0, 0});
+  rec.push_back(TraceRecord{3, static_cast<std::uint16_t>(TraceEvent::kMacRetry),
+                            1, 1, -1, 0, 0, 0, 0, 0});
+  const SpanGraph g = build_span_graph(rec);
+  ASSERT_EQ(g.roots.size(), 1u);
+  EXPECT_EQ(g.roots[0], 0u);
+  ASSERT_EQ(g.owner.count(1u), 1u);
+  ASSERT_EQ(g.owner.count(2u), 1u);
+  EXPECT_EQ(g.children.at(1u), (std::vector<std::size_t>{1}));
+  EXPECT_EQ(g.children.at(2u), (std::vector<std::size_t>{2}));
+}
+
+TEST(Span, CtrlKindNamesMatchTheProtocolEnum) {
+  EXPECT_STREQ(ctrl_kind_name(static_cast<int>(CtrlMsg::Kind::kHello)), "HELLO");
+  EXPECT_STREQ(ctrl_kind_name(static_cast<int>(CtrlMsg::Kind::kHelloDelta)),
+               "HELLO_DELTA");
+  EXPECT_STREQ(ctrl_kind_name(static_cast<int>(CtrlMsg::Kind::kConstraint)),
+               "CONSTRAINT");
+  EXPECT_STREQ(ctrl_kind_name(static_cast<int>(CtrlMsg::Kind::kRate)), "RATE");
+  EXPECT_STREQ(ctrl_kind_name(static_cast<int>(CtrlMsg::Kind::kAdmitReq)),
+               "ADMIT_REQ");
+  EXPECT_STREQ(ctrl_kind_name(static_cast<int>(CtrlMsg::Kind::kAdmitRsp)),
+               "ADMIT_RSP");
+}
+
+// ---------- trace read errors ----------
+
+TEST(Trace, ReadErrorsNameTheRecordAndByteOffset) {
+  const std::string path = tmp_path("detail.trace");
+  std::string err;
+  std::vector<TraceRecord> out;
+
+  // Truncated mid-record: the error names the 1-based record and offset.
+  {
+    std::vector<TraceRecord> rec(2);
+    rec[0].type = static_cast<std::uint16_t>(TraceEvent::kFrameTx);
+    rec[1].type = static_cast<std::uint16_t>(TraceEvent::kFrameRx);
+    ASSERT_TRUE(write_trace_file(rec, path, TraceSink::Format::kBinary, &err));
+    std::string bytes = file_bytes(path);
+    std::ofstream f(path, std::ios::binary | std::ios::trunc);
+    f.write(bytes.data(), static_cast<std::streamsize>(bytes.size() - 7));
+  }
+  ASSERT_FALSE(read_trace(path, &out, &err));
+  EXPECT_NE(err.find("truncated trace record 2"), std::string::npos) << err;
+
+  // Unknown event type: a corrupt record, rejected with its position.
+  {
+    std::vector<TraceRecord> rec(1);
+    rec[0].type = kTraceEventCount;  // first undefined value
+    ASSERT_TRUE(write_trace_file(rec, path, TraceSink::Format::kBinary, &err));
+  }
+  ASSERT_FALSE(read_trace(path, &out, &err));
+  EXPECT_NE(err.find("unknown event type"), std::string::npos) << err;
+  EXPECT_NE(err.find("record 1"), std::string::npos) << err;
+
+  // Header/record-count mismatch (an interrupted writer).
+  {
+    std::vector<TraceRecord> rec(3);
+    rec[0].type = rec[1].type = rec[2].type =
+        static_cast<std::uint16_t>(TraceEvent::kFrameTx);
+    ASSERT_TRUE(write_trace_file(rec, path, TraceSink::Format::kBinary, &err));
+    std::string bytes = file_bytes(path);
+    std::ofstream f(path, std::ios::binary | std::ios::trunc);
+    f.write(bytes.data(),
+            static_cast<std::streamsize>(bytes.size() - sizeof(TraceRecord)));
+  }
+  ASSERT_FALSE(read_trace(path, &out, &err));
+  EXPECT_NE(err.find("incomplete"), std::string::npos) << err;
+  std::remove(path.c_str());
+}
+
+// ---------- flight recorder ----------
+
+TEST(FlightRecorder, RingKeepsTheMostRecentRecords) {
+  TraceSink sink;
+  sink.set_ring(4);
+  EXPECT_TRUE(sink.ring_mode());
+  for (int i = 0; i < 10; ++i)
+    sink.record<TraceCat::kPhy>(100 * i, TraceEvent::kFrameTx,
+                                static_cast<std::int16_t>(i), i, -1);
+  EXPECT_EQ(sink.recorded(), 10u);
+  const std::vector<TraceRecord> recent = sink.recent_records();
+  ASSERT_EQ(recent.size(), 4u);
+  for (int i = 0; i < 4; ++i) {
+    EXPECT_EQ(recent[static_cast<std::size_t>(i)].t, 100 * (6 + i));
+    EXPECT_EQ(recent[static_cast<std::size_t>(i)].a, 6 + i);
+  }
+}
+
+TEST(FlightRecorder, ViolationSnapshotDumpIsByteDeterministic) {
+  // The deliberate off-by-one queue oracle (the fuzzer's injected bug): a
+  // correct run trips the queue invariant, the armed flight recorder
+  // snapshots the ring at the FIRST violation, and the dump is a loadable
+  // trace file that is byte-identical across reruns of the same seed.
+  const Scenario sc = scenario1();
+  auto run_once = [&](const std::string& dump_path) {
+    CheckConfig ccfg;
+    ccfg.queue_capacity_override = 4;  // real capacity below is 5
+    CheckContext check(ccfg);
+    TraceSink ring;
+    ring.set_ring(1u << 10);
+    check.arm_flight_recorder(&ring);
+    SimConfig cfg = obs_config(2.0);
+    cfg.queue_capacity = 5;
+    cfg.trace = &ring;
+    cfg.check = &check;
+    run_scenario(sc, Protocol::k2paCentralized, cfg);
+    EXPECT_FALSE(check.ok());
+    EXPECT_FALSE(check.flight_records().empty());
+    std::string err;
+    ASSERT_TRUE(write_trace_file(check.flight_records(), dump_path,
+                                 TraceSink::Format::kBinary, &err))
+        << err;
+  };
+  const std::string p1 = tmp_path("flight1.trace"), p2 = tmp_path("flight2.trace");
+  run_once(p1);
+  run_once(p2);
+  EXPECT_EQ(file_bytes(p1), file_bytes(p2));
+  // The dump must load cleanly through the normal reader.
+  std::vector<TraceRecord> loaded;
+  std::string err;
+  ASSERT_TRUE(read_trace(p1, &loaded, &err)) << err;
+  EXPECT_FALSE(loaded.empty());
+  std::remove(p1.c_str());
+  std::remove(p2.c_str());
+}
+
+// ---------- self-profiler ----------
+
+TEST(Profiler, AccumulatesScopesAndRendersBenchStyleJson) {
+  Profiler p;
+  { Profiler::Scope s(&p, Profiler::Phase::kSolve); }
+  { Profiler::Scope s(&p, Profiler::Phase::kSolve); }
+  { Profiler::Scope s(nullptr, Profiler::Phase::kSim); }  // null = no-op
+  EXPECT_EQ(p.calls(Profiler::Phase::kSolve), 2);
+  EXPECT_EQ(p.calls(Profiler::Phase::kSim), 0);
+  const std::string json = p.json("unit");
+  EXPECT_NE(json.find("\"name\": \"unit\""), std::string::npos);
+  EXPECT_NE(json.find("\"solve_s\":"), std::string::npos);
+  EXPECT_NE(json.find("\"solve_calls\": 2"), std::string::npos);
+  EXPECT_NE(json.find("\"peak_rss_mb\":"), std::string::npos);
+}
+
+TEST(Profiler, PhaseCallCountsAreStableAcrossBatchThreadCounts) {
+  // Wall-clock seconds vary run to run, but the *call counts* per phase are
+  // pure functions of the trajectory, which is thread-count independent.
+  const Scenario sc = scenario1();
+  const std::vector<std::uint64_t> seeds = {1, 2, 3, 4};
+  auto run_with = [&](int jobs) {
+    Profiler prof;
+    SimConfig cfg = obs_config(1.0);
+    cfg.profile = &prof;
+    BatchRunner(jobs).run_seeds(sc, Protocol::k2paDistributedCtrl, cfg, seeds);
+    std::vector<std::int64_t> calls;
+    for (int ph = 0; ph < Profiler::kPhaseCount; ++ph)
+      calls.push_back(prof.calls(static_cast<Profiler::Phase>(ph)));
+    return calls;
+  };
+  const auto serial = run_with(1);
+  const auto parallel = run_with(4);
+  EXPECT_EQ(serial, parallel);
+  EXPECT_GT(serial[static_cast<int>(Profiler::Phase::kSim)], 0);
+  EXPECT_GT(serial[static_cast<int>(Profiler::Phase::kPhy)], 0);
+  EXPECT_GT(serial[static_cast<int>(Profiler::Phase::kCtrl)], 0);
+  EXPECT_GT(serial[static_cast<int>(Profiler::Phase::kSetup)], 0);
+}
+
+TEST(Profiler, DoesNotPerturbTheRun) {
+  const Scenario sc = scenario1();
+  const SimConfig plain = obs_config(1.0);
+  const RunResult a = run_scenario(sc, Protocol::k2paDistributedCtrl, plain);
+  Profiler prof;
+  SimConfig profiled = plain;
+  profiled.profile = &prof;
+  const RunResult b = run_scenario(sc, Protocol::k2paDistributedCtrl, profiled);
+  EXPECT_EQ(a.end_to_end_per_flow, b.end_to_end_per_flow);
+  EXPECT_EQ(a.channel.frames_transmitted, b.channel.frames_transmitted);
+  EXPECT_GT(prof.calls(Profiler::Phase::kSim), 0);
+}
+
+// ---------- causal chains from a real control-plane run ----------
+
+/// Runs the paper's scenario 1 under the in-band control plane with churn
+/// (flow 1 arrives mid-run, triggering an in-band ADMIT round) and link
+/// loss (forcing hardened-mode retransmits); returns the trace.
+std::vector<TraceRecord> ctrl_span_trace() {
+  Scenario sc = scenario1();
+  sc.activity.assign(sc.flow_specs.size(), FlowActivity{});
+  sc.activity[1].start_s = 2.0;
+  sc.activity[1].stop_s = 1e9;
+  sc.faults.set_default_loss(0.25);
+  TraceSink sink;
+  SimConfig cfg = obs_config(8.0);
+  cfg.trace = &sink;
+  run_scenario(sc, Protocol::k2paDistributedCtrl, cfg);
+  return sink.records();
+}
+
+TEST(Follow, ReconstructsAdmitRoundAndSolveChainsWithRetransmits) {
+  const std::vector<TraceRecord> rec = ctrl_span_trace();
+  const SpanGraph g = build_span_graph(rec);
+
+  // Collect, per causal root, which milestones the subtree contains.
+  bool admit_round = false;   // ADMIT_REQ send ... ADMIT_RSP send in one tree
+  bool solve_chain = false;   // CONSTRAINT send -> solve -> RATE application
+  for (std::size_t root : g.roots) {
+    bool req = false, rsp = false, constraint = false, solve = false,
+         rate = false;
+    std::vector<std::size_t> stack{root};
+    while (!stack.empty()) {
+      const TraceRecord& r = rec[stack.back()];
+      stack.pop_back();
+      if (r.event() == TraceEvent::kCtrlSend) {
+        if (r.a == static_cast<int>(CtrlMsg::Kind::kAdmitReq)) req = true;
+        if (r.a == static_cast<int>(CtrlMsg::Kind::kAdmitRsp)) rsp = true;
+        if (r.a == static_cast<int>(CtrlMsg::Kind::kConstraint))
+          constraint = true;
+      }
+      if (r.event() == TraceEvent::kCtrlSolve) solve = true;
+      if (r.event() == TraceEvent::kCtrlRate) rate = true;
+      if (r.span != 0) {
+        const auto it = g.children.find(r.span);
+        if (it != g.children.end())
+          for (std::size_t c : it->second) stack.push_back(c);
+      }
+    }
+    admit_round = admit_round || (req && rsp);
+    solve_chain = solve_chain || (constraint && solve && rate);
+  }
+  EXPECT_TRUE(admit_round)
+      << "no causal tree contains a full ADMIT_REQ -> ADMIT_RSP round";
+  EXPECT_TRUE(solve_chain)
+      << "no causal tree contains CONSTRAINT -> solve -> RATE";
+
+  // Retransmits chain back to the original send's span.
+  std::size_t retx = 0, retx_linked = 0;
+  for (const TraceRecord& r : rec) {
+    if (r.event() != TraceEvent::kCtrlRetransmit) continue;
+    ++retx;
+    const auto it = g.owner.find(r.parent);
+    if (it != g.owner.end() &&
+        rec[it->second].event() == TraceEvent::kCtrlSend)
+      ++retx_linked;
+  }
+  EXPECT_GT(retx, 0u) << "25% loss over 8 s produced no ctrl retransmit";
+  EXPECT_EQ(retx, retx_linked);
+
+  // The human-facing report renders the same chains.
+  const std::string report = format_follow(rec, -1, 0);
+  EXPECT_NE(report.find("ADMIT_REQ"), std::string::npos);
+  EXPECT_NE(report.find("retransmits"), std::string::npos);
+  EXPECT_NE(report.find("causal chains"), std::string::npos);
+}
+
+TEST(Follow, SpanAllocationIsDeterministicPerSeed) {
+  const std::vector<TraceRecord> a = ctrl_span_trace();
+  const std::vector<TraceRecord> b = ctrl_span_trace();
+  EXPECT_EQ(a, b);
+}
+
+// ---------- chrome export + ctrl-health summary ----------
+
+TEST(Chrome, ExportCarriesTracksSlicesAndSpanArrows) {
+  std::vector<TraceRecord> rec;
+  rec.push_back(TraceRecord{0, static_cast<std::uint16_t>(TraceEvent::kRunMeta),
+                            -1, 2, 1, 0, 0, 0, 1e6, 125.0});
+  rec.push_back(TraceRecord{1000, static_cast<std::uint16_t>(TraceEvent::kFrameTx),
+                            0, 2, 1, 3, 0, 0, 125.0, 0.0});
+  rec.push_back(TraceRecord{2000, static_cast<std::uint16_t>(TraceEvent::kFrameRx),
+                            1, 2, 0, 0, 3, 0, 125.0, 0.0});
+  const std::string json = format_chrome_trace(rec);
+  EXPECT_NE(json.find("\"thread_name\""), std::string::npos);
+  EXPECT_NE(json.find("\"name\":\"node 0\""), std::string::npos);
+  EXPECT_NE(json.find("\"name\":\"node 1\""), std::string::npos);
+  EXPECT_NE(json.find("\"ph\":\"X\""), std::string::npos);  // tx slice
+  EXPECT_NE(json.find("\"ph\":\"s\""), std::string::npos);  // span arrow out
+  EXPECT_NE(json.find("\"ph\":\"f\""), std::string::npos);  // span arrow in
+  // 125 bytes at 1 Mbps = 1 ms airtime = 1000 µs.
+  EXPECT_NE(json.find("\"dur\":1000.000"), std::string::npos);
+}
+
+TEST(Summary, SurfacesCtrlHealthCounters) {
+  std::vector<TraceRecord> rec;
+  rec.push_back(TraceRecord{0, static_cast<std::uint16_t>(TraceEvent::kCtrlRetransmit),
+                            2, static_cast<int>(CtrlMsg::Kind::kConstraint), 0,
+                            0, 0, 0, 1.0, 4.0});
+  rec.push_back(TraceRecord{1, static_cast<std::uint16_t>(TraceEvent::kCtrlSeqGap),
+                            3, 1, 2, 0, 0, 0, 5.0, 7.0});
+  rec.push_back(TraceRecord{2, static_cast<std::uint16_t>(TraceEvent::kCtrlReconv),
+                            -1, 1, -1, 0, 0, 0, 0.42, 5.0});
+  const std::string s = format_trace_summary(rec);
+  EXPECT_NE(s.find("ctrl health:"), std::string::npos);
+  EXPECT_NE(s.find("retransmits"), std::string::npos);
+  EXPECT_NE(s.find("CONSTRAINT 1"), std::string::npos);
+  EXPECT_NE(s.find("seq gaps             1 (2 messages missed)"),
+            std::string::npos);
+  EXPECT_NE(s.find("reconv epoch 1"), std::string::npos);
+  EXPECT_NE(s.find("0.420 s"), std::string::npos);
+}
+
+TEST(Metrics, JsonlCarriesCtrlHealthAndReconv) {
+  MetricsTimeSeries ts;
+  ts.period_s = 1.0;
+  ts.reconv_s = {0.5, -1.0};
+  MetricsSample s;
+  s.ctrl_retransmits = 3.0;
+  s.ctrl_seq_gaps = 1.0;
+  ts.samples.push_back(s);
+  const std::string path = tmp_path("ctrl_health.jsonl");
+  std::string err;
+  ASSERT_TRUE(write_metrics_jsonl(ts, path, &err)) << err;
+  const std::string bytes = file_bytes(path);
+  EXPECT_NE(bytes.find("\"reconv_s\":[0.5,-1]"), std::string::npos);
+  EXPECT_NE(bytes.find("\"ctrl_retransmits\":3"), std::string::npos);
+  EXPECT_NE(bytes.find("\"ctrl_seq_gaps\":1"), std::string::npos);
+  std::remove(path.c_str());
 }
 
 }  // namespace

@@ -12,6 +12,7 @@
 #include "check/check.hpp"
 #include "net/cli.hpp"
 #include "obs/metrics.hpp"
+#include "obs/profiler.hpp"
 #include "obs/trace.hpp"
 
 using namespace e2efa;
@@ -61,12 +62,44 @@ int main(int argc, char** argv) {
     CheckContext check;
     if (opt->check) cfg.check = &check;
 
+    // Flight recorder: when a dump target is named but no trace is
+    // streaming, arm a bounded ring so recent history exists to dump.
+    TraceSink flight_ring;
+    if (!opt->flight_out.empty()) {
+      if (cfg.trace == nullptr) {
+        flight_ring.set_ring(1u << 14);
+        cfg.trace = &flight_ring;
+      }
+      check.arm_flight_recorder(cfg.trace);
+    }
+
+    Profiler profiler;
+    if (!opt->profile_out.empty()) cfg.profile = &profiler;
+
     const RunResult r = run_scenario(sc, opt->protocol, cfg);
 
-    if (cfg.trace != nullptr) {
+    if (!opt->trace_path.empty()) {
       trace.close();
       std::cerr << "trace: " << trace.recorded() << " records -> "
                 << opt->trace_path << "\n";
+    }
+    if (!opt->profile_out.empty()) {
+      if (!write_profile_json(profiler, "e2efa-sim " + opt->scenario,
+                              opt->profile_out, &error)) {
+        std::cerr << "error: " << error << "\n";
+        return 1;
+      }
+      std::cerr << "profile: phase accounting -> " << opt->profile_out << "\n";
+    }
+    if (!opt->flight_out.empty() && !check.ok()) {
+      const auto& dump = check.flight_records();
+      if (!write_trace_file(dump, opt->flight_out,
+                            TraceSink::Format::kBinary, &error)) {
+        std::cerr << "error: " << error << "\n";
+        return 1;
+      }
+      std::cerr << "flight recorder: " << dump.size() << " records -> "
+                << opt->flight_out << "\n";
     }
     if (!opt->metrics_out.empty()) {
       if (!write_metrics_jsonl(r.metrics, opt->metrics_out, &error)) {

@@ -5,12 +5,23 @@
 //   trace-tool jsonl run.trace                # binary -> JSONL on stdout
 //   trace-tool timeline run.trace --flow 0 --limit 40
 //   trace-tool convergence run.trace --window 1 --eps 0.2
+//   trace-tool follow run.trace --flow 0      # causal-chain report
+//   trace-tool chrome run.trace > run.json    # Chrome/Perfetto trace JSON
 //
 // `convergence` reconstructs the runner's fairness metrics from the trace
 // alone: per-window end-to-end shares, a share-normalized Jain trajectory,
 // and the time each LP epoch's allocation first lands within eps of its
 // Phase-1 targets. It needs the lp and flow categories in the trace (the
 // default --trace-filter keeps them).
+//
+// `follow` rebuilds the causal span graph (observability v2) and prints
+// every root-to-leaf chain — control message sends, the frames that carried
+// them, retransmits, receptions, and the solves/rate applications they
+// triggered — optionally restricted to chains touching one logical flow.
+//
+// `chrome` converts the trace to Chrome trace-event JSON (load in Perfetto
+// or chrome://tracing): one track per node, frame airtime as slices, span
+// edges as flow arrows.
 #include <cerrno>
 #include <cstdio>
 #include <cstdlib>
@@ -40,7 +51,12 @@ namespace {
                "  convergence  windowed shares, Jain trajectory, and per-epoch\n"
                "               convergence times against the Phase-1 targets\n"
                "                 --window W  window seconds (W > 0; default 1)\n"
-               "                 --eps E     relative tolerance (default 0.2)\n");
+               "                 --eps E     relative tolerance (default 0.2)\n"
+               "  follow       causal-chain report from span/parent ids\n"
+               "                 --flow F   only chains touching flow F\n"
+               "                 --limit N  at most N chains (default 50)\n"
+               "  chrome       Chrome trace-event JSON on stdout (Perfetto /\n"
+               "               chrome://tracing; per-node tracks, span arrows)\n");
   std::exit(2);
 }
 
@@ -100,7 +116,7 @@ int main(int argc, char** argv) {
   const std::string command = argv[1];
   const std::string path = argv[2];
   if (command != "summary" && command != "jsonl" && command != "timeline" &&
-      command != "convergence")
+      command != "convergence" && command != "follow" && command != "chrome")
     usage("unknown command: " + command);
 
   int flow = -1;
@@ -113,11 +129,13 @@ int main(int argc, char** argv) {
     if (i + 1 >= argc) usage(key + ": missing value");
     const char* val = argv[++i];
     if (key == "--flow") {
-      if (command != "timeline") usage("--flow only applies to timeline");
+      if (command != "timeline" && command != "follow")
+        usage("--flow only applies to timeline and follow");
       flow = static_cast<int>(parse_int(key, val));
       if (flow < 0) usage("--flow must be >= 0");
     } else if (key == "--limit") {
-      if (command != "timeline") usage("--limit only applies to timeline");
+      if (command != "timeline" && command != "follow")
+        usage("--limit only applies to timeline and follow");
       limit = parse_int(key, val);
       if (limit < 1) usage("--limit must be >= 1");
     } else if (key == "--window") {
@@ -150,6 +168,12 @@ int main(int argc, char** argv) {
     std::printf("%s", format_flow_timeline(records, flow,
                                            static_cast<std::size_t>(limit))
                           .c_str());
+  } else if (command == "follow") {
+    std::printf("%s",
+                format_follow(records, flow, static_cast<std::size_t>(limit))
+                    .c_str());
+  } else if (command == "chrome") {
+    std::printf("%s", format_chrome_trace(records).c_str());
   } else {
     print_convergence(analyze_convergence(records, window_s, eps));
   }
