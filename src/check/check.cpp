@@ -17,6 +17,7 @@ const char* to_string(CheckViolation::Category c) {
     case CheckViolation::Category::kQueue: return "queue";
     case CheckViolation::Category::kAlloc: return "alloc";
     case CheckViolation::Category::kAdmission: return "admission";
+    case CheckViolation::Category::kTransport: return "transport";
   }
   return "?";
 }
@@ -40,6 +41,7 @@ void CheckContext::begin_run(const CheckRunInfo& info) {
   mac_dropped_.assign(S, 0);
   delivered_.assign(S, 0);
   active_flow_.clear();
+  transport_.clear();
 }
 
 // ------------------------------------------------------- admission oracle
@@ -345,6 +347,89 @@ void CheckContext::finalize(const std::vector<int>& backlog_per_node, TimeNs now
                      static_cast<long long>(gone[static_cast<std::size_t>(n)]),
                      static_cast<long long>(queued)));
   }
+}
+
+// ------------------------------------------------------------- transport
+
+void CheckContext::on_transport_send(NodeId n, std::int32_t flow,
+                                     std::int64_t seq, bool retransmit,
+                                     double cwnd, TimeNs now) {
+  if (!cfg_.transport) return;
+  TransportFlowState& s = transport_[flow];
+  if (!retransmit) {
+    if (seq <= s.max_sent)
+      fail(CheckViolation::Category::kTransport, n, now,
+           strformat("flow %d: new send seq %lld does not extend the sequence "
+                     "space (max sent %lld)",
+                     flow, static_cast<long long>(seq),
+                     static_cast<long long>(s.max_sent)));
+    s.max_sent = std::max(s.max_sent, seq);
+    s.outstanding.insert(seq);
+    // The oracle re-derives inflight from its own ledger; the packet just
+    // sent is already in it, so the bound is cwnd itself (floor semantics:
+    // a fractional window admits its floor + the send filling it).
+    if (static_cast<double>(s.outstanding.size()) > cwnd + 1e-6)
+      fail(CheckViolation::Category::kTransport, n, now,
+           strformat("flow %d: %zu packets in flight exceed cwnd %.3f",
+                     flow, s.outstanding.size(), cwnd));
+    return;
+  }
+  if (seq <= s.src_cum || s.outstanding.count(seq) == 0) {
+    fail(CheckViolation::Category::kTransport, n, now,
+         strformat("flow %d: retransmit of seq %lld which is not outstanding "
+                   "(cumack %lld)",
+                   flow, static_cast<long long>(seq),
+                   static_cast<long long>(s.src_cum)));
+    return;
+  }
+  // Loss evidence: a pending timeout, or a full dupack threshold since the
+  // last evidence-consuming retransmission.
+  if (s.timeout_evidence > 0) {
+    --s.timeout_evidence;
+  } else if (s.dupacks >= info_.transport_dupack_threshold) {
+    s.dupacks = 0;
+  } else {
+    fail(CheckViolation::Category::kTransport, n, now,
+         strformat("flow %d: seq %lld retransmitted without loss evidence "
+                   "(%d dupacks, no timeout)",
+                   flow, static_cast<long long>(seq), s.dupacks));
+  }
+}
+
+void CheckContext::on_transport_ack(NodeId n, std::int32_t flow,
+                                    std::int64_t cumack, TimeNs now) {
+  if (!cfg_.transport) return;
+  (void)n;
+  (void)now;
+  TransportFlowState& s = transport_[flow];
+  if (cumack > s.src_cum) {
+    s.src_cum = cumack;
+    s.dupacks = 0;
+    s.outstanding.erase(s.outstanding.begin(),
+                        s.outstanding.upper_bound(cumack));
+  } else if (cumack == s.src_cum) {
+    ++s.dupacks;
+  }
+}
+
+void CheckContext::on_transport_timeout(NodeId n, std::int32_t flow,
+                                        TimeNs now) {
+  if (!cfg_.transport) return;
+  (void)n;
+  (void)now;
+  ++transport_[flow].timeout_evidence;
+}
+
+void CheckContext::on_transport_cumack(NodeId n, std::int32_t flow,
+                                       std::int64_t cumack, TimeNs now) {
+  if (!cfg_.transport) return;
+  TransportFlowState& s = transport_[flow];
+  if (cumack < s.sink_cum)
+    fail(CheckViolation::Category::kTransport, n, now,
+         strformat("flow %d: sink cumulative ack moved backwards: %lld -> %lld",
+                   flow, static_cast<long long>(s.sink_cum),
+                   static_cast<long long>(cumack)));
+  s.sink_cum = std::max(s.sink_cum, cumack);
 }
 
 // --------------------------------------------------------------- phase 1

@@ -36,9 +36,16 @@
 //                a feasible load (false reject), and no lane of a departed
 //                (inactive) flow is ever re-raised above the idle floor by
 //                a late RATE message (the no-stale-rate invariant).
+//   transport    elastic-source sanity: the sink's cumulative ACK stream is
+//                monotone per flow, inflight never exceeds the window at a
+//                send, and a sequence is only ever retransmitted with loss
+//                evidence in hand (a timeout, or a full dupack threshold
+//                since the last retransmission).
 #pragma once
 
 #include <cstdint>
+#include <map>
+#include <set>
 #include <string>
 #include <unordered_map>
 #include <vector>
@@ -66,6 +73,7 @@ struct CheckConfig {
   bool queue = true;
   bool alloc = true;
   bool admission = true;
+  bool transport = true;
   /// Violations beyond this are counted but not stored (memory bound under
   /// a genuinely broken invariant firing per packet).
   int max_violations = 32;
@@ -85,7 +93,15 @@ struct CheckConfig {
 };
 
 struct CheckViolation {
-  enum class Category { kMac, kConservation, kSched, kQueue, kAlloc, kAdmission };
+  enum class Category {
+    kMac,
+    kConservation,
+    kSched,
+    kQueue,
+    kAlloc,
+    kAdmission,
+    kTransport,
+  };
   Category category = Category::kMac;
   double t_s = 0.0;            ///< Simulation time of the violation.
   NodeId node = kInvalidNode;  ///< Offending node (-1 when not node-local).
@@ -108,6 +124,9 @@ struct CheckRunInfo {
   int queue_capacity = 50;
   TimeNs slot = 20 * kMicrosecond;
   TimeNs sifs = 10 * kMicrosecond;
+  /// Dupack threshold the transport oracle holds sources to (the fast-
+  /// retransmit evidence bar; TransportConfig::dupack_threshold).
+  int transport_dupack_threshold = 3;
   /// Per-subflow forwarding metadata (sim subflow ids) for conservation.
   struct SubflowInfo {
     std::int32_t flow = -1;
@@ -177,6 +196,23 @@ class CheckContext {
   /// Violation: the subflow's flow is inactive and the share is above the
   /// idle floor — a stale RATE resurrected a departed flow's lane.
   void on_rate_applied(NodeId n, std::int32_t subflow, double share, TimeNs now);
+
+  // --- Transport hooks (ElasticTransport + AckPlane) -------------------
+  /// A source put sequence `seq` on the wire. New sends must extend the
+  /// sequence space and keep inflight <= cwnd (+1: the packet being sent);
+  /// retransmissions must target an un-acked sequence *and* consume loss
+  /// evidence — a pending timeout, or `transport_dupack_threshold` dupacks
+  /// accumulated since the last evidence-consuming retransmission.
+  void on_transport_send(NodeId n, std::int32_t flow, std::int64_t seq,
+                         bool retransmit, double cwnd, TimeNs now);
+  /// An ACK arrived back at the source (advancing or duplicate).
+  void on_transport_ack(NodeId n, std::int32_t flow, std::int64_t cumack,
+                        TimeNs now);
+  /// The source's RTO fired (evidence for the retransmission that follows).
+  void on_transport_timeout(NodeId n, std::int32_t flow, TimeNs now);
+  /// The sink emitted a cumulative ACK. Violation: it moved backwards.
+  void on_transport_cumack(NodeId n, std::int32_t flow, std::int64_t cumack,
+                           TimeNs now);
 
   // --- Phase-1 post-solve hook (runner) --------------------------------
   /// `expect_floor` asserts the basic-fairness floor in addition to clique
@@ -253,6 +289,19 @@ class CheckContext {
   // Admission oracle state: current per-sim-flow activity (empty until the
   // runner's first note_active_flows — every flow then counts as active).
   std::vector<char> active_flow_;
+
+  // Transport oracle state, keyed by flow id. The oracle re-derives the
+  // source's ledger from the hook stream alone: its own outstanding set,
+  // its own dupack/timeout evidence counters.
+  struct TransportFlowState {
+    std::int64_t max_sent = -1;
+    std::int64_t src_cum = -1;   ///< Highest cumack seen back at the source.
+    std::int64_t sink_cum = -1;  ///< Highest cumack the sink ever emitted.
+    int dupacks = 0;             ///< Dupacks since the last evidence consume.
+    int timeout_evidence = 0;    ///< Timeouts not yet consumed by a retx.
+    std::set<std::int64_t> outstanding;
+  };
+  std::map<std::int32_t, TransportFlowState> transport_;
 };
 
 }  // namespace e2efa

@@ -545,6 +545,9 @@ void AllocAgent::on_ctrl(const Frame& fr) {
     case CtrlMsg::Kind::kAdmitRsp:
       handle_admit(m, now);
       break;
+
+    case CtrlMsg::Kind::kTransAck:
+      break;  // dispatched to the AckPlane listener, never to agents
   }
   cause_ = 0;
 }

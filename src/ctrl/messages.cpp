@@ -8,6 +8,7 @@ int CtrlMsg::wire_bytes() const {
   for (const std::vector<int>& c : cliques)
     bytes += 1 + 2 * static_cast<int>(c.size());
   if (kind == Kind::kRate) bytes += 8;
+  if (kind == Kind::kTransAck) bytes += 12;
   return bytes;
 }
 
@@ -19,6 +20,7 @@ const char* to_string(CtrlMsg::Kind k) {
     case CtrlMsg::Kind::kRate: return "RATE";
     case CtrlMsg::Kind::kAdmitReq: return "ADMIT_REQ";
     case CtrlMsg::Kind::kAdmitRsp: return "ADMIT_RSP";
+    case CtrlMsg::Kind::kTransAck: return "TRANS_ACK";
   }
   return "?";
 }

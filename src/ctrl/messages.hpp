@@ -52,6 +52,11 @@ struct CtrlMsg {
     kRate = 3,
     kAdmitReq = 4,
     kAdmitRsp = 5,
+    /// Transport-layer cumulative ACK (src/transport/ack_plane.hpp):
+    /// directed upstream hop-by-hop along an elastic flow's path from sink
+    /// to source. Never enters the allocation plane — the MAC dispatches it
+    /// to its transport listener instead of the AllocAgent.
+    kTransAck = 6,
   };
 
   Kind kind = Kind::kHello;
@@ -70,6 +75,11 @@ struct CtrlMsg {
   double rate = 0.0;  ///< kRate: allocated share in units of B.
   /// kAdmitReq/kAdmitRsp: AND of the verdicts of the hops visited so far.
   bool admit_ok = true;
+  /// kTransAck: highest in-order data sequence delivered at the sink.
+  std::int64_t cumack = -1;
+  /// kTransAck: data sequence whose arrival triggered this ACK (the
+  /// source's RTT / delivery-rate probe).
+  std::int64_t echo_seq = -1;
   /// Causal span id of the kCtrlSend trace record that emitted this message
   /// (0 when tracing is off/filtered). Observability only: it rides the
   /// simulated message so the receiver's kCtrlRecv record can point at the
@@ -79,7 +89,7 @@ struct CtrlMsg {
   /// Modeled wire size in bytes (drives airtime and the overhead metric):
   /// a 12-byte header (kind, origin, to, seq, flow, generation, verdict
   /// bit), 2 bytes per subflow id, 1 + 2·|members| per clique, 8 bytes for
-  /// a rate.
+  /// a rate, 12 bytes for a transport ack (cumack + echo).
   int wire_bytes() const;
 };
 

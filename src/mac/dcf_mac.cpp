@@ -3,6 +3,7 @@
 #include <algorithm>
 
 #include "check/check.hpp"
+#include "ctrl/messages.hpp"
 #include "util/assert.hpp"
 
 namespace e2efa {
@@ -370,7 +371,14 @@ void DcfMac::on_frame_received(const Frame& f) {
 
   // Control payloads ride on broadcast kCtrl frames and on overheard
   // RTS/CTS piggybacks alike — surface them before the unicast filter.
-  if (f.ctrl != nullptr && ctrl_listener_) ctrl_listener_(f);
+  // Transport ACKs go to their own listener; agents never see them.
+  if (f.ctrl != nullptr) {
+    if (f.ctrl->kind == CtrlMsg::Kind::kTransAck) {
+      if (transport_listener_) transport_listener_(f);
+    } else if (ctrl_listener_) {
+      ctrl_listener_(f);
+    }
+  }
   if (f.type == FrameType::kCtrl) return;  // no NAV, no handshake role
 
   if (f.rx != self_) {

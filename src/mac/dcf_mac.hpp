@@ -88,6 +88,12 @@ class DcfMac : public PhyListener {
   /// dedicated kCtrl broadcasts and RTS/CTS piggybacks alike.
   using CtrlListener = std::function<void(const Frame&)>;
   void set_ctrl_listener(CtrlListener fn) { ctrl_listener_ = std::move(fn); }
+  /// Invoked instead of the ctrl listener for frames carrying a transport
+  /// ACK payload (CtrlMsg::Kind::kTransAck) — the elastic transport's
+  /// AckPlane; allocation agents never see transport ACKs.
+  void set_transport_listener(CtrlListener fn) {
+    transport_listener_ = std::move(fn);
+  }
   /// Installs the RTS/CTS piggyback source. Null (default) = none.
   void set_ctrl_piggyback(CtrlPiggyback* p) { piggyback_ = p; }
 
@@ -175,6 +181,7 @@ class DcfMac : public PhyListener {
   };
   std::deque<CtrlEntry> ctrl_q_;
   CtrlListener ctrl_listener_;
+  CtrlListener transport_listener_;
   CtrlPiggyback* piggyback_ = nullptr;
 
   State state_ = State::kIdle;

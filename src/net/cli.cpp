@@ -59,6 +59,8 @@ std::string cli_usage() {
       "                  later flows arrive at mean rate R/s and live L s on\n"
       "                  average; arrivals pass the admission gate\n"
       "  --mobility K:S  K random-waypoint walkers moving at S m/s\n"
+      "  --transport K   source model: cbr (open-loop, default) | aimd | bbr\n"
+      "                  (closed-loop elastic sources over end-to-end ACKs)\n"
       "  --help          this text\n";
 }
 
@@ -179,6 +181,12 @@ std::optional<CliOptions> parse_cli(int argc, const char* const* argv,
         *error = "--churn RATE and LIFE must both be positive";
         return std::nullopt;
       }
+    } else if (arg == "--transport") {
+      if (!parse_transport_kind(*value)) {
+        *error = "unknown transport kind: " + *value + " (cbr | aimd | bbr)";
+        return std::nullopt;
+      }
+      opt.transport = *value;
     } else if (arg == "--mobility") {
       const auto colon = value->find(':');
       if (colon == std::string::npos) {
@@ -234,6 +242,11 @@ std::pair<std::string, std::string> split_spec(const std::string& spec) {
 }  // namespace
 
 void apply_cli_dynamics(Scenario& sc, const CliOptions& opt) {
+  if (!opt.transport.empty()) {
+    const auto kind = parse_transport_kind(opt.transport);
+    E2EFA_ASSERT_MSG(kind.has_value(), "unparsed transport kind survived CLI");
+    sc.transport = *kind;
+  }
   if (opt.churn_rate > 0.0 && sc.flow_specs.size() > 1) {
     // A salted, dedicated stream: the run's own master RNG (same seed) must
     // see the exact draw sequence it would without churn.
@@ -368,6 +381,20 @@ std::string format_run_result(const Scenario& sc, const RunResult& r,
       for (double v : r.reconv_s)
         os << " " << (v < 0.0 ? std::string("never") : strformat("%.1f", v));
       os << "\n";
+    }
+  }
+
+  if (sc.transport != TransportKind::kCbr) {
+    os << "\nelastic transport (" << to_string(sc.transport) << "): "
+       << r.transport.acks_sent << " acks sent, " << r.transport.acks_relayed
+       << " relayed, " << r.transport.acks_delivered << " delivered\n";
+    for (std::size_t f = 0; f < r.transport.flows.size(); ++f) {
+      const TransportTelemetry& tel = r.transport.flows[f];
+      os << "  " << flows.flow(static_cast<FlowId>(f)).name() << ": cwnd "
+         << strformat("%.1f", tel.cwnd) << ", srtt "
+         << strformat("%.1f", tel.srtt_s * 1e3) << " ms, "
+         << tel.retransmits << " retransmits, " << tel.timeouts
+         << " timeouts\n";
     }
   }
 

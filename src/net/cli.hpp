@@ -56,6 +56,9 @@ struct CliOptions {
   /// picks and walk seeds derived from --seed).
   int mobility_walkers = 0;
   double mobility_speed = 0.0;
+  /// --transport K: override the scenario's source model (cbr | aimd | bbr).
+  /// Empty (default) keeps whatever the scenario specifies.
+  std::string transport;
 };
 
 /// Parses argv. On error returns nullopt and fills *error with a message
@@ -73,8 +76,8 @@ std::optional<Protocol> parse_protocol(const std::string& s);
 /// spec. `rng` seeds "random:N" placements.
 Scenario make_named_scenario(const std::string& spec, Rng& rng);
 
-/// Applies the --churn / --mobility options to a built scenario (no-op when
-/// both are off). Churn fills sc.activity as documented on CliOptions;
+/// Applies the --churn / --mobility / --transport options to a built
+/// scenario (no-op when all are off). Churn fills sc.activity as on CliOptions;
 /// mobility appends walkers for the first K nodes drawn without
 /// replacement. Deterministic in (sc, opt.config.seed).
 void apply_cli_dynamics(Scenario& sc, const CliOptions& opt);

@@ -1,5 +1,7 @@
 #include "net/node_stack.hpp"
 
+#include <limits>
+
 #include "check/check.hpp"
 #include "util/assert.hpp"
 
@@ -59,14 +61,22 @@ void NodeStack::inject_from_source(Packet p, FlowId flow) {
 
 void NodeStack::on_packet_delivered(const Packet& p) {
   E2EFA_ASSERT(p.dst == self_);
-  auto [it, inserted] = last_seq_.try_emplace(p.subflow, -1);
-  if (p.seq <= it->second) return;  // duplicate (lost ACK, sender retried)
-  it->second = p.seq;
+  // Sentinel is max(): real uids count up from 1, but unit harnesses may
+  // hand-build packets with the default uid of 0.
+  auto [it, inserted] = last_uid_.try_emplace(
+      p.subflow, std::numeric_limits<std::uint64_t>::max());
+  if (p.uid == it->second) return;  // duplicate (lost ACK, sender retried)
+  it->second = p.uid;
   if (stats_.measuring(sim_.now())) ++stats_.subflow(p.subflow).delivered;
   if (check_ != nullptr) check_->on_delivered(p.subflow);
 
   const Flow& f = flows_.flow(p.flow);
   if (p.hop + 1 >= f.length()) {
+    // The transport sink (ACK plane) decides whether this sequence is a
+    // first arrival; a retransmitted copy is acked but not counted.
+    const bool fresh =
+        transport_sink_ == nullptr || transport_sink_(p, sim_.now());
+    if (!fresh) return;
     if (stats_.measuring(sim_.now()))
       stats_.record_delay(p.flow, sim_.now() - p.created);
     stats_.notify_end_to_end(p.flow, sim_.now(), sim_.now() - p.created);

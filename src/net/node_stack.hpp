@@ -59,6 +59,14 @@ class NodeStack : public MacCallbacks {
     on_link_failure_ = std::move(fn);
   }
 
+  /// Transport-layer sink hook (AckPlane): invoked for every uid-unique
+  /// last-hop delivery; returns true when the *sequence* is fresh (first
+  /// arrival at the sink). End-to-end stats count only fresh deliveries, so
+  /// a retransmitted copy is acked but never double-counted. Null
+  /// (default): every uid-unique delivery is fresh (open-loop CBR).
+  using TransportSink = std::function<bool(const Packet&, TimeNs)>;
+  void set_transport_sink(TransportSink fn) { transport_sink_ = std::move(fn); }
+
  private:
   void enqueue_and_notify(Packet p);
 
@@ -69,10 +77,14 @@ class NodeStack : public MacCallbacks {
   std::unique_ptr<TxQueue> queue_;
   std::unique_ptr<BackoffPolicy> backoff_;
   std::unique_ptr<DcfMac> mac_;
-  /// Duplicate suppression: highest sequence delivered per incoming subflow
-  /// (per-subflow queues are FIFO, so sequences arrive in order).
-  std::unordered_map<std::int32_t, std::int64_t> last_seq_;
+  /// Duplicate suppression: uid of the last packet delivered per incoming
+  /// subflow. MAC-level duplicates (lost ACK, sender retried) are always
+  /// consecutive copies of the *same* packet, so remembering one uid
+  /// suffices — and unlike a sequence watermark it lets a transport
+  /// retransmission (same seq, fresh uid) pass through the relay chain.
+  std::unordered_map<std::int32_t, std::uint64_t> last_uid_;
   LinkFailureListener on_link_failure_;
+  TransportSink transport_sink_;
   TraceSink* trace_ = nullptr;
   CheckContext* check_ = nullptr;
 };

@@ -20,6 +20,9 @@
 #include "sched/tag_scheduler.hpp"
 #include "sim/simulator.hpp"
 #include "traffic/cbr_source.hpp"
+#include "transport/ack_plane.hpp"
+#include "transport/aimd.hpp"
+#include "transport/bbr.hpp"
 #include "util/assert.hpp"
 
 namespace e2efa {
@@ -359,6 +362,7 @@ RunResult run_scenario(const Scenario& sc, Protocol proto, const SimConfig& cfg,
     info.ctrl_cw = mac_defaults.ctrl_cw;
     info.slot = mac_defaults.slot;
     info.sifs = mac_defaults.sifs;
+    info.transport_dupack_threshold = cfg.transport.dupack_threshold;
     info.subflows.resize(static_cast<std::size_t>(flows.subflow_count()));
     for (int s = 0; s < flows.subflow_count(); ++s) {
       const Subflow& sf = flows.subflow(s);
@@ -776,23 +780,61 @@ RunResult run_scenario(const Scenario& sc, Protocol proto, const SimConfig& cfg,
   // Traffic sources at each flow's origin, gated by the activity windows.
   // Packets of a suspended flow are suppressed at the source (and counted):
   // there is no route to put them on.
-  std::vector<std::unique_ptr<CbrSource>> sources;
+  //
+  // Elastic runs additionally stand up the ACK plane: every node may relay
+  // returning kTransAck frames, every stack's last-hop deliveries route
+  // through the plane's freshness gate, and each flow's controller hangs
+  // off its provisioned path. CBR runs construct none of this — their
+  // trajectory (and RNG stream) is byte-identical to pre-transport builds.
+  const bool elastic = sc.transport != TransportKind::kCbr;
+  TransportConfig tcfg = cfg.transport;
+  tcfg.kind = sc.transport;
+  std::unique_ptr<AckPlane> ack;
+  if (elastic) {
+    ack = std::make_unique<AckPlane>(sim, tcfg, trace, check);
+    for (NodeId n = 0; n < sc.topo.node_count(); ++n) {
+      NodeStack* stack = stacks[static_cast<std::size_t>(n)].get();
+      ack->register_mac(n, &stack->mac());
+      stack->mac().set_transport_listener(
+          [a = ack.get(), n](const Frame& fr) { a->on_ctrl_frame(n, fr); });
+      // The plane keys state by *logical* flow: a repaired route variant's
+      // deliveries fold onto the same cumulative-ack stream.
+      stack->set_transport_sink(
+          [a = ack.get(), &logical_of](const Packet& p, TimeNs now) {
+            Packet q = p;
+            q.flow = logical_of[static_cast<std::size_t>(p.flow)];
+            return a->on_final_delivery(q, now);
+          });
+    }
+  }
+  std::vector<std::unique_ptr<TransportSource>> sources;
   for (FlowId f = 0; f < F; ++f) {
     NodeStack* stack = stacks[static_cast<std::size_t>(logical.flow(f).source())].get();
-    auto src = std::make_unique<CbrSource>(
-        sim, cfg.cbr_pps, cfg.payload_bytes,
-        [stack, f, &active_now, &stats](Packet p) {
-          const FlowId g = active_now[static_cast<std::size_t>(f)];
-          if (g < 0) {
-            stats.count_suspended(f);
-            return;
-          }
-          stack->inject_from_source(p, g);
-        },
-        master);
+    auto emit = [stack, f, &active_now, &stats](Packet p) {
+      const FlowId g = active_now[static_cast<std::size_t>(f)];
+      if (g < 0) {
+        stats.count_suspended(f);
+        return;
+      }
+      stack->inject_from_source(p, g);
+    };
+    std::unique_ptr<TransportSource> src;
+    if (!elastic) {
+      src = std::make_unique<CbrTransport>(sim, cfg.cbr_pps, cfg.payload_bytes,
+                                           std::move(emit), master);
+    } else if (sc.transport == TransportKind::kAimd) {
+      src = std::make_unique<AimdTransport>(sim, tcfg, cfg.payload_bytes,
+                                            std::move(emit), master, f,
+                                            logical.flow(f).source(), trace, check);
+    } else {
+      src = std::make_unique<BbrTransport>(sim, tcfg, cfg.payload_bytes,
+                                           std::move(emit), master, f,
+                                           logical.flow(f).source(), trace, check);
+    }
+    if (elastic) ack->add_flow(f, logical.flow(f).path, src.get());
     const FlowActivity w = window_of(f);
     const TimeNs until = std::min(horizon, from_seconds(std::min(w.stop_s, total_s)));
-    CbrSource* raw = src.get();
+    TransportSource* raw = src.get();
     // A rejected arrival's source never starts (the flow offers no traffic);
     // the source object is still constructed so the RNG stream layout is
     // identical whichever way the gate decided.
@@ -989,6 +1031,15 @@ RunResult run_scenario(const Scenario& sc, Protocol proto, const SimConfig& cfg,
         samp.ctrl_seq_gaps = gaps - metrics_prev_seq_gaps;
         metrics_prev_seq_gaps = gaps;
       }
+      if (elastic) {
+        for (FlowId f = 0; f < F; ++f) {
+          const TransportTelemetry tel =
+              sources[static_cast<std::size_t>(f)]->telemetry();
+          samp.flow_cwnd.push_back(tel.cwnd);
+          samp.flow_srtt_s.push_back(tel.srtt_s);
+          samp.flow_delivery_pps.push_back(tel.delivery_rate_pps);
+        }
+      }
       metrics_ts.samples.push_back(std::move(samp));
       if (sim.now() + period <= horizon) sim.schedule_in(period, metrics_sample);
     };
@@ -1054,6 +1105,15 @@ RunResult run_scenario(const Scenario& sc, Protocol proto, const SimConfig& cfg,
     out.suspended_packets += stats.suspended(f);
   }
   out.link_failures = link_failures;
+  out.events_processed = sim.events_processed();
+  if (elastic) {
+    out.transport.acks_sent = ack->acks_sent();
+    out.transport.acks_relayed = ack->acks_relayed();
+    out.transport.acks_delivered = ack->acks_delivered();
+    for (FlowId f = 0; f < F; ++f)
+      out.transport.flows.push_back(
+          sources[static_cast<std::size_t>(f)]->telemetry());
+  }
   out.epoch_end_to_end = std::move(epoch_e2e);
   out.recoveries = std::move(recoveries);
   out.metrics = std::move(metrics_ts);

@@ -16,6 +16,7 @@
 #include "obs/trace.hpp"
 #include "phy/channel.hpp"
 #include "traffic/stats.hpp"
+#include "transport/transport.hpp"
 
 namespace e2efa {
 
@@ -86,6 +87,9 @@ struct SimConfig {
   /// the trace/check observers it IS thread-safe: one profiler may be
   /// shared across a BatchRunner fan-out and aggregates over all runs.
   Profiler* profile = nullptr;
+  /// Elastic-transport tuning (used when Scenario::transport != kCbr; the
+  /// `kind` member is ignored — the scenario decides the source model).
+  TransportConfig transport;
 };
 
 struct RunResult {
@@ -208,6 +212,21 @@ struct RunResult {
     bool operator==(const Admission&) const = default;
   };
   std::vector<Admission> admissions;
+
+  /// Total simulator events processed by the run — a deterministic proxy
+  /// for simulated work (bench A/B guards compare it across source models).
+  std::uint64_t events_processed = 0;
+
+  /// Elastic-transport summary (Scenario::transport != kCbr only; all-zero
+  /// and empty otherwise). ACK-plane counters plus each flow's final
+  /// controller telemetry, indexed by scenario flow.
+  struct TransportSummary {
+    std::uint64_t acks_sent = 0;       ///< Cumulative ACKs queued at sinks.
+    std::uint64_t acks_relayed = 0;    ///< Hop-by-hop ACK forwards.
+    std::uint64_t acks_delivered = 0;  ///< ACKs that reached their source.
+    std::vector<TransportTelemetry> flows;
+  };
+  TransportSummary transport;
 
   /// Per-epoch in-band re-convergence time (k2paDistributedCtrl multi-epoch
   /// runs only; empty otherwise): reconv_s[e] = seconds after epoch e's

@@ -70,6 +70,8 @@ Scenario parse_scenario_text(const std::string& text, std::string name) {
   std::vector<MobSpec> mob_specs;
   double range = 250.0;
   double irange = -1.0;
+  TransportKind transport = TransportKind::kCbr;
+  int transport_line = 0;
 
   std::istringstream in(text);
   std::string raw;
@@ -178,6 +180,18 @@ Scenario parse_scenario_text(const std::string& text, std::string name) {
         fail(lineno, "mobility needs a positive speed");
       if (spec.pause < 0) fail(lineno, "mobility pause must not be negative");
       mob_specs.push_back(std::move(spec));
+    } else if (cmd == "transport") {
+      std::string kind;
+      if (!(line >> kind)) fail(lineno, "transport needs: cbr|aimd|bbr");
+      if (transport_line != 0)
+        fail(lineno, strformat("duplicate transport directive (line %d)",
+                               transport_line));
+      transport_line = lineno;
+      const auto parsed = parse_transport_kind(kind);
+      if (!parsed) fail(lineno, "unknown transport kind '" + kind + "'");
+      transport = *parsed;
+      std::string extra;
+      if (line >> extra) fail(lineno, "unexpected token after transport");
     } else {
       fail(lineno, "unknown directive '" + cmd + "'");
     }
@@ -190,6 +204,7 @@ Scenario parse_scenario_text(const std::string& text, std::string name) {
   topo.set_labels(labels);
 
   Scenario sc{std::move(name), std::move(topo), {}, {}};
+  sc.transport = transport;
   for (const FlowSpec& spec : flow_specs) {
     std::vector<NodeId> ids;
     for (const std::string& label : spec.nodes) {
@@ -330,6 +345,10 @@ Scenario load_scenario_file(const std::string& path) {
 std::string serialize_scenario_text(const Scenario& sc) {
   std::string out = "# scenario: " + sc.name + "\n";
   out += strformat("range %.17g\n", sc.topo.tx_range());
+  // The default (cbr) is omitted so pre-transport files round-trip
+  // byte-identically.
+  if (sc.transport != TransportKind::kCbr)
+    out += strformat("transport %s\n", to_string(sc.transport));
   if (sc.topo.interference_range() != sc.topo.tx_range())
     out += strformat("irange %.17g\n", sc.topo.interference_range());
   for (NodeId n = 0; n < sc.topo.node_count(); ++n) {

@@ -139,6 +139,8 @@ Scenario generate_scenario(std::uint64_t seed, const GenConfig& cfg) {
                 return a.node < b.node;
               });
   }
+  if (cfg.p_transport > 0.0 && rng.uniform01() < cfg.p_transport)
+    sc.transport = rng.bernoulli(0.5) ? TransportKind::kAimd : TransportKind::kBbr;
   return sc;
 }
 

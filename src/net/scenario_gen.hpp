@@ -41,6 +41,10 @@ struct GenConfig {
   /// Walker speeds are drawn uniformly from [5, max_speed_mps] — fast
   /// enough to cross a 250 m range boundary within a fuzz-sized horizon.
   double max_speed_mps = 45.0;
+  /// Probability the scenario uses a closed-loop elastic transport instead
+  /// of open-loop CBR (then aimd / bbr with equal odds). 0 (the default)
+  /// draws nothing, so existing seeds keep their scenarios.
+  double p_transport = 0.0;
   /// 0 (default) routes each flow with a full-graph BFS to a uniformly
   /// random destination — fine at paper scale, O(nodes) per flow. > 0
   /// caps flow length: the destination is drawn from the source's

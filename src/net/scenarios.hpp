@@ -22,6 +22,7 @@
 #include "flow/flow.hpp"
 #include "net/faults.hpp"
 #include "topology/topology.hpp"
+#include "transport/transport.hpp"
 
 namespace e2efa {
 
@@ -70,6 +71,9 @@ struct Scenario {
   std::vector<FlowActivity> activity;
   /// Random-waypoint mobility specs, at most one per node.
   std::vector<MobilitySpec> mobility;
+  /// Source model for every flow: open-loop CBR (default, the paper's
+  /// workload) or a closed-loop elastic transport (AIMD / BBR-style).
+  TransportKind transport = TransportKind::kCbr;
 };
 
 /// Fig. 1: the motivating two-flow topology.

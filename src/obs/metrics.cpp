@@ -72,22 +72,41 @@ std::vector<double> MetricsRegistry::values(const std::string& name) const {
   return out;
 }
 
-std::string metrics_sample_jsonl(const MetricsSample& s) {
-  std::string goodput = "[";
-  for (std::size_t f = 0; f < s.flow_goodput_pps.size(); ++f) {
-    if (f > 0) goodput += ",";
-    goodput += strformat("%.17g", s.flow_goodput_pps[f]);
+namespace {
+
+std::string double_array_json(const std::vector<double>& v) {
+  std::string out = "[";
+  for (std::size_t i = 0; i < v.size(); ++i) {
+    if (i > 0) out += ",";
+    out += strformat("%.17g", v[i]);
   }
-  goodput += "]";
-  return strformat(
+  out += "]";
+  return out;
+}
+
+}  // namespace
+
+std::string metrics_sample_jsonl(const MetricsSample& s) {
+  const std::string goodput = double_array_json(s.flow_goodput_pps);
+  std::string line = strformat(
       "{\"t_s\":%.17g,\"flow_goodput_pps\":%s,\"jain\":%.17g,"
       "\"queue_p50\":%.17g,\"queue_p95\":%.17g,\"queue_max\":%.17g,"
       "\"mac_retry_rate\":%.17g,\"channel_utilization\":%.17g,"
       "\"ctrl_bytes\":%.17g,\"ctrl_overhead\":%.17g,"
-      "\"ctrl_retransmits\":%.17g,\"ctrl_seq_gaps\":%.17g}",
+      "\"ctrl_retransmits\":%.17g,\"ctrl_seq_gaps\":%.17g",
       s.t_s, goodput.c_str(), s.jain, s.queue_depth_p50, s.queue_depth_p95,
       s.queue_depth_max, s.mac_retry_rate, s.channel_utilization, s.ctrl_bytes,
       s.ctrl_overhead, s.ctrl_retransmits, s.ctrl_seq_gaps);
+  // Transport columns appear only for elastic runs, so open-loop CBR
+  // artifacts stay byte-identical to their pre-transport goldens.
+  if (!s.flow_cwnd.empty())
+    line += strformat(",\"flow_cwnd\":%s,\"flow_srtt_s\":%s,"
+                      "\"flow_delivery_pps\":%s",
+                      double_array_json(s.flow_cwnd).c_str(),
+                      double_array_json(s.flow_srtt_s).c_str(),
+                      double_array_json(s.flow_delivery_pps).c_str());
+  line += "}";
+  return line;
 }
 
 bool write_metrics_jsonl(const MetricsTimeSeries& ts, const std::string& path,

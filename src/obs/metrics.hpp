@@ -83,6 +83,13 @@ struct MetricsSample {
   /// sequence gaps (messages the origin sent that this window never saw).
   double ctrl_retransmits = 0.0;
   double ctrl_seq_gaps = 0.0;
+  /// Elastic transport gauges, one entry per logical flow at window end
+  /// (empty for open-loop CBR runs, which keeps their JSONL byte-stable):
+  /// congestion window (packets), smoothed RTT (seconds; 0 before the first
+  /// sample), and the latest per-ACK delivery-rate sample (packets/s).
+  std::vector<double> flow_cwnd;
+  std::vector<double> flow_srtt_s;
+  std::vector<double> flow_delivery_pps;
 
   bool operator==(const MetricsSample&) const = default;
 };

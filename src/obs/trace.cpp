@@ -59,6 +59,12 @@ const char* to_string(TraceEvent e) {
     case TraceEvent::kCtrlRetransmit: return "ctrl_retransmit";
     case TraceEvent::kCtrlSeqGap: return "ctrl_seq_gap";
     case TraceEvent::kCtrlReconv: return "ctrl_reconv";
+    case TraceEvent::kTransSend: return "trans_send";
+    case TraceEvent::kTransAckTx: return "trans_ack_tx";
+    case TraceEvent::kTransAckRx: return "trans_ack_rx";
+    case TraceEvent::kTransRetransmit: return "trans_retransmit";
+    case TraceEvent::kTransTimeout: return "trans_timeout";
+    case TraceEvent::kTransCwnd: return "trans_cwnd";
   }
   return "unknown";
 }
@@ -76,6 +82,7 @@ const char* to_string(TraceCat c) {
     case TraceCat::kLp: return "lp";
     case TraceCat::kFlow: return "flow";
     case TraceCat::kCtrl: return "ctrl";
+    case TraceCat::kTransport: return "transport";
   }
   return "unknown";
 }
@@ -110,7 +117,8 @@ bool parse_trace_filter(const std::string& spec, std::uint32_t* mask,
     }
     if (!found) {
       *error = "unknown trace category: " + name +
-               " (expected meta|phy|mac|backoff|tag|vclock|queue|fault|lp|flow|ctrl|all)";
+               " (expected meta|phy|mac|backoff|tag|vclock|queue|fault|lp|flow|"
+               "ctrl|transport|all)";
       return false;
     }
   }

@@ -59,12 +59,13 @@ enum class TraceCat : std::uint32_t {
   kLp = 8,       ///< Phase-1 (re-)solves and the resulting flow targets.
   kFlow = 9,     ///< End-to-end deliveries per logical flow.
   kCtrl = 10,    ///< In-band allocation control plane (HELLO/CONSTRAINT/RATE).
+  kTransport = 11,  ///< Elastic transport: sends, ACK path, retransmits, cwnd.
 };
 
 constexpr std::uint32_t trace_bit(TraceCat c) {
   return 1u << static_cast<std::uint32_t>(c);
 }
-constexpr std::uint32_t kTraceCategoryCount = 11;
+constexpr std::uint32_t kTraceCategoryCount = 12;
 constexpr std::uint32_t kTraceAllCategories = (1u << kTraceCategoryCount) - 1u;
 
 #ifndef E2EFA_TRACE_COMPILED_CATEGORIES
@@ -103,6 +104,12 @@ enum class TraceEvent : std::uint16_t {
   kCtrlRetransmit = 24, ///< node, a=CtrlMsg::Kind resent, b=flow, v0=retransmit count, v1=backoff wait (ticks).
   kCtrlSeqGap = 25,     ///< node=receiver, a=origin, b=gap (messages missed), v0=expected seq, v1=got seq.
   kCtrlReconv = 26,     ///< run-global, a=epoch index, v0=re-convergence time (s), v1=epoch boundary (s).
+  kTransSend = 27,        ///< node=source, a=flow, b=0, v0=seq, v1=cwnd; parent=last kTransAckRx span (the ACK clock).
+  kTransAckTx = 28,       ///< node=sink/relay, a=flow, b=next upstream hop, v0=cumack, v1=echo seq; span owned, parent=cause.
+  kTransAckRx = 29,       ///< node=source, a=flow, b=sink, v0=cumack, v1=echo seq; span owned, parent=carrying kTransAckTx.
+  kTransRetransmit = 30,  ///< node=source, a=flow, b=1 timeout / 0 dupack, v0=seq, v1=cwnd.
+  kTransTimeout = 31,     ///< node=source, a=flow, b=backoff exponent, v0=RTO (s), v1=srtt (s).
+  kTransCwnd = 32,        ///< node=source, a=flow, v0=cwnd (pkts), v1=srtt (s); emitted when floor(cwnd) moves.
 };
 
 /// Category an event belongs to (drives filtering).
@@ -135,6 +142,12 @@ constexpr TraceCat trace_category(TraceEvent e) {
     case TraceEvent::kCtrlRetransmit:
     case TraceEvent::kCtrlSeqGap:
     case TraceEvent::kCtrlReconv: return TraceCat::kCtrl;
+    case TraceEvent::kTransSend:
+    case TraceEvent::kTransAckTx:
+    case TraceEvent::kTransAckRx:
+    case TraceEvent::kTransRetransmit:
+    case TraceEvent::kTransTimeout:
+    case TraceEvent::kTransCwnd: return TraceCat::kTransport;
   }
   return TraceCat::kMeta;
 }
@@ -142,7 +155,7 @@ constexpr TraceCat trace_category(TraceEvent e) {
 /// Number of defined TraceEvent values; readers reject anything >= this
 /// (a corrupt record, not a format they should silently accept).
 constexpr std::uint16_t kTraceEventCount =
-    static_cast<std::uint16_t>(TraceEvent::kCtrlReconv) + 1;
+    static_cast<std::uint16_t>(TraceEvent::kTransCwnd) + 1;
 
 const char* to_string(TraceEvent e);
 const char* to_string(TraceCat c);

@@ -216,6 +216,15 @@ std::string format_trace_summary(const std::vector<TraceRecord>& records) {
   std::map<int, std::uint64_t> retx_by_kind;
   std::uint64_t seq_gap_events = 0, seq_gap_missed = 0;
   std::vector<const TraceRecord*> reconv;
+  // Elastic-transport health, keyed by flow: retransmits split by cause
+  // (kTransRetransmit b = 1 timeout / 0 dupack), RTO count, and the last
+  // kTransCwnd record's cwnd / srtt (the controller's final state).
+  struct TransFlow {
+    std::uint64_t retx_timeout = 0, retx_dupack = 0, timeouts = 0;
+    double final_cwnd = 0.0, final_srtt_s = 0.0;
+    bool saw_cwnd = false;
+  };
+  std::map<std::int32_t, TransFlow> trans;
   for (const TraceRecord& r : records) {
     ++counts[r.type];
     t_max = std::max(t_max, r.t);
@@ -233,6 +242,19 @@ std::string format_trace_summary(const std::vector<TraceRecord>& records) {
       case TraceEvent::kCtrlReconv:
         reconv.push_back(&r);
         break;
+      case TraceEvent::kTransRetransmit:
+        ++(r.b == 1 ? trans[r.a].retx_timeout : trans[r.a].retx_dupack);
+        break;
+      case TraceEvent::kTransTimeout:
+        ++trans[r.a].timeouts;
+        break;
+      case TraceEvent::kTransCwnd: {
+        TransFlow& tf = trans[r.a];
+        tf.final_cwnd = r.v0;
+        tf.final_srtt_s = r.v1;
+        tf.saw_cwnd = true;
+        break;
+      }
       default:
         break;
     }
@@ -269,6 +291,23 @@ std::string format_trace_summary(const std::vector<TraceRecord>& records) {
       os << strformat("  reconv epoch %-7d %.3f s (boundary %.2f s)\n", r->a,
                       r->v0, r->v1);
   }
+  if (!trans.empty()) {
+    os << "transport:\n";
+    for (const auto& [flow, tf] : trans) {
+      os << strformat("  flow %-14d %llu retransmits (%llu timeout, %llu "
+                      "dupack), %llu RTOs",
+                      flow,
+                      static_cast<unsigned long long>(tf.retx_timeout +
+                                                      tf.retx_dupack),
+                      static_cast<unsigned long long>(tf.retx_timeout),
+                      static_cast<unsigned long long>(tf.retx_dupack),
+                      static_cast<unsigned long long>(tf.timeouts));
+      if (tf.saw_cwnd)
+        os << strformat(", final cwnd %.1f, srtt %.1f ms", tf.final_cwnd,
+                        tf.final_srtt_s * 1e3);
+      os << "\n";
+    }
+  }
   return os.str();
 }
 
@@ -299,6 +338,7 @@ const char* ctrl_kind_name_impl(int kind) {
     case 3: return "RATE";
     case 4: return "ADMIT_REQ";
     case 5: return "ADMIT_RSP";
+    case 6: return "TRANS_ACK";
     default: return "CTRL?";
   }
 }

@@ -1,0 +1,69 @@
+// BBR-style model-based congestion control on the elastic base.
+//
+// The controller maintains an explicit path model instead of reacting to
+// loss: a windowed-max filter over delivery-rate samples estimates the
+// bottleneck bandwidth (btl_bw), a windowed-min filter over RTT samples
+// estimates the propagation delay (min_rtt), and their product is the BDP.
+// Sends are paced at gain · btl_bw with an inflight cap of cwnd_gain · BDP:
+//
+//   STARTUP   gain 2.885 (doubles the delivery rate per round) until the
+//             measured rate stops growing ≥ 25% for three rounds in a row
+//             ("full pipe").
+//   DRAIN     gain 1/2.885 until inflight falls to the BDP, removing the
+//             queue STARTUP built.
+//   PROBE_BW  an eight-phase gain cycle [1.25, 0.75, 1, 1, 1, 1, 1, 1],
+//             one min_rtt per phase; the entry phase comes from the
+//             construction-time RNG draw so concurrent flows probe at
+//             different times.
+//
+// Loss is handled entirely by the base class's retransmit machinery (so
+// cumulative ACKs keep advancing); the model itself does not react to it.
+#pragma once
+
+#include <deque>
+
+#include "transport/elastic.hpp"
+
+namespace e2efa {
+
+class BbrTransport final : public ElasticTransport {
+ public:
+  using ElasticTransport::ElasticTransport;
+
+ protected:
+  double cwnd() const override;
+  double pacing_interval_s() const override;
+  void on_newly_acked(std::int64_t newly, const std::optional<SendRecord>& echo,
+                      double rtt_s, TimeNs now) override;
+  void on_dupack_loss(TimeNs) override {}  // repair only, no window reaction
+  void on_rto_event(TimeNs) override {}
+
+ private:
+  enum class State { kStartup, kDrain, kProbeBw };
+
+  struct Sample {
+    double v = 0.0;
+    TimeNs t = 0;
+  };
+
+  double btl_bw_pps() const;  ///< Windowed max (prior before any sample).
+  double min_rtt_s() const;   ///< Windowed min (0.2 s before any sample).
+  double bdp_pkts() const { return btl_bw_pps() * min_rtt_s(); }
+  double pacing_gain() const;
+  void advance_state(TimeNs now);
+
+  State state_ = State::kStartup;
+  std::deque<Sample> bw_max_;   ///< Decreasing values; front = current max.
+  std::deque<Sample> rtt_min_;  ///< Increasing values; front = current min.
+
+  // Round accounting (a round ends when cumack passes the highest sequence
+  // sent at the round's start) drives full-pipe detection.
+  std::int64_t round_end_seq_ = -1;
+  double full_bw_pps_ = 0.0;
+  int full_bw_rounds_ = 0;
+
+  int cycle_idx_ = 0;
+  TimeNs cycle_start_ = 0;
+};
+
+}  // namespace e2efa

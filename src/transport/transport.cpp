@@ -1,0 +1,21 @@
+#include "transport/transport.hpp"
+
+namespace e2efa {
+
+const char* to_string(TransportKind k) {
+  switch (k) {
+    case TransportKind::kCbr: return "cbr";
+    case TransportKind::kAimd: return "aimd";
+    case TransportKind::kBbr: return "bbr";
+  }
+  return "?";
+}
+
+std::optional<TransportKind> parse_transport_kind(const std::string& s) {
+  if (s == "cbr") return TransportKind::kCbr;
+  if (s == "aimd") return TransportKind::kAimd;
+  if (s == "bbr") return TransportKind::kBbr;
+  return std::nullopt;
+}
+
+}  // namespace e2efa
